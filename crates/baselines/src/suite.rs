@@ -1,0 +1,92 @@
+//! The full evaluation suite (Figures 13–14).
+//!
+//! Convenience constructors assembling the five systems the paper's
+//! headline comparison plots: the three Samba-CoE baselines plus
+//! CoServe Best (autotuned offline) and CoServe Casual.
+
+use coserve_core::autotune::{tune, TunedSystem, WindowSearchOptions};
+use coserve_core::config::SystemConfig;
+use coserve_core::perf::PerfMatrix;
+use coserve_core::presets;
+use coserve_model::coe::CoeModel;
+use coserve_sim::device::DeviceProfile;
+use coserve_workload::stream::RequestStream;
+
+use crate::samba::all_baselines;
+
+/// The five systems of Figures 13–14, in presentation order. The
+/// CoServe Best entry comes from the offline autotuner run on
+/// `tuning_sample` (§4.4–§4.5); the returned [`TunedSystem`] carries the
+/// search traces for Figures 17–18.
+#[must_use]
+pub fn evaluation_suite(
+    device: &DeviceProfile,
+    model: &CoeModel,
+    perf: &PerfMatrix,
+    tuning_sample: &RequestStream,
+    window_options: WindowSearchOptions,
+) -> (Vec<SystemConfig>, TunedSystem) {
+    let tuned = tune(device, model, perf, tuning_sample, window_options);
+    let mut systems = all_baselines(device);
+    systems.push(tuned.config.clone());
+    systems.push(presets::coserve_casual(device));
+    (systems, tuned)
+}
+
+/// The five system names in presentation order (legend of Figure 13).
+#[must_use]
+pub fn suite_names() -> Vec<&'static str> {
+    vec![
+        "Samba-CoE",
+        "Samba-CoE FIFO",
+        "Samba-CoE Parallel",
+        "CoServe Best",
+        "CoServe Casual",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coserve_core::profiler::{Profiler, UsageSource};
+    use coserve_model::devices;
+    use coserve_workload::board::BoardSpec;
+    use coserve_workload::stream::StreamOrder;
+
+    #[test]
+    fn suite_builds_five_systems_in_order() {
+        let board = BoardSpec::synthetic("suite", 40, 3, 1.2, 50.0, 0.5);
+        let model = board.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+        let sample = RequestStream::generate(
+            "sample",
+            &board,
+            &model,
+            150,
+            coserve_sim::time::SimSpan::from_millis(4),
+            StreamOrder::Iid,
+            3,
+        );
+        let (systems, tuned) = evaluation_suite(
+            &device,
+            &model,
+            &perf,
+            &sample,
+            WindowSearchOptions {
+                max_trials: 4,
+                ..WindowSearchOptions::default()
+            },
+        );
+        let names: Vec<&str> = systems.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, suite_names());
+        // Either the window target was adopted or the validation guard
+        // fell back to the fraction split; both are valid Best configs.
+        assert!(
+            tuned.config.memory.gpu_resident_experts.is_some()
+                || (tuned.config.memory.gpu_pool_fraction - 0.75).abs() < 1e-12
+        );
+        assert!(!tuned.window.trials.is_empty());
+        assert!(!tuned.executor_trials.is_empty());
+    }
+}

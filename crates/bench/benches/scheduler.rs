@@ -1,0 +1,107 @@
+//! Microbenchmarks for the dependency-aware request scheduler's data
+//! structures: grouped insertion, batch peeling, and run enumeration —
+//! the per-request costs Figure 19 argues stay below inference latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use coserve_core::queue::{ExecutorQueue, PendingRequest};
+use coserve_model::expert::ExpertId;
+use coserve_sim::rng::SimRng;
+use coserve_sim::time::SimTime;
+use coserve_workload::stream::JobId;
+
+fn filled_queue(n: usize, experts: u32, grouped: bool, seed: u64) -> ExecutorQueue {
+    let mut rng = SimRng::seed_from(seed);
+    let mut q = ExecutorQueue::new();
+    for i in 0..n {
+        let req = PendingRequest {
+            job: JobId(i as u32),
+            stage: 0,
+            expert: ExpertId(rng.next_below(u64::from(experts)) as u32),
+            ready_at: SimTime::ZERO,
+        };
+        if grouped {
+            q.insert_grouped(req);
+        } else {
+            q.push_back(req);
+        }
+    }
+    q
+}
+
+fn bench_arranging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_arranging");
+    for &len in &[100usize, 1_000, 5_000] {
+        group.bench_function(format!("insert_grouped/{len}"), |b| {
+            b.iter_batched(
+                || filled_queue(len, 64, true, 1),
+                |mut q| {
+                    q.insert_grouped(PendingRequest {
+                        job: JobId(u32::MAX),
+                        stage: 0,
+                        expert: ExpertId(7),
+                        ready_at: SimTime::ZERO,
+                    });
+                    black_box(q.len())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("push_back_fcfs/{len}"), |b| {
+            b.iter_batched(
+                || filled_queue(len, 64, false, 1),
+                |mut q| {
+                    q.push_back(PendingRequest {
+                        job: JobId(u32::MAX),
+                        stage: 0,
+                        expert: ExpertId(7),
+                        ready_at: SimTime::ZERO,
+                    });
+                    black_box(q.len())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_prediction");
+    for &len in &[100usize, 1_000, 5_000] {
+        let grouped = filled_queue(len, 64, true, 2);
+        group.bench_function(format!("runs_grouped/{len}"), |b| {
+            b.iter(|| black_box(grouped.runs().len()));
+        });
+        let fcfs = filled_queue(len, 64, false, 2);
+        group.bench_function(format!("runs_fcfs/{len}"), |b| {
+            b.iter(|| black_box(fcfs.runs().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_peeling(c: &mut Criterion) {
+    c.bench_function("pop_front_group/1000", |b| {
+        b.iter_batched(
+            || filled_queue(1_000, 16, true, 3),
+            |mut q| {
+                let mut popped = 0;
+                while !q.is_empty() {
+                    popped += q.pop_front_group(16).len();
+                }
+                black_box(popped)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_arranging,
+    bench_prediction_primitives,
+    bench_batch_peeling
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates every table and figure of the paper in order.
+use coserve_bench::{emit, figures};
+
+fn main() {
+    emit(&figures::table1_hardware(), "table1_hardware");
+    emit(&figures::fig01_switch_share(), "fig01_switch_share");
+    emit(&figures::fig05_avg_latency(), "fig05_avg_latency");
+    emit(&figures::fig06_mem_footprint(), "fig06_mem_footprint");
+    for (i, t) in figures::fig11_usage_cdf().iter().enumerate() {
+        emit(t, &format!("fig11_usage_cdf_{i}"));
+    }
+    for (i, t) in figures::fig12_exec_latency().iter().enumerate() {
+        emit(t, &format!("fig12_exec_latency_{i}"));
+    }
+    let (thr, sw) = figures::fig13_14_throughput_and_switches();
+    emit(&thr, "fig13_throughput");
+    emit(&sw, "fig14_switches");
+    let (athr, asw) = figures::fig15_16_ablation();
+    emit(&athr, "fig15_ablation_throughput");
+    emit(&asw, "fig16_ablation_switches");
+    emit(&figures::fig17_executors(), "fig17_executors");
+    emit(&figures::fig18_window_search(), "fig18_window_search");
+    emit(&figures::fig19_overhead(), "fig19_overhead");
+}

@@ -1,0 +1,6 @@
+//! Figure 11: cumulative distribution function of expert usage.
+fn main() {
+    for (i, t) in coserve_bench::figures::fig11_usage_cdf().iter().enumerate() {
+        coserve_bench::emit(t, &format!("fig11_usage_cdf_{i}"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Figure 13: throughput of CoServe and baselines.
+fn main() {
+    let (thr, _) = coserve_bench::figures::fig13_14_throughput_and_switches();
+    coserve_bench::emit(&thr, "fig13_throughput");
+}

@@ -1,0 +1,5 @@
+//! Figure 14: number of expert switches for CoServe and baselines.
+fn main() {
+    let (_, sw) = coserve_bench::figures::fig13_14_throughput_and_switches();
+    coserve_bench::emit(&sw, "fig14_switches");
+}

@@ -1,0 +1,5 @@
+//! Figure 15: throughput breakdown for each CoServe optimization.
+fn main() {
+    let (thr, _) = coserve_bench::figures::fig15_16_ablation();
+    coserve_bench::emit(&thr, "fig15_ablation_throughput");
+}

@@ -1,0 +1,5 @@
+//! Figure 16: expert-switch breakdown for each CoServe optimization.
+fn main() {
+    let (_, sw) = coserve_bench::figures::fig15_16_ablation();
+    coserve_bench::emit(&sw, "fig16_ablation_switches");
+}

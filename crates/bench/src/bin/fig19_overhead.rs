@@ -1,0 +1,4 @@
+//! Figure 19: scheduling vs inference latency and scheduling overhead.
+fn main() {
+    coserve_bench::emit(&coserve_bench::figures::fig19_overhead(), "fig19_overhead");
+}

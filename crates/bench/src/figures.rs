@@ -1,0 +1,423 @@
+//! One function per paper table/figure.
+//!
+//! Every function returns the [`Table`]s that regenerate the artifact;
+//! the `fig*` binaries and `all_figures` print them and write CSVs.
+//! Paper-reported reference values live in `EXPERIMENTS.md`.
+
+use coserve_core::autotune::{window_search, UsageCdf, WindowSearchOptions};
+use coserve_core::presets;
+use coserve_core::profiler::Profiler;
+use coserve_metrics::table::{fmt_f64, Table};
+use coserve_model::arch::{ArchSpec, RESNET101};
+use coserve_sim::device::ProcessorKind;
+use coserve_sim::transfer::TransferRoute;
+
+use crate::{paper_devices, paper_tasks, Bench};
+
+/// Table 1: hardware for evaluation.
+#[must_use]
+pub fn table1_hardware() -> Table {
+    let mut t = Table::new(
+        "Table 1: Hardware for evaluation",
+        &["field", "NUMA", "UMA"],
+    );
+    let devices = paper_devices();
+    let (numa, uma) = (&devices[0], &devices[1]);
+    t.row(vec![
+        "GPU".into(),
+        "NVIDIA RTX3080Ti".into(),
+        "Apple M2".into(),
+    ]);
+    t.row(vec![
+        "CPU".into(),
+        "Intel Xeon Silver 4214R".into(),
+        "Apple M2".into(),
+    ]);
+    t.row(vec![
+        "GPU Memory".into(),
+        format!("{}", numa.gpu_memory()),
+        format!("{}", uma.gpu_memory()),
+    ]);
+    t.row(vec![
+        "CPU Memory".into(),
+        format!("{}", numa.cpu_memory()),
+        format!("{}", uma.cpu_memory()),
+    ]);
+    t.row(vec![
+        "SSD".into(),
+        numa.ssd_name().to_string(),
+        uma.ssd_name().to_string(),
+    ]);
+    t
+}
+
+/// Figure 1: proportion of expert-switching latency vs execution
+/// latency for batch-1 GPU inference, per device, I/O path and
+/// architecture.
+#[must_use]
+pub fn fig01_switch_share() -> Table {
+    let mut t = Table::new(
+        "Figure 1: Expert switching latency share of total inference latency (%)",
+        &["device", "path", "arch", "switch_ms", "exec_ms", "switch_share_pct"],
+    );
+    for device in paper_devices() {
+        for route in [TransferRoute::CpuToGpu, TransferRoute::SsdToGpu] {
+            for arch in ArchSpec::paper_set() {
+                let kernel = device
+                    .kernel(arch.id(), ProcessorKind::Gpu)
+                    .expect("paper devices have all kernels");
+                let exec_ms = kernel.latency.latency_ms(1);
+                let switch_ms = device
+                    .transfer_duration(arch.weights(), route)
+                    .as_millis_f64();
+                let share = 100.0 * switch_ms / (switch_ms + exec_ms);
+                t.row(vec![
+                    device.name().to_string(),
+                    route.to_string(),
+                    arch.name().to_string(),
+                    fmt_f64(switch_ms, 1),
+                    fmt_f64(exec_ms, 1),
+                    fmt_f64(share, 1),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Figure 5: average (per-request) inference latency vs batch size on
+/// GPU and CPU of both devices (ResNet101, profiled microbenchmark).
+#[must_use]
+pub fn fig05_avg_latency() -> Table {
+    let mut t = Table::new(
+        "Figure 5: Average inference latency vs batch size (ResNet101, ms)",
+        &["device", "processor", "batch", "avg_latency_ms"],
+    );
+    let profiler = Profiler::with_defaults();
+    for device in paper_devices() {
+        for proc in ProcessorKind::ALL {
+            for p in profiler.sweep(&device, RESNET101, proc) {
+                t.row(vec![
+                    device.name().to_string(),
+                    proc.to_string(),
+                    p.batch.to_string(),
+                    fmt_f64(p.latency_ms / f64::from(p.batch), 2),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Figure 6: memory footprint vs batch size (ResNet101).
+#[must_use]
+pub fn fig06_mem_footprint() -> Table {
+    let mut t = Table::new(
+        "Figure 6: Memory footprint vs batch size (ResNet101, GiB)",
+        &["device", "processor", "batch", "footprint_gib"],
+    );
+    let profiler = Profiler::with_defaults();
+    for device in paper_devices() {
+        for proc in ProcessorKind::ALL {
+            for p in profiler.sweep(&device, RESNET101, proc) {
+                t.row(vec![
+                    device.name().to_string(),
+                    proc.to_string(),
+                    p.batch.to_string(),
+                    fmt_f64(p.footprint.as_gib_f64(), 3),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Figure 11: the expert-usage CDF for Circuit Board A, plus the window
+/// the decay search selects on the NUMA device.
+#[must_use]
+pub fn fig11_usage_cdf() -> Vec<Table> {
+    let bench = Bench::prepare(paper_devices().remove(0), paper_tasks().remove(0));
+    let cdf = UsageCdf::from_perf(&bench.perf);
+    let mut t = Table::new(
+        "Figure 11: CDF of expert usage (Circuit Board A)",
+        &["experts", "cdf"],
+    );
+    let step = (cdf.len() / 40).max(1);
+    for k in (step..=cdf.len()).step_by(step) {
+        t.row(vec![k.to_string(), fmt_f64(cdf.coverage(k), 4)]);
+    }
+    let base = presets::coserve(&bench.device);
+    let result = window_search(
+        &bench.device,
+        &bench.model,
+        &bench.perf,
+        &base,
+        &bench.sample,
+        WindowSearchOptions::default(),
+    );
+    let mut sel = Table::new(
+        "Figure 11 (annotation): selected expert loading number",
+        &["window_lo", "window_hi", "chosen", "cdf_at_chosen"],
+    );
+    sel.row(vec![
+        result.selected.0.to_string(),
+        result.selected.1.to_string(),
+        result.chosen.to_string(),
+        fmt_f64(cdf.coverage(result.chosen), 3),
+    ]);
+    vec![t, sel]
+}
+
+/// Figure 12: execution latency vs batch size with the fitted `K`/`B`
+/// coefficients the scheduler uses.
+#[must_use]
+pub fn fig12_exec_latency() -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 12: Execution latency vs batch size (ms)",
+        &["device", "processor", "arch", "batch", "latency_ms"],
+    );
+    let mut fits = Table::new(
+        "Figure 12 (annotation): fitted K and B per architecture/processor",
+        &["device", "processor", "arch", "K_ms", "B_ms", "r2", "max_batch"],
+    );
+    let profiler = Profiler::with_defaults();
+    for device in paper_devices() {
+        for arch in [ArchSpec::resnet101(), ArchSpec::yolov5m()] {
+            for proc in ProcessorKind::ALL {
+                let points = profiler.sweep(&device, arch.id(), proc);
+                for p in &points {
+                    t.row(vec![
+                        device.name().to_string(),
+                        proc.to_string(),
+                        arch.name().to_string(),
+                        p.batch.to_string(),
+                        fmt_f64(p.latency_ms, 2),
+                    ]);
+                }
+                let max_batch = profiler.max_batch(&points);
+                let (k, b, r2) = profiler.fit_kb(&points, max_batch);
+                fits.row(vec![
+                    device.name().to_string(),
+                    proc.to_string(),
+                    arch.name().to_string(),
+                    fmt_f64(k, 2),
+                    fmt_f64(b, 2),
+                    fmt_f64(r2, 4),
+                    max_batch.to_string(),
+                ]);
+            }
+        }
+    }
+    vec![t, fits]
+}
+
+/// Figures 13 and 14: throughput and expert-switch counts for the five
+/// evaluation systems across tasks and devices.
+#[must_use]
+pub fn fig13_14_throughput_and_switches() -> (Table, Table) {
+    let mut thr = Table::new(
+        "Figure 13: Throughput of CoServe and baselines (img/s)",
+        &["device", "task", "system", "throughput", "speedup_vs_samba"],
+    );
+    let mut sw = Table::new(
+        "Figure 14: Number of expert switches",
+        &["device", "task", "system", "switches", "from_ssd", "from_cache", "reduction_vs_samba_pct"],
+    );
+    for device in paper_devices() {
+        for task in paper_tasks() {
+            let bench = Bench::prepare(device.clone(), task.clone());
+            let (reports, _) = bench.run_suite();
+            let samba_thr = reports[0].throughput_ips();
+            let samba_sw = reports[0].expert_switches();
+            for r in &reports {
+                let speedup = if samba_thr > 0.0 {
+                    r.throughput_ips() / samba_thr
+                } else {
+                    0.0
+                };
+                thr.row(vec![
+                    device.name().to_string(),
+                    task.name().to_string(),
+                    r.system.clone(),
+                    fmt_f64(r.throughput_ips(), 1),
+                    fmt_f64(speedup, 2),
+                ]);
+                let reduction = if samba_sw > 0 {
+                    100.0 * (1.0 - r.expert_switches() as f64 / samba_sw as f64)
+                } else {
+                    0.0
+                };
+                sw.row(vec![
+                    device.name().to_string(),
+                    task.name().to_string(),
+                    r.system.clone(),
+                    r.expert_switches().to_string(),
+                    r.switches_from_ssd().to_string(),
+                    r.switches_from_cpu().to_string(),
+                    fmt_f64(reduction, 1),
+                ]);
+            }
+        }
+    }
+    (thr, sw)
+}
+
+/// Figures 15 and 16: the ablation ladder (None → EM → EM+RA → full
+/// CoServe), throughput and switch counts.
+#[must_use]
+pub fn fig15_16_ablation() -> (Table, Table) {
+    let mut thr = Table::new(
+        "Figure 15: Throughput breakdown per optimization (img/s)",
+        &["device", "task", "system", "throughput"],
+    );
+    let mut sw = Table::new(
+        "Figure 16: Expert switches per optimization",
+        &["device", "task", "system", "switches"],
+    );
+    for device in paper_devices() {
+        for task in paper_tasks() {
+            let bench = Bench::prepare(device.clone(), task.clone());
+            for config in presets::ablation_ladder(&device) {
+                let r = bench.run(&config);
+                thr.row(vec![
+                    device.name().to_string(),
+                    task.name().to_string(),
+                    r.system.clone(),
+                    fmt_f64(r.throughput_ips(), 1),
+                ]);
+                sw.row(vec![
+                    device.name().to_string(),
+                    task.name().to_string(),
+                    r.system.clone(),
+                    r.expert_switches().to_string(),
+                ]);
+            }
+        }
+    }
+    (thr, sw)
+}
+
+/// Figure 17: throughput under different executor counts, measured on
+/// the offline samples of tasks A and B.
+#[must_use]
+pub fn fig17_executors() -> Table {
+    let mut t = Table::new(
+        "Figure 17: Throughput under different numbers of executors (img/s)",
+        &["device", "measurement", "config", "throughput"],
+    );
+    let candidates: Vec<(usize, usize)> =
+        vec![(1, 1), (2, 1), (3, 1), (4, 1), (5, 1), (3, 2), (4, 2)];
+    for device in paper_devices() {
+        for task in [paper_tasks().remove(0), paper_tasks().remove(2)] {
+            let bench = Bench::prepare(device.clone(), task.clone());
+            let label = if task.name().contains('A') {
+                "Measurement A"
+            } else {
+                "Measurement B"
+            };
+            let trials = coserve_core::autotune::executor_search(
+                &device,
+                &bench.model,
+                &bench.perf,
+                &candidates,
+                &bench.sample,
+            );
+            for tr in &trials {
+                t.row(vec![
+                    device.name().to_string(),
+                    label.to_string(),
+                    format!("{}G+{}C", tr.gpus, tr.cpus),
+                    fmt_f64(tr.throughput, 1),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Figure 18: the decay-window search trace on the NUMA GPU for both
+/// measurement workloads.
+#[must_use]
+pub fn fig18_window_search() -> Table {
+    let mut t = Table::new(
+        "Figure 18: Throughput at window boundaries during the sliding-window search",
+        &["measurement", "trial", "residents", "throughput", "note"],
+    );
+    let device = paper_devices().remove(0);
+    for task in [paper_tasks().remove(0), paper_tasks().remove(2)] {
+        let bench = Bench::prepare(device.clone(), task.clone());
+        let label = if task.name().contains('A') {
+            "Measurement A"
+        } else {
+            "Measurement B"
+        };
+        let base = presets::coserve(&device);
+        let result = window_search(
+            &device,
+            &bench.model,
+            &bench.perf,
+            &base,
+            &bench.sample,
+            WindowSearchOptions::default(),
+        );
+        for (i, trial) in result.trials.iter().enumerate() {
+            t.row(vec![
+                label.to_string(),
+                (i + 1).to_string(),
+                trial.residents.to_string(),
+                fmt_f64(trial.throughput, 1),
+                String::new(),
+            ]);
+        }
+        t.row(vec![
+            label.to_string(),
+            "-".into(),
+            format!("{}..{}", result.selected.0, result.selected.1),
+            fmt_f64(result.deviation * 100.0, 1),
+            format!("selected range; chosen {} (deviation %)", result.chosen),
+        ]);
+    }
+    t
+}
+
+/// Figure 19: scheduling latency vs inference latency, and the
+/// pre-scheduled comparison quantifying scheduling overhead.
+#[must_use]
+pub fn fig19_overhead() -> Table {
+    let mut t = Table::new(
+        "Figure 19: Request scheduling vs inference latency (per request, ms)",
+        &[
+            "device",
+            "task",
+            "scheduling_ms",
+            "inference_ms",
+            "presched_inference_ms",
+            "throughput_gap_pct",
+        ],
+    );
+    for device in paper_devices() {
+        // The paper reports tasks A2 and B2.
+        for task in [paper_tasks().remove(1), paper_tasks().remove(3)] {
+            let bench = Bench::prepare(device.clone(), task.clone());
+            let config = presets::coserve(&device);
+            let with_sched = bench.run(&config);
+            let pre = bench.run(&config.pre_scheduled());
+            let sched_ms = with_sched.sched_summary().map_or(0.0, |s| s.mean);
+            let gap = if pre.throughput_ips() > 0.0 {
+                100.0 * (pre.throughput_ips() - with_sched.throughput_ips()).abs()
+                    / pre.throughput_ips()
+            } else {
+                0.0
+            };
+            t.row(vec![
+                device.name().to_string(),
+                task.name().to_string(),
+                fmt_f64(sched_ms, 1),
+                fmt_f64(with_sched.mean_exec_latency_ms(), 1),
+                fmt_f64(pre.mean_exec_latency_ms(), 1),
+                fmt_f64(gap, 1),
+            ]);
+        }
+    }
+    t
+}

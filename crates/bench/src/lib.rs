@@ -1,0 +1,177 @@
+//! # coserve-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! CoServe paper. Each `fig*`/`table*` binary prints the paper-style
+//! rows to stdout and writes a CSV into the experiment directory
+//! (`target/experiments` by default, `COSERVE_EXPERIMENT_DIR` to
+//! override). `all_figures` runs the lot.
+//!
+//! Scaling: the full evaluation (2,500–3,500 requests per task) runs in
+//! seconds in release mode; set `COSERVE_SCALE=0.1` to smoke-test the
+//! harness quickly (integration tests do).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::path::PathBuf;
+
+use coserve_baselines::suite::evaluation_suite;
+use coserve_core::autotune::{TunedSystem, WindowSearchOptions};
+use coserve_core::engine::Engine;
+use coserve_core::perf::PerfMatrix;
+use coserve_core::profiler::{Profiler, UsageSource};
+use coserve_metrics::report::RunReport;
+use coserve_metrics::table::Table;
+use coserve_model::coe::CoeModel;
+use coserve_model::devices;
+use coserve_sim::device::DeviceProfile;
+use coserve_workload::stream::RequestStream;
+use coserve_workload::task::TaskSpec;
+
+/// Where CSV outputs land.
+#[must_use]
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("COSERVE_EXPERIMENT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+/// The global workload scale factor (`COSERVE_SCALE`, default 1.0).
+#[must_use]
+pub fn scale() -> f64 {
+    std::env::var("COSERVE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0 && s.is_finite())
+        .unwrap_or(1.0)
+}
+
+/// Number of requests used for offline tuning samples, after scaling.
+#[must_use]
+pub fn tuning_sample_size() -> usize {
+    ((1500.0 * scale()).round() as usize).max(40)
+}
+
+/// The two evaluation devices in paper order (NUMA, UMA).
+#[must_use]
+pub fn paper_devices() -> Vec<DeviceProfile> {
+    devices::paper_devices()
+}
+
+/// The four evaluation tasks in paper order, scaled by
+/// [`scale`].
+#[must_use]
+pub fn paper_tasks() -> Vec<TaskSpec> {
+    TaskSpec::paper_tasks()
+        .into_iter()
+        .map(|t| {
+            if (scale() - 1.0).abs() < 1e-9 {
+                t
+            } else {
+                t.scaled(scale())
+            }
+        })
+        .collect()
+}
+
+/// A fully prepared experiment context for one (device, task) cell:
+/// model, offline measurements, evaluation stream and tuning sample.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// The device under evaluation.
+    pub device: DeviceProfile,
+    /// The task under evaluation.
+    pub task: TaskSpec,
+    /// The task's CoE model.
+    pub model: CoeModel,
+    /// The offline performance matrix.
+    pub perf: PerfMatrix,
+    /// The full evaluation stream.
+    pub stream: RequestStream,
+    /// The smaller offline tuning sample.
+    pub sample: RequestStream,
+}
+
+impl Bench {
+    /// Prepares the context: builds the model, runs the offline
+    /// profiler, materializes the evaluation stream and the tuning
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the board spec fails validation — unreachable for
+    /// the built-in tasks.
+    #[must_use]
+    pub fn prepare(device: DeviceProfile, task: TaskSpec) -> Self {
+        let model = task.build_model().expect("built-in boards validate");
+        let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+        let stream = task.stream(&model);
+        let sample = task.sample(tuning_sample_size()).stream(&model);
+        Bench {
+            device,
+            task,
+            model,
+            perf,
+            stream,
+            sample,
+        }
+    }
+
+    /// Runs one configuration on the evaluation stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is not servable on this device —
+    /// a harness bug, not an input condition.
+    #[must_use]
+    pub fn run(&self, config: &coserve_core::config::SystemConfig) -> RunReport {
+        Engine::new(&self.device, &self.model, &self.perf, config)
+            .expect("harness configs are valid")
+            .run(&self.stream)
+    }
+
+    /// Runs the five-system evaluation suite (Figures 13–14) and
+    /// returns the reports in suite order plus the tuning traces.
+    #[must_use]
+    pub fn run_suite(&self) -> (Vec<RunReport>, TunedSystem) {
+        let (systems, tuned) = evaluation_suite(
+            &self.device,
+            &self.model,
+            &self.perf,
+            &self.sample,
+            WindowSearchOptions::default(),
+        );
+        let reports = systems.iter().map(|c| self.run(c)).collect();
+        (reports, tuned)
+    }
+}
+
+/// Prints a table and writes its CSV next to the other experiment
+/// outputs; the file name gets a `.csv` suffix.
+pub fn emit(table: &Table, file_stem: &str) {
+    print!("{}", table.render());
+    let path = out_dir().join(format!("{file_stem}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[csv] {}\n", path.display()),
+        Err(err) => eprintln!("[csv] failed to write {}: {err}\n", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        // The test environment may set COSERVE_SCALE; only check sanity.
+        assert!(scale() > 0.0);
+        assert!(tuning_sample_size() >= 40);
+    }
+
+    #[test]
+    fn paper_matrix_shape() {
+        assert_eq!(paper_devices().len(), 2);
+        assert_eq!(paper_tasks().len(), 4);
+    }
+}
+pub mod figures;

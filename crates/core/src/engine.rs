@@ -1,0 +1,1301 @@
+//! The serving engine.
+//!
+//! A discrete-event simulation of CoServe's online phase (§4.1): an
+//! inference-request scheduler assigns and arranges incoming requests
+//! onto executor queues; executors peel same-expert batches, switch
+//! experts in and out of their model pools, and execute on shared
+//! hardware channels (GPU compute, host↔device DMA, SSD reads, CPU
+//! compute). Every baseline in the paper's evaluation runs on this same
+//! engine with different [`SystemConfig`] policies, so comparisons
+//! isolate exactly the policy under study.
+//!
+//! Hardware contention is modeled through FIFO channel reservations:
+//! two GPU executors' batches serialize on the GPU compute channel,
+//! while one executor's expert load (SSD/DMA channels) overlaps another
+//! executor's compute — the pipelining that makes multiple executors
+//! worthwhile.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use coserve_metrics::report::{ChannelReport, ExecutorReport, RunReport, SwitchEvent};
+use coserve_model::coe::CoeModel;
+use coserve_model::expert::ExpertId;
+use coserve_sim::device::{ArchId, DeviceProfile, ProcessorKind};
+use coserve_sim::events::EventQueue;
+use coserve_sim::memory::{Bytes, MemoryTier};
+use coserve_sim::resource::{FifoResource, PooledResource};
+use coserve_sim::time::{SimSpan, SimTime};
+use coserve_sim::transfer::TransferRoute;
+use coserve_workload::stream::RequestStream;
+
+use crate::config::{AssignPolicy, ArrangePolicy, SystemConfig};
+use crate::evict::{select_victims, EvictionContext};
+use crate::perf::PerfMatrix;
+use crate::pool::ModelPool;
+use crate::queue::{ExecutorQueue, PendingRequest};
+
+/// Error detected when constructing an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The device or performance matrix lacks a cost model for an
+    /// architecture/processor pair the configuration would use.
+    MissingKernel(ArchId, ProcessorKind),
+    /// The per-expert tables do not cover the model.
+    PerfModelMismatch {
+        /// Experts in the model.
+        model_experts: usize,
+        /// Experts covered by the matrix.
+        perf_experts: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MissingKernel(a, p) => {
+                write!(f, "no kernel/perf entry for {a} on {p}")
+            }
+            EngineError::PerfModelMismatch {
+                model_experts,
+                perf_experts,
+            } => write!(
+                f,
+                "perf matrix covers {perf_experts} experts but model has {model_experts}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Per-executor memory assignment produced by the layout planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorMemory {
+    /// Capacity of the executor's model pool.
+    pub pool_capacity: Bytes,
+    /// Bytes reserved for inference intermediate results.
+    pub workspace: Bytes,
+}
+
+/// The device-memory layout for a configuration: per-executor pools and
+/// workspaces plus the NUMA staging-cache size (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLayout {
+    /// One entry per executor, in configuration order.
+    pub executors: Vec<ExecutorMemory>,
+    /// Staging-cache capacity (zero on UMA devices).
+    pub cache: Bytes,
+}
+
+/// Plans the memory layout for `config` on `device`.
+///
+/// GPU executors split usable GPU memory evenly; on NUMA devices CPU
+/// executors split what the staging cache leaves of usable CPU memory;
+/// on UMA devices all executors split the unified pool. Within a share,
+/// the expert pool takes either the window-search target (§4.4) or the
+/// configured fraction, always leaving workspace for at least a
+/// batch-of-one inference of the largest architecture.
+#[must_use]
+pub fn plan_memory(
+    device: &DeviceProfile,
+    model: &CoeModel,
+    perf: &PerfMatrix,
+    config: &SystemConfig,
+) -> MemoryLayout {
+    let gpus = config.gpu_executor_count() as u64;
+    let cpus = config.cpu_executor_count() as u64;
+
+    let min_workspace = |proc: ProcessorKind| -> Bytes {
+        perf.entries()
+            .filter(|&(_, p, _)| p == proc)
+            .map(|(_, _, e)| e.workspace + e.per_item)
+            .max()
+            .unwrap_or(Bytes::ZERO)
+    };
+
+    // Every executor process pays a fixed framework overhead out of its
+    // share — the cost that makes "too many executors" lose (Figure 17).
+    let overhead = device.executor_overhead();
+    let (gpu_share, cpu_share, cache) = if device.has_staging_cache() {
+        let gpu_share = device
+            .gpu_usable()
+            .get()
+            .checked_div(gpus)
+            .map_or(Bytes::ZERO, |b| Bytes::new(b).saturating_sub(overhead));
+        let cpu_usable = device.cpu_usable();
+        let cache = if cpus == 0 {
+            cpu_usable
+        } else {
+            Bytes::new((cpu_usable.get() as f64 * config.memory.cpu_cache_fraction) as u64)
+        };
+        let cpu_share = cpu_usable
+            .saturating_sub(cache)
+            .get()
+            .checked_div(cpus)
+            .map_or(Bytes::ZERO, |b| Bytes::new(b).saturating_sub(overhead));
+        (gpu_share, cpu_share, cache)
+    } else {
+        // UMA: one unified pool for everyone, no staging tier.
+        let total = config.executors.len() as u64;
+        let share =
+            Bytes::new(device.gpu_usable().get() / total.max(1)).saturating_sub(overhead);
+        (share, share, Bytes::ZERO)
+    };
+
+    // Window-search target: per-GPU-executor pool capacity sized to hold
+    // its round-robin share of the top-n experts (2 % slack for size
+    // variation between architectures).
+    let gpu_pool_target = config.memory.gpu_resident_experts.map(|n| {
+        let total: Bytes = perf
+            .experts_by_usage()
+            .into_iter()
+            .take(n)
+            .map(|e| model.weight_bytes(e))
+            .sum();
+        let per_exec = total.get() / gpus.max(1);
+        Bytes::new((per_exec as f64 * 1.02) as u64)
+    });
+
+    // §4.4's rule for limited-computation processors: reserve exactly
+    // what the maximum batch size needs for intermediate results, and
+    // give everything else to expert loading.
+    let cpu_batch_reserve = || -> Bytes {
+        perf.entries()
+            .filter(|&(_, p, _)| p == ProcessorKind::Cpu)
+            .map(|(_, _, e)| e.workspace + e.per_item * u64::from(e.max_batch))
+            .max()
+            .unwrap_or(Bytes::ZERO)
+    };
+
+    let executors = config
+        .executors
+        .iter()
+        .map(|spec| {
+            let (share, target) = match spec.processor {
+                ProcessorKind::Gpu => (gpu_share, gpu_pool_target),
+                ProcessorKind::Cpu => (cpu_share, None),
+            };
+            let floor = min_workspace(spec.processor);
+            let raw_pool = target.unwrap_or_else(|| match spec.processor {
+                ProcessorKind::Gpu => {
+                    Bytes::new((share.get() as f64 * config.memory.gpu_pool_fraction) as u64)
+                }
+                ProcessorKind::Cpu if config.memory.cpu_max_batch_rule => {
+                    share.saturating_sub(cpu_batch_reserve())
+                }
+                ProcessorKind::Cpu => {
+                    Bytes::new((share.get() as f64 * config.memory.cpu_pool_fraction) as u64)
+                }
+            });
+            let pool_capacity = raw_pool.min(share.saturating_sub(floor));
+            ExecutorMemory {
+                pool_capacity,
+                workspace: share.saturating_sub(pool_capacity),
+            }
+        })
+        .collect();
+
+    MemoryLayout { executors, cache }
+}
+
+/// The serving engine for one (device, model, measurements, config)
+/// combination.
+#[derive(Debug, Clone)]
+pub struct Engine<'a> {
+    device: &'a DeviceProfile,
+    model: &'a CoeModel,
+    perf: &'a PerfMatrix,
+    config: &'a SystemConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Validates that every architecture in the model has cost models on
+    /// every processor the configuration uses, and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on missing kernels/entries or a
+    /// model/matrix size mismatch.
+    pub fn new(
+        device: &'a DeviceProfile,
+        model: &'a CoeModel,
+        perf: &'a PerfMatrix,
+        config: &'a SystemConfig,
+    ) -> Result<Self, EngineError> {
+        if perf.num_experts() != model.num_experts() {
+            return Err(EngineError::PerfModelMismatch {
+                model_experts: model.num_experts(),
+                perf_experts: perf.num_experts(),
+            });
+        }
+        let procs: BTreeSet<ProcessorKind> =
+            config.executors.iter().map(|e| e.processor).collect();
+        for arch in model.archs() {
+            for &proc in &procs {
+                if device.kernel(arch.id(), proc).is_none()
+                    || perf.entry(arch.id(), proc).is_none()
+                {
+                    return Err(EngineError::MissingKernel(arch.id(), proc));
+                }
+            }
+        }
+        Ok(Engine {
+            device,
+            model,
+            perf,
+            config,
+        })
+    }
+
+    /// The planned memory layout for this engine.
+    #[must_use]
+    pub fn memory_layout(&self) -> MemoryLayout {
+        plan_memory(self.device, self.model, self.perf, self.config)
+    }
+
+    /// Runs the stream to completion and reports.
+    #[must_use]
+    pub fn run(&self, stream: &RequestStream) -> RunReport {
+        Run::new(self, stream).execute()
+    }
+}
+
+/// Events driving the serving loop.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A job stage became ready (arrival or previous stage finished).
+    Arrive { job: u32, stage: u8 },
+    /// The scheduler finished deciding where the stage goes.
+    Sched { job: u32, stage: u8 },
+    /// An executor's in-flight batch is ready to start its next leg
+    /// (channel reservation) or, when no legs remain, to complete.
+    Leg { exec: usize },
+}
+
+/// Which serially-reusable resource a leg occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LegChannel {
+    /// The shared SSD read path.
+    Ssd,
+    /// The shared host↔device DMA engine.
+    Dma,
+    /// Host-CPU framework work (deserialize/reorganize): runs per
+    /// executor but at most `host_work_slots` concurrently device-wide.
+    Local,
+    /// The processor's compute channel.
+    Compute,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    channel: LegChannel,
+    span: SimSpan,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSwitch {
+    expert: ExpertId,
+    source: MemoryTier,
+    started: SimTime,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    batch: Vec<PendingRequest>,
+    legs: std::collections::VecDeque<Leg>,
+    switch: Option<PendingSwitch>,
+}
+
+#[derive(Debug)]
+struct ExecState {
+    processor: ProcessorKind,
+    pool: ModelPool,
+    workspace: Bytes,
+    queue: ExecutorQueue,
+    busy_until: SimTime,
+    in_flight: Option<InFlight>,
+    batches: u64,
+    items: u64,
+    exec_time: SimSpan,
+    switch_time: SimSpan,
+    switches: u64,
+    finished_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct JobState {
+    failed: bool,
+    done: bool,
+}
+
+struct Run<'a> {
+    engine: &'a Engine<'a>,
+    stream: &'a RequestStream,
+    events: EventQueue<Ev>,
+    scheduler: PooledResource,
+    gpu_compute: FifoResource,
+    cpu_compute: FifoResource,
+    dma: FifoResource,
+    ssd: FifoResource,
+    host_work: PooledResource,
+    execs: Vec<ExecState>,
+    cache: Option<ModelPool>,
+    jobs: Vec<JobState>,
+    rr_cursor: usize,
+    completed: usize,
+    failed: usize,
+    stages_executed: usize,
+    last_done: SimTime,
+    switch_events: Vec<SwitchEvent>,
+    job_latencies: Vec<SimSpan>,
+    sched_latencies: Vec<SimSpan>,
+}
+
+impl<'a> Run<'a> {
+    fn new(engine: &'a Engine<'a>, stream: &'a RequestStream) -> Self {
+        let layout = engine.memory_layout();
+        let execs: Vec<ExecState> = engine
+            .config
+            .executors
+            .iter()
+            .zip(&layout.executors)
+            .map(|(spec, mem)| ExecState {
+                processor: spec.processor,
+                pool: ModelPool::new(mem.pool_capacity),
+                workspace: mem.workspace,
+                queue: ExecutorQueue::new(),
+                busy_until: SimTime::ZERO,
+                in_flight: None,
+                batches: 0,
+                items: 0,
+                exec_time: SimSpan::ZERO,
+                switch_time: SimSpan::ZERO,
+                switches: 0,
+                finished_at: SimTime::ZERO,
+            })
+            .collect();
+        let cache = if engine.device.has_staging_cache() {
+            Some(ModelPool::new(layout.cache))
+        } else {
+            None
+        };
+        let mut run = Run {
+            engine,
+            stream,
+            events: EventQueue::new(),
+            scheduler: PooledResource::new("scheduler", engine.config.scheduler_slots),
+            gpu_compute: FifoResource::new("gpu-compute"),
+            cpu_compute: FifoResource::new("cpu-compute"),
+            dma: FifoResource::new("dma"),
+            ssd: FifoResource::new("ssd"),
+            host_work: PooledResource::new("host-work", engine.device.host_work_slots()),
+            execs,
+            cache,
+            jobs: vec![JobState::default(); stream.len()],
+            rr_cursor: 0,
+            completed: 0,
+            failed: 0,
+            stages_executed: 0,
+            last_done: SimTime::ZERO,
+            switch_events: Vec::new(),
+            job_latencies: Vec::new(),
+            sched_latencies: Vec::new(),
+        };
+        if engine.config.preload {
+            run.preload();
+        }
+        run
+    }
+
+    /// §4.1: "Experts are distributed into each executor in a
+    /// round-robin manner, prioritized by descending usage
+    /// probabilities, until the memory is fully utilized."
+    fn preload(&mut self) {
+        if self.execs.is_empty() {
+            return;
+        }
+        let order = self.engine.perf.experts_by_usage();
+        let n = self.execs.len();
+        let mut cursor = 0usize;
+        for expert in order {
+            let bytes = self.engine.model.weight_bytes(expert);
+            for probe in 0..n {
+                let idx = (cursor + probe) % n;
+                if self.execs[idx].pool.fits(bytes) {
+                    self.execs[idx]
+                        .pool
+                        .insert(expert, bytes, SimTime::ZERO)
+                        .expect("fits was checked");
+                    cursor = (idx + 1) % n;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn execute(mut self) -> RunReport {
+        for job in self.stream.jobs() {
+            self.events.push(
+                job.arrival,
+                Ev::Arrive {
+                    job: job.id.0,
+                    stage: 0,
+                },
+            );
+        }
+        while let Some(ev) = self.events.pop() {
+            let now = ev.at;
+            match ev.payload {
+                Ev::Arrive { job, stage } => self.on_arrive(job, stage, now),
+                Ev::Sched { job, stage } => self.on_sched(job, stage, now),
+                Ev::Leg { exec } => self.on_leg(exec, now),
+            }
+        }
+        self.report()
+    }
+
+    fn on_arrive(&mut self, job: u32, stage: u8, now: SimTime) {
+        let res = self
+            .scheduler
+            .reserve(now, self.engine.config.scheduling_cost);
+        // Figure 19 reports the per-request scheduling *processing*
+        // latency; backlog behind the serial scheduler thread still
+        // delays the enqueue (res.end) but is not part of this metric.
+        self.sched_latencies.push(res.end.saturating_since(res.start));
+        self.events.push(res.end, Ev::Sched { job, stage });
+    }
+
+    fn on_sched(&mut self, job: u32, stage: u8, now: SimTime) {
+        let expert = self.stream.jobs()[job as usize].stages[stage as usize];
+        let exec_idx = self.assign(expert, now);
+        let req = PendingRequest {
+            job: coserve_workload::stream::JobId(job),
+            stage,
+            expert,
+            ready_at: now,
+        };
+        match self.engine.config.arrange {
+            ArrangePolicy::Grouped => self.execs[exec_idx].queue.insert_grouped(req),
+            ArrangePolicy::Fcfs => self.execs[exec_idx].queue.push_back(req),
+        }
+        self.try_start(exec_idx, now);
+    }
+
+    /// Advances an executor's in-flight batch: reserves the next leg's
+    /// channel *at the current time* (work-conserving FIFO — channels
+    /// are never booked for future instants) or completes the batch.
+    fn on_leg(&mut self, exec_idx: usize, now: SimTime) {
+        let processor = self.execs[exec_idx].processor;
+        let inf = self.execs[exec_idx]
+            .in_flight
+            .as_mut()
+            .expect("Leg event without in-flight batch");
+        let Some(leg) = inf.legs.pop_front() else {
+            self.finish_batch(exec_idx, now);
+            return;
+        };
+        if leg.channel == LegChannel::Compute {
+            // The switch (if any) finished when compute becomes ready.
+            if let Some(sw) = inf.switch.take() {
+                self.switch_events.push(SwitchEvent {
+                    at: sw.started,
+                    executor: exec_idx,
+                    expert: sw.expert,
+                    source: sw.source,
+                    duration: now.saturating_since(sw.started),
+                });
+            }
+        }
+        let remaining: SimSpan = self.execs[exec_idx]
+            .in_flight
+            .as_ref()
+            .expect("still in flight")
+            .legs
+            .iter()
+            .map(|l| l.span)
+            .sum();
+        let end = match leg.channel {
+            LegChannel::Ssd => self.ssd.reserve(now, leg.span).end,
+            LegChannel::Dma => self.dma.reserve(now, leg.span).end,
+            // Framework work runs on the host-CPU pool: per-executor,
+            // but only `host_work_slots` run concurrently device-wide.
+            LegChannel::Local => self.host_work.reserve(now, leg.span).end,
+            LegChannel::Compute => match processor {
+                ProcessorKind::Gpu => self.gpu_compute.reserve(now, leg.span).end,
+                ProcessorKind::Cpu => self.cpu_compute.reserve(now, leg.span).end,
+            },
+        };
+        self.execs[exec_idx].busy_until = end + remaining;
+        self.events.push(end, Ev::Leg { exec: exec_idx });
+    }
+
+    fn finish_batch(&mut self, exec_idx: usize, now: SimTime) {
+        let batch = self.execs[exec_idx]
+            .in_flight
+            .take()
+            .expect("finish without in-flight batch")
+            .batch;
+        self.execs[exec_idx].finished_at = now;
+        self.execs[exec_idx].busy_until = now;
+        self.stages_executed += batch.len();
+        self.last_done = self.last_done.max(now);
+        for req in batch {
+            let job = &self.stream.jobs()[req.job.index()];
+            let next_stage = req.stage + 1;
+            if (next_stage as usize) < job.stages.len() {
+                self.events.push(
+                    now,
+                    Ev::Arrive {
+                        job: req.job.0,
+                        stage: next_stage,
+                    },
+                );
+            } else {
+                let state = &mut self.jobs[req.job.index()];
+                if !state.done {
+                    state.done = true;
+                    self.completed += 1;
+                    self.job_latencies.push(now.saturating_since(job.arrival));
+                }
+            }
+        }
+        self.try_start(exec_idx, now);
+    }
+
+    /// The current maximum executable batch size for `expert` on
+    /// executor `exec_idx` (§4.2's request splitting): the smaller of
+    /// the profiled maximum batch and what the executor's workspace
+    /// memory accommodates.
+    fn executable_batch(&self, exec_idx: usize, expert: ExpertId) -> u32 {
+        if !self.engine.config.batching {
+            return 1;
+        }
+        let arch = self.engine.model.expert(expert).arch();
+        let exec = &self.execs[exec_idx];
+        let entry = self.engine.perf.expect_entry(arch, exec.processor);
+        entry.executable_batch(exec.workspace)
+    }
+
+    /// Predicted load latency for `expert` on executor `exec_idx` if it
+    /// had to be switched in right now (0 when resident).
+    fn predicted_switch(&self, exec_idx: usize, expert: ExpertId) -> SimSpan {
+        let exec = &self.execs[exec_idx];
+        if exec.pool.contains(expert) {
+            return SimSpan::ZERO;
+        }
+        let arch = self.engine.model.expert(expert).arch();
+        let entry = self.engine.perf.expect_entry(arch, exec.processor);
+        let cached = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.contains(expert));
+        match (exec.processor, cached) {
+            (ProcessorKind::Gpu, true) => entry.load_from_cpu,
+            (ProcessorKind::Gpu, false) => entry.load_from_ssd,
+            // A staging-cache hit for a CPU executor is a same-RAM move.
+            (ProcessorKind::Cpu, true) => SimSpan::ZERO,
+            (ProcessorKind::Cpu, false) => entry.load_from_ssd,
+        }
+    }
+
+    /// Predicted total remaining inference time of an executor queue
+    /// (§4.2): in-flight remainder plus, per same-expert run, the linear
+    /// execution estimate and at most one expert switch.
+    fn predict_total(&self, exec_idx: usize, now: SimTime) -> SimSpan {
+        let exec = &self.execs[exec_idx];
+        let mut total = exec.busy_until.saturating_since(now);
+        let mut seen: BTreeSet<ExpertId> = BTreeSet::new();
+        for (expert, count) in exec.queue.runs() {
+            total += self.predict_group(exec_idx, expert, count, &mut seen);
+        }
+        total
+    }
+
+    fn predict_group(
+        &self,
+        exec_idx: usize,
+        expert: ExpertId,
+        count: u32,
+        seen: &mut BTreeSet<ExpertId>,
+    ) -> SimSpan {
+        let arch = self.engine.model.expert(expert).arch();
+        let entry = self
+            .engine
+            .perf
+            .expect_entry(arch, self.execs[exec_idx].processor);
+        let max_batch = self.executable_batch(exec_idx, expert).max(1);
+        let batches = count.div_ceil(max_batch);
+        let exec_ms = entry.k_ms * f64::from(count) + entry.b_ms * f64::from(batches);
+        let mut total = SimSpan::from_millis_f64(exec_ms);
+        if seen.insert(expert) {
+            total += self.predicted_switch(exec_idx, expert);
+        }
+        total
+    }
+
+    /// Predicted additional latency of appending a request for `expert`
+    /// to queue `exec_idx` (§4.2): `K` when it joins an existing batch
+    /// with room, `K + B` when it opens a new batch, plus the switch
+    /// latency when the expert is neither resident nor already queued.
+    fn predict_delta(&self, exec_idx: usize, expert: ExpertId, _now: SimTime) -> SimSpan {
+        let arch = self.engine.model.expert(expert).arch();
+        let entry = self
+            .engine
+            .perf
+            .expect_entry(arch, self.execs[exec_idx].processor);
+        let max_batch = self.executable_batch(exec_idx, expert).max(1);
+        let queue = &self.execs[exec_idx].queue;
+        let last_run_len = queue
+            .runs()
+            .into_iter()
+            .rev()
+            .find(|&(e, _)| e == expert)
+            .map_or(0, |(_, n)| n);
+        let joins_open_batch = last_run_len > 0 && last_run_len % max_batch != 0;
+        let mut ms = entry.k_ms;
+        if !joins_open_batch {
+            ms += entry.b_ms;
+        }
+        let mut delta = SimSpan::from_millis_f64(ms);
+        if !queue.contains_expert(expert) {
+            delta += self.predicted_switch(exec_idx, expert);
+        }
+        delta
+    }
+
+    /// Chooses the executor for a request (§4.2's request assigning).
+    fn assign(&mut self, expert: ExpertId, now: SimTime) -> usize {
+        match self.engine.config.assign {
+            AssignPolicy::RoundRobin => {
+                let idx = self.rr_cursor % self.execs.len();
+                self.rr_cursor += 1;
+                idx
+            }
+            AssignPolicy::DependencyAware => {
+                let totals: Vec<SimSpan> = (0..self.execs.len())
+                    .map(|i| self.predict_total(i, now))
+                    .collect();
+                let mut best: Option<(SimSpan, SimSpan, usize)> = None;
+                for q in 0..self.execs.len() {
+                    let delta = self.predict_delta(q, expert, now);
+                    // Makespan if the request goes to q: q's new total
+                    // vs the max of the other queues.
+                    let others = totals
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| p != q)
+                        .map(|(_, &t)| t)
+                        .fold(SimSpan::ZERO, SimSpan::max);
+                    let makespan = others.max(totals[q] + delta);
+                    let key = (makespan, delta, q);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                best.expect("at least one executor").2
+            }
+        }
+    }
+
+    /// Starts batches on an idle executor until it becomes busy or its
+    /// queue drains. Batches whose expert cannot be made resident fail
+    /// their requests and the loop continues.
+    fn try_start(&mut self, exec_idx: usize, now: SimTime) {
+        loop {
+            if self.execs[exec_idx].in_flight.is_some() {
+                return;
+            }
+            let Some(expert) = self.execs[exec_idx].queue.front_expert() else {
+                return;
+            };
+            let max_batch = self.executable_batch(exec_idx, expert);
+            let batch = self.execs[exec_idx].queue.pop_front_group(max_batch);
+            debug_assert!(!batch.is_empty());
+            if self.start_batch(exec_idx, expert, batch, now) {
+                return; // executor is now busy
+            }
+            // Batch failed (expert unservable); keep draining the queue.
+        }
+    }
+
+    /// Attempts to switch in `expert` (if needed) and execute `batch`.
+    /// Returns false when the expert cannot be served on this executor,
+    /// in which case the batch's jobs are marked failed.
+    fn start_batch(
+        &mut self,
+        exec_idx: usize,
+        expert: ExpertId,
+        batch: Vec<PendingRequest>,
+        now: SimTime,
+    ) -> bool {
+        let model = self.engine.model;
+        let weights = model.weight_bytes(expert);
+        let arch = model.expert(expert).arch();
+        let processor = self.execs[exec_idx].processor;
+
+        let mut legs: std::collections::VecDeque<Leg> = std::collections::VecDeque::new();
+        let mut switch_busy = SimSpan::ZERO;
+        let push_leg = |legs: &mut std::collections::VecDeque<Leg>,
+                            busy: &mut SimSpan,
+                            channel: LegChannel,
+                            span: SimSpan| {
+            if !span.is_zero() {
+                legs.push_back(Leg { channel, span });
+                *busy += span;
+            }
+        };
+        let mut pending_switch = None;
+
+        if !self.execs[exec_idx].pool.contains(expert) {
+            if weights > self.execs[exec_idx].pool.capacity() {
+                self.fail_batch(&batch);
+                return false;
+            }
+            // Free space via the configured eviction policy.
+            let need = weights.saturating_sub(self.execs[exec_idx].pool.available());
+            let protected: BTreeSet<ExpertId> = [expert].into_iter().collect();
+            let ctx = EvictionContext {
+                model,
+                perf: self.engine.perf,
+                protected: &protected,
+            };
+            let victims = match select_victims(
+                self.engine.config.eviction,
+                &self.execs[exec_idx].pool,
+                need,
+                &ctx,
+            ) {
+                Ok(v) => v,
+                Err(_) => {
+                    self.fail_batch(&batch);
+                    return false;
+                }
+            };
+            for victim in victims {
+                let meta = self.execs[exec_idx]
+                    .pool
+                    .remove(victim)
+                    .expect("victims are resident");
+                if self.cache.is_some() {
+                    if processor == ProcessorKind::Gpu {
+                        // Demote over the DMA channel into the staging
+                        // cache (device→host copy).
+                        let span = self
+                            .engine
+                            .device
+                            .transfer_duration(meta.bytes, TransferRoute::GpuToCpu);
+                        push_leg(&mut legs, &mut switch_busy, LegChannel::Dma, span);
+                    }
+                    // CPU-executor evictions are already in host RAM;
+                    // the cache insert is free either way.
+                    self.cache_insert(victim, meta.bytes, now);
+                }
+            }
+
+            // Load the expert from its best source tier.
+            let cached = self.cache.as_ref().is_some_and(|c| c.contains(expert));
+            let source = if cached { MemoryTier::Cpu } else { MemoryTier::Ssd };
+            let route = match (processor, cached) {
+                (ProcessorKind::Gpu, true) => Some(TransferRoute::CpuToGpu),
+                (ProcessorKind::Gpu, false) => Some(TransferRoute::SsdToGpu),
+                // Staging-cache hits are already in host RAM.
+                (ProcessorKind::Cpu, true) => None,
+                (ProcessorKind::Cpu, false) => Some(TransferRoute::SsdToCpu),
+            };
+            if let Some(route) = route {
+                let stages = self.engine.device.transfer_stages(weights, route);
+                push_leg(&mut legs, &mut switch_busy, LegChannel::Ssd, stages.ssd);
+                // Deserialization/reorganization is per-executor CPU
+                // work: it occupies this executor's timeline but no
+                // shared channel, so concurrent executors overlap it.
+                push_leg(&mut legs, &mut switch_busy, LegChannel::Local, stages.local);
+                push_leg(&mut legs, &mut switch_busy, LegChannel::Dma, stages.dma);
+            }
+            if let Some(c) = &mut self.cache {
+                if cached {
+                    c.touch(expert, now);
+                }
+            }
+            if source == MemoryTier::Ssd && processor == ProcessorKind::Gpu {
+                // A cold load passes through host memory; keep the copy
+                // (inclusive staging cache), as the Samba-CoE baseline
+                // describes for NUMA devices.
+                self.cache_insert(expert, weights, now);
+            }
+            self.execs[exec_idx]
+                .pool
+                .insert(expert, weights, now)
+                .expect("eviction freed enough space");
+            self.execs[exec_idx].switches += 1;
+            self.execs[exec_idx].switch_time += switch_busy;
+            pending_switch = Some(PendingSwitch {
+                expert,
+                source,
+                started: now,
+            });
+        }
+
+        // Execute on the processor's compute channel (ground truth
+        // latency, not the profiler's estimate).
+        let kernel = self
+            .engine
+            .device
+            .kernel(arch, processor)
+            .expect("validated at engine construction");
+        let exec_span = kernel.latency.latency(batch.len() as u32);
+        let mut exec_busy = SimSpan::ZERO;
+        push_leg(&mut legs, &mut exec_busy, LegChannel::Compute, exec_span);
+        let total = switch_busy + exec_busy;
+
+        let exec = &mut self.execs[exec_idx];
+        exec.pool.touch(expert, now);
+        exec.batches += 1;
+        exec.items += batch.len() as u64;
+        exec.exec_time += exec_span;
+        exec.busy_until = now + total;
+        exec.in_flight = Some(InFlight {
+            batch,
+            legs,
+            switch: pending_switch,
+        });
+        self.events.push(now, Ev::Leg { exec: exec_idx });
+        true
+    }
+
+    fn fail_batch(&mut self, batch: &[PendingRequest]) {
+        for req in batch {
+            let state = &mut self.jobs[req.job.index()];
+            if !state.failed && !state.done {
+                state.failed = true;
+                self.failed += 1;
+            }
+        }
+    }
+
+    /// Inserts into the staging cache, evicting least-recently-used
+    /// entries as needed. Oversized experts are simply not cached.
+    fn cache_insert(&mut self, expert: ExpertId, bytes: Bytes, now: SimTime) {
+        let Some(cache) = &mut self.cache else {
+            return;
+        };
+        if cache.contains(expert) {
+            cache.touch(expert, now);
+            return;
+        }
+        if bytes > cache.capacity() {
+            return;
+        }
+        while !cache.fits(bytes) {
+            let lru = cache
+                .residents()
+                .min_by_key(|&(e, r)| (r.last_used, r.seq, e))
+                .map(|(e, _)| e)
+                .expect("cache is non-empty while it does not fit");
+            cache.remove(lru);
+        }
+        cache
+            .insert(expert, bytes, now)
+            .expect("fits after eviction");
+    }
+
+    fn report(self) -> RunReport {
+        let executors = self
+            .execs
+            .iter()
+            .enumerate()
+            .map(|(index, e)| ExecutorReport {
+                index,
+                processor: e.processor,
+                batches: e.batches,
+                items: e.items,
+                exec_time: e.exec_time,
+                switch_time: e.switch_time,
+                switches: e.switches,
+                pool_capacity: e.pool.capacity(),
+                pool_peak: e.pool.peak(),
+                finished_at: e.finished_at,
+            })
+            .collect();
+        let mut channels: Vec<ChannelReport> = [
+            &self.gpu_compute,
+            &self.cpu_compute,
+            &self.dma,
+            &self.ssd,
+        ]
+        .into_iter()
+        .map(|c| ChannelReport {
+            name: c.name(),
+            busy: c.busy_total(),
+            reservations: c.reservation_count(),
+        })
+        .collect();
+        for pooled in [&self.scheduler, &self.host_work] {
+            channels.push(ChannelReport {
+                name: pooled.name(),
+                busy: pooled.busy_total(),
+                reservations: pooled.reservation_count(),
+            });
+        }
+        let switch_time_total = self.execs.iter().map(|e| e.switch_time).sum();
+        let exec_time_total = self.execs.iter().map(|e| e.exec_time).sum();
+        RunReport {
+            system: self.engine.config.name.clone(),
+            device: self.engine.device.name().to_string(),
+            task: self.stream.name().to_string(),
+            submitted: self.stream.len(),
+            completed: self.completed,
+            failed: self.failed,
+            stages_executed: self.stages_executed,
+            makespan: self.last_done.saturating_since(SimTime::ZERO),
+            switch_events: self.switch_events,
+            switch_time_total,
+            exec_time_total,
+            job_latencies: self.job_latencies,
+            sched_latencies: self.sched_latencies,
+            executors,
+            channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::{ArrangePolicy, AssignPolicy, SystemConfig};
+    use crate::evict::EvictionPolicy;
+    use crate::profiler::{Profiler, UsageSource};
+    use coserve_workload::board::BoardSpec;
+    use coserve_workload::stream::StreamOrder;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Conservation: under arbitrary policy combinations every
+        /// submitted job either completes or fails; switch counts per
+        /// executor sum to the ledger; determinism holds.
+        #[test]
+        fn engine_conserves_jobs(
+            gpus in 1usize..4,
+            cpus in 0usize..2,
+            assign_da in any::<bool>(),
+            arrange_grouped in any::<bool>(),
+            evict_sel in 0u8..4,
+            batching in any::<bool>(),
+            preload in any::<bool>(),
+            seed in 0u64..1_000,
+        ) {
+            let board = BoardSpec::synthetic("prop", 12, 2, 1.2, 20.0, 0.5);
+            let model = board.build_model().expect("valid board");
+            let device = coserve_model::devices::numa_rtx3080ti();
+            let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+            let stream = RequestStream::generate(
+                "prop", &board, &model, 40,
+                SimSpan::from_millis(4), StreamOrder::Iid, seed,
+            );
+            let mut builder = SystemConfig::builder("prop").gpu_executors(gpus);
+            if cpus > 0 {
+                builder = builder.cpu_executors(cpus);
+            }
+            let config = builder
+                .assign(if assign_da { AssignPolicy::DependencyAware } else { AssignPolicy::RoundRobin })
+                .arrange(if arrange_grouped { ArrangePolicy::Grouped } else { ArrangePolicy::Fcfs })
+                .eviction(match evict_sel {
+                    0 => EvictionPolicy::DependencyAware,
+                    1 => EvictionPolicy::Lru,
+                    2 => EvictionPolicy::Fifo,
+                    _ => EvictionPolicy::Lfu,
+                })
+                .batching(batching)
+                .preload(preload)
+                .build();
+            let engine = Engine::new(&device, &model, &perf, &config).expect("valid");
+            let report = engine.run(&stream);
+            prop_assert_eq!(report.completed + report.failed, report.submitted);
+            let exec_switches: u64 = report.executors.iter().map(|e| e.switches).sum();
+            prop_assert_eq!(exec_switches, report.expert_switches());
+            let again = engine.run(&stream);
+            prop_assert_eq!(report, again);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::profiler::{Profiler, UsageSource};
+    use coserve_model::devices;
+    use coserve_workload::board::BoardSpec;
+    use coserve_workload::stream::StreamOrder;
+
+    fn setup(
+        num_components: usize,
+        requests: usize,
+    ) -> (DeviceProfile, CoeModel, PerfMatrix, RequestStream) {
+        let board = BoardSpec::synthetic("eng", num_components, 3, 1.2, 40.0, 0.5);
+        let model = board.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+        let stream = RequestStream::generate(
+            "eng-task",
+            &board,
+            &model,
+            requests,
+            SimSpan::from_millis(4),
+            StreamOrder::Iid,
+            11,
+        );
+        (device, model, perf, stream)
+    }
+
+    fn coserve_config() -> SystemConfig {
+        SystemConfig::builder("CoServe").gpu_executors(2).cpu_executors(1).build()
+    }
+
+    #[test]
+    fn engine_completes_every_job() {
+        let (device, model, perf, stream) = setup(30, 200);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let report = engine.run(&stream);
+        assert_eq!(report.submitted, 200);
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.failed, 0);
+        assert!(report.stages_executed >= 200);
+        assert!(report.throughput_ips() > 0.0);
+        assert!(report.makespan > SimSpan::ZERO);
+        assert_eq!(report.job_latencies.len(), 200);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let (device, model, perf, stream) = setup(30, 150);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let a = engine.run(&stream);
+        let b = engine.run(&stream);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn preload_fills_pools_by_usage() {
+        let (device, model, perf, stream) = setup(30, 1);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let layout = engine.memory_layout();
+        // Pools have real capacity.
+        assert!(layout.executors.iter().all(|m| m.pool_capacity > Bytes::ZERO));
+        assert!(layout.cache > Bytes::ZERO, "NUMA device has a staging cache");
+        let report = engine.run(&stream);
+        // Peak usage shows the preload happened.
+        for e in &report.executors {
+            assert!(e.pool_peak > Bytes::ZERO, "executor {} never held experts", e.index);
+        }
+    }
+
+    #[test]
+    fn grouping_reduces_switches_vs_fcfs() {
+        let (device, model, perf, stream) = setup(40, 400);
+        let grouped = SystemConfig::builder("grouped").gpu_executors(2).build();
+        let fcfs = SystemConfig::builder("fcfs")
+            .gpu_executors(2)
+            .assign(AssignPolicy::RoundRobin)
+            .arrange(ArrangePolicy::Fcfs)
+            .eviction(crate::evict::EvictionPolicy::Lru)
+            .build();
+        let g = Engine::new(&device, &model, &perf, &grouped).unwrap().run(&stream);
+        let f = Engine::new(&device, &model, &perf, &fcfs).unwrap().run(&stream);
+        assert!(
+            g.expert_switches() < f.expert_switches(),
+            "grouped {} vs fcfs {}",
+            g.expert_switches(),
+            f.expert_switches()
+        );
+        assert!(g.throughput_ips() > f.throughput_ips());
+    }
+
+    #[test]
+    fn oversized_expert_fails_gracefully() {
+        let (device, model, perf, stream) = setup(10, 20);
+        // One GPU executor with a pool fraction so small no ResNet fits.
+        let config = SystemConfig::builder("tiny")
+            .gpu_executors(1)
+            .memory(crate::config::MemoryPlan {
+                gpu_resident_experts: Some(0),
+                ..Default::default()
+            })
+            .preload(false)
+            .build();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let report = engine.run(&stream);
+        // Nothing fits in a zero-expert pool: every job fails, none hang.
+        assert_eq!(report.completed + report.failed, 20);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn missing_kernel_is_a_construction_error() {
+        let (_, model, perf, _) = setup(10, 10);
+        let bare = DeviceProfile::numa_rtx3080ti(); // no kernels installed
+        let config = coserve_config();
+        let err = Engine::new(&bare, &model, &perf, &config).unwrap_err();
+        assert!(matches!(err, EngineError::MissingKernel(_, _)));
+        assert!(err.to_string().contains("no kernel"));
+    }
+
+    #[test]
+    fn perf_mismatch_is_a_construction_error() {
+        let (device, model, _, _) = setup(10, 10);
+        let wrong = PerfMatrix::new("dev", std::collections::BTreeMap::new(), vec![0.1], vec![1.0]);
+        let config = coserve_config();
+        let err = Engine::new(&device, &model, &wrong, &config).unwrap_err();
+        assert!(matches!(err, EngineError::PerfModelMismatch { .. }));
+    }
+
+    #[test]
+    fn switch_events_record_sources() {
+        let (device, model, perf, stream) = setup(60, 500);
+        let config = coserve_config();
+        let report = Engine::new(&device, &model, &perf, &config).unwrap().run(&stream);
+        // With 60 ResNet experts and small pools there must be switching.
+        assert!(report.expert_switches() > 0);
+        for ev in &report.switch_events {
+            assert!(ev.source == MemoryTier::Ssd || ev.source == MemoryTier::Cpu);
+            assert!(ev.executor < config.executors.len());
+        }
+        // Makespan covers the last switch.
+        let last = report.switch_events.last().unwrap();
+        assert!(last.at <= SimTime::ZERO + report.makespan);
+    }
+
+    #[test]
+    fn memory_layout_respects_uma_unified_pool() {
+        let board = BoardSpec::synthetic("uma", 20, 3, 1.2, 40.0, 0.5);
+        let model = board.build_model().unwrap();
+        let device = devices::uma_apple_m2();
+        let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+        let config = SystemConfig::builder("uma").gpu_executors(2).cpu_executors(1).build();
+        let layout = plan_memory(&device, &model, &perf, &config);
+        assert_eq!(layout.cache, Bytes::ZERO, "UMA has no staging cache");
+        let total: Bytes = layout
+            .executors
+            .iter()
+            .map(|m| m.pool_capacity + m.workspace)
+            .sum();
+        assert!(total <= device.gpu_usable());
+    }
+
+    #[test]
+    fn cpu_pool_follows_limited_compute_rule() {
+        let (device, model, perf, _) = setup(20, 1);
+        let on = SystemConfig::builder("rule-on").gpu_executors(1).cpu_executors(1).build();
+        let layout_on = plan_memory(&device, &model, &perf, &on);
+        let plan_off = crate::config::MemoryPlan {
+            cpu_max_batch_rule: false,
+            ..Default::default()
+        };
+        let off = SystemConfig::builder("rule-off")
+            .gpu_executors(1)
+            .cpu_executors(1)
+            .memory(plan_off)
+            .build();
+        let layout_off = plan_memory(&device, &model, &perf, &off);
+        // §4.4: with the rule on, the CPU workspace equals exactly the
+        // maximum-batch inference footprint; the pool takes the rest.
+        let reserve = perf
+            .entries()
+            .filter(|&(_, p, _)| p == ProcessorKind::Cpu)
+            .map(|(_, _, e)| e.workspace + e.per_item * u64::from(e.max_batch))
+            .max()
+            .unwrap();
+        let cpu_on = layout_on.executors[1];
+        assert_eq!(cpu_on.workspace, reserve);
+        // The fraction split reserves more workspace than the rule.
+        let cpu_off = layout_off.executors[1];
+        assert!(cpu_off.workspace > cpu_on.workspace);
+        assert!(cpu_off.pool_capacity < cpu_on.pool_capacity);
+    }
+
+    #[test]
+    fn batching_disabled_runs_singleton_batches() {
+        let (device, model, perf, stream) = setup(15, 80);
+        let config = SystemConfig::builder("no-batch")
+            .gpu_executors(1)
+            .batching(false)
+            .build();
+        let report = Engine::new(&device, &model, &perf, &config).unwrap().run(&stream);
+        assert_eq!(report.completed, 80);
+        let e0 = &report.executors[0];
+        assert_eq!(e0.batches, e0.items, "every batch must be singleton");
+    }
+
+    #[test]
+    fn no_preload_starts_cold() {
+        let (device, model, perf, stream) = setup(15, 60);
+        let cold = SystemConfig::builder("cold").gpu_executors(1).preload(false).build();
+        let warm = SystemConfig::builder("warm").gpu_executors(1).build();
+        let cold_r = Engine::new(&device, &model, &perf, &cold).unwrap().run(&stream);
+        let warm_r = Engine::new(&device, &model, &perf, &warm).unwrap().run(&stream);
+        assert!(
+            cold_r.expert_switches() > warm_r.expert_switches(),
+            "cold {} vs warm {}",
+            cold_r.expert_switches(),
+            warm_r.expert_switches()
+        );
+        assert_eq!(cold_r.completed, 60);
+    }
+
+    #[test]
+    fn cpu_only_system_serves_everything() {
+        let (device, model, perf, stream) = setup(12, 40);
+        let config = SystemConfig::builder("cpu-only").cpu_executors(2).build();
+        let report = Engine::new(&device, &model, &perf, &config).unwrap().run(&stream);
+        assert_eq!(report.completed, 40);
+        assert!(report.executors.iter().all(|e| e.processor == ProcessorKind::Cpu));
+        // GPU channels untouched.
+        let gpu = report.channels.iter().find(|c| c.name == "gpu-compute").unwrap();
+        assert_eq!(gpu.reservations, 0);
+    }
+
+    #[test]
+    fn lfu_policy_is_wired_through_the_engine() {
+        let (device, model, perf, stream) = setup(40, 300);
+        let lfu = SystemConfig::builder("lfu")
+            .gpu_executors(2)
+            .assign(AssignPolicy::RoundRobin)
+            .arrange(ArrangePolicy::Fcfs)
+            .eviction(crate::evict::EvictionPolicy::Lfu)
+            .build();
+        let lru = SystemConfig::builder("lru")
+            .gpu_executors(2)
+            .assign(AssignPolicy::RoundRobin)
+            .arrange(ArrangePolicy::Fcfs)
+            .eviction(crate::evict::EvictionPolicy::Lru)
+            .build();
+        let lfu_r = Engine::new(&device, &model, &perf, &lfu).unwrap().run(&stream);
+        let lru_r = Engine::new(&device, &model, &perf, &lru).unwrap().run(&stream);
+        assert_eq!(lfu_r.completed, 300);
+        assert_ne!(lfu_r.switch_events, lru_r.switch_events);
+    }
+
+    #[test]
+    fn scheduling_cost_delays_but_does_not_block() {
+        let (device, model, perf, stream) = setup(60, 300);
+        let slow = SystemConfig::builder("slow-sched")
+            .gpu_executors(2)
+            .scheduling_cost(SimSpan::from_millis(8))
+            .build();
+        let fast = slow.pre_scheduled();
+        let slow_r = Engine::new(&device, &model, &perf, &slow).unwrap().run(&stream);
+        let fast_r = Engine::new(&device, &model, &perf, &fast).unwrap().run(&stream);
+        assert_eq!(slow_r.completed, 300);
+        // Scheduling latency is recorded.
+        assert!(slow_r.sched_summary().unwrap().mean >= 8.0);
+        assert!(fast_r.sched_summary().unwrap().mean < 1e-9);
+        // The gap stays small: scheduling pipelines with inference.
+        let gap = (fast_r.throughput_ips() - slow_r.throughput_ips()).abs()
+            / fast_r.throughput_ips();
+        assert!(gap < 0.2, "scheduling overhead gap {gap:.3}");
+    }
+}

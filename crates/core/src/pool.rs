@@ -1,0 +1,308 @@
+//! Per-executor model pools.
+//!
+//! Each inference executor owns a model pool: the set of experts
+//! resident in its share of processor memory (paper Figure 7). The pool
+//! does byte-accurate accounting and keeps the residency metadata the
+//! eviction policies need — insertion sequence (FIFO), last-use time
+//! (LRU), and the resident set itself (dependency-aware eviction).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use coserve_model::expert::ExpertId;
+use coserve_sim::memory::{Bytes, MemoryPool};
+use coserve_sim::time::SimTime;
+
+/// Residency metadata for one loaded expert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resident {
+    /// The expert's checkpoint size.
+    pub bytes: Bytes,
+    /// When the expert finished loading.
+    pub loaded_at: SimTime,
+    /// Monotone insertion sequence (FIFO order).
+    pub seq: u64,
+    /// Last time a batch used the expert.
+    pub last_used: SimTime,
+    /// How many batches have used the expert since it was loaded.
+    pub uses: u64,
+}
+
+/// Error returned when an expert cannot be inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The expert is already resident.
+    AlreadyResident(ExpertId),
+    /// Not enough free capacity; holds the shortfall.
+    Insufficient {
+        /// The expert that failed to fit.
+        expert: ExpertId,
+        /// Bytes missing after using all free capacity.
+        shortfall: Bytes,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::AlreadyResident(e) => write!(f, "{e} is already resident"),
+            PoolError::Insufficient { expert, shortfall } => {
+                write!(f, "{expert} does not fit: {shortfall} short")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A model pool: experts resident in one executor's memory share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelPool {
+    memory: MemoryPool,
+    residents: BTreeMap<ExpertId, Resident>,
+    next_seq: u64,
+}
+
+impl ModelPool {
+    /// Creates an empty pool with the given byte capacity.
+    #[must_use]
+    pub fn new(capacity: Bytes) -> Self {
+        ModelPool {
+            memory: MemoryPool::new(capacity),
+            residents: BTreeMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Pool capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> Bytes {
+        self.memory.capacity()
+    }
+
+    /// Bytes currently occupied by residents.
+    #[must_use]
+    pub fn used(&self) -> Bytes {
+        self.memory.used()
+    }
+
+    /// Free capacity.
+    #[must_use]
+    pub fn available(&self) -> Bytes {
+        self.memory.available()
+    }
+
+    /// Peak occupancy over the pool's lifetime.
+    #[must_use]
+    pub fn peak(&self) -> Bytes {
+        self.memory.peak()
+    }
+
+    /// Number of resident experts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Whether no experts are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.residents.is_empty()
+    }
+
+    /// Whether `expert` is resident.
+    #[must_use]
+    pub fn contains(&self, expert: ExpertId) -> bool {
+        self.residents.contains_key(&expert)
+    }
+
+    /// Whether an expert of the given size would fit right now.
+    #[must_use]
+    pub fn fits(&self, bytes: Bytes) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Residency metadata for `expert`, if resident.
+    #[must_use]
+    pub fn resident(&self, expert: ExpertId) -> Option<&Resident> {
+        self.residents.get(&expert)
+    }
+
+    /// Iterates residents in expert-id order (deterministic).
+    pub fn residents(&self) -> impl Iterator<Item = (ExpertId, &Resident)> {
+        self.residents.iter().map(|(&e, r)| (e, r))
+    }
+
+    /// Inserts `expert` with the given size.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::AlreadyResident`] when the expert is loaded,
+    /// [`PoolError::Insufficient`] when it does not fit (the caller must
+    /// evict first).
+    pub fn insert(&mut self, expert: ExpertId, bytes: Bytes, now: SimTime) -> Result<(), PoolError> {
+        if self.contains(expert) {
+            return Err(PoolError::AlreadyResident(expert));
+        }
+        self.memory.allocate(bytes).map_err(|e| PoolError::Insufficient {
+            expert,
+            shortfall: bytes.saturating_sub(e.available),
+        })?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.residents.insert(
+            expert,
+            Resident {
+                bytes,
+                loaded_at: now,
+                seq,
+                last_used: now,
+                uses: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes `expert`, returning its metadata (or `None` if absent).
+    pub fn remove(&mut self, expert: ExpertId) -> Option<Resident> {
+        let meta = self.residents.remove(&expert)?;
+        self.memory.free(meta.bytes);
+        Some(meta)
+    }
+
+    /// Marks `expert` as used at `now` (LRU bookkeeping).
+    ///
+    /// Touching an absent expert is an engine bug; flagged in debug
+    /// builds and ignored in release builds.
+    pub fn touch(&mut self, expert: ExpertId, now: SimTime) {
+        if let Some(meta) = self.residents.get_mut(&expert) {
+            meta.last_used = now;
+            meta.uses += 1;
+        } else {
+            debug_assert!(false, "touched non-resident expert {expert}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + coserve_sim::time::SimSpan::from_millis(ms)
+    }
+    fn e(i: u32) -> ExpertId {
+        ExpertId(i)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut p = ModelPool::new(Bytes::mib(500));
+        assert!(p.is_empty());
+        p.insert(e(1), Bytes::mib(170), t(0)).unwrap();
+        p.insert(e(2), Bytes::mib(170), t(1)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(e(1)));
+        assert_eq!(p.used(), Bytes::mib(340));
+        assert_eq!(p.available(), Bytes::mib(160));
+        let meta = p.remove(e(1)).unwrap();
+        assert_eq!(meta.bytes, Bytes::mib(170));
+        assert!(!p.contains(e(1)));
+        assert_eq!(p.used(), Bytes::mib(170));
+        assert_eq!(p.peak(), Bytes::mib(340));
+        assert!(p.remove(e(9)).is_none());
+    }
+
+    #[test]
+    fn double_insert_is_rejected() {
+        let mut p = ModelPool::new(Bytes::mib(500));
+        p.insert(e(1), Bytes::mib(100), t(0)).unwrap();
+        assert_eq!(
+            p.insert(e(1), Bytes::mib(100), t(1)),
+            Err(PoolError::AlreadyResident(e(1)))
+        );
+        assert_eq!(p.used(), Bytes::mib(100));
+    }
+
+    #[test]
+    fn insufficient_reports_shortfall() {
+        let mut p = ModelPool::new(Bytes::mib(200));
+        p.insert(e(1), Bytes::mib(150), t(0)).unwrap();
+        match p.insert(e(2), Bytes::mib(170), t(1)) {
+            Err(PoolError::Insufficient { expert, shortfall }) => {
+                assert_eq!(expert, e(2));
+                assert_eq!(shortfall, Bytes::mib(120));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(PoolError::Insufficient {
+            expert: e(2),
+            shortfall: Bytes::mib(120)
+        }
+        .to_string()
+        .contains("short"));
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone_across_reinsert() {
+        let mut p = ModelPool::new(Bytes::mib(500));
+        p.insert(e(1), Bytes::mib(10), t(0)).unwrap();
+        let s1 = p.resident(e(1)).unwrap().seq;
+        p.remove(e(1));
+        p.insert(e(1), Bytes::mib(10), t(5)).unwrap();
+        let s2 = p.resident(e(1)).unwrap().seq;
+        assert!(s2 > s1, "re-insertion must advance FIFO order");
+    }
+
+    #[test]
+    fn touch_updates_last_used_only() {
+        let mut p = ModelPool::new(Bytes::mib(500));
+        p.insert(e(1), Bytes::mib(10), t(0)).unwrap();
+        p.touch(e(1), t(9));
+        let meta = p.resident(e(1)).unwrap();
+        assert_eq!(meta.last_used, t(9));
+        assert_eq!(meta.loaded_at, t(0));
+        assert_eq!(meta.uses, 1);
+        p.touch(e(1), t(10));
+        assert_eq!(p.resident(e(1)).unwrap().uses, 2);
+    }
+
+    #[test]
+    fn residents_iterate_in_id_order() {
+        let mut p = ModelPool::new(Bytes::gib(1));
+        for i in [5u32, 1, 3] {
+            p.insert(e(i), Bytes::mib(1), t(0)).unwrap();
+        }
+        let ids: Vec<ExpertId> = p.residents().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![e(1), e(3), e(5)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pool accounting matches the sum of resident sizes under any
+        /// insert/remove interleaving.
+        #[test]
+        fn accounting_is_exact(
+            ops in proptest::collection::vec((any::<bool>(), 0u32..12, 1u64..64), 0..60),
+        ) {
+            let mut pool = ModelPool::new(Bytes::mib(256));
+            for (insert, id, size_mib) in ops {
+                let expert = ExpertId(id);
+                if insert {
+                    let _ = pool.insert(expert, Bytes::mib(size_mib), SimTime::ZERO);
+                } else {
+                    pool.remove(expert);
+                }
+                let expected: Bytes = pool.residents().map(|(_, r)| r.bytes).sum();
+                prop_assert_eq!(pool.used(), expected);
+                prop_assert!(pool.used() <= pool.capacity());
+                prop_assert_eq!(pool.len(), pool.residents().count());
+            }
+        }
+    }
+}

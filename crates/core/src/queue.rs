@@ -1,0 +1,291 @@
+//! Executor request queues.
+//!
+//! Each executor owns an ordered queue of pending requests. CoServe's
+//! *request arranging* (§4.2) inserts a new request immediately after
+//! the last queued request that uses the same expert, so same-expert
+//! requests form contiguous runs; the batch splitter then peels
+//! maximal same-expert prefixes bounded by the current maximum
+//! executable batch size.
+
+use std::collections::VecDeque;
+
+use coserve_model::expert::ExpertId;
+use coserve_sim::time::SimTime;
+use coserve_workload::stream::JobId;
+
+/// One queued inference request (a single stage of a job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// The owning job.
+    pub job: JobId,
+    /// Which stage of the job this is (0-based).
+    pub stage: u8,
+    /// The expert this stage needs.
+    pub expert: ExpertId,
+    /// When the stage became ready (job arrival or previous-stage
+    /// completion).
+    pub ready_at: SimTime,
+}
+
+/// An ordered queue of pending requests with grouped insertion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorQueue {
+    items: VecDeque<PendingRequest>,
+}
+
+impl ExecutorQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        ExecutorQueue::default()
+    }
+
+    /// Number of queued requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Appends at the tail (FCFS order — the baselines' behaviour).
+    pub fn push_back(&mut self, req: PendingRequest) {
+        self.items.push_back(req);
+    }
+
+    /// Inserts `req` directly after the last queued request using the
+    /// same expert, or at the tail if none exists — CoServe's request
+    /// arranging (§4.2).
+    pub fn insert_grouped(&mut self, req: PendingRequest) {
+        match self.items.iter().rposition(|r| r.expert == req.expert) {
+            Some(idx) => self.items.insert(idx + 1, req),
+            None => self.items.push_back(req),
+        }
+    }
+
+    /// The expert needed by the queue head, if any.
+    #[must_use]
+    pub fn front_expert(&self) -> Option<ExpertId> {
+        self.items.front().map(|r| r.expert)
+    }
+
+    /// Removes and returns the maximal same-expert prefix, capped at
+    /// `max_batch` requests — the batch splitter's unit of work.
+    ///
+    /// Returns an empty vector when the queue is empty or `max_batch`
+    /// is zero.
+    pub fn pop_front_group(&mut self, max_batch: u32) -> Vec<PendingRequest> {
+        let Some(expert) = self.front_expert() else {
+            return Vec::new();
+        };
+        let mut batch = Vec::new();
+        while batch.len() < max_batch as usize {
+            match self.items.front() {
+                Some(r) if r.expert == expert => {
+                    batch.push(self.items.pop_front().expect("front exists"));
+                }
+                _ => break,
+            }
+        }
+        batch
+    }
+
+    /// Iterates queued requests front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingRequest> {
+        self.items.iter()
+    }
+
+    /// Iterates the queue as contiguous same-expert runs:
+    /// `(expert, run length)` — the unit of latency prediction.
+    #[must_use]
+    pub fn runs(&self) -> Vec<(ExpertId, u32)> {
+        let mut out: Vec<(ExpertId, u32)> = Vec::new();
+        for r in &self.items {
+            match out.last_mut() {
+                Some((e, n)) if *e == r.expert => *n += 1,
+                _ => out.push((r.expert, 1)),
+            }
+        }
+        out
+    }
+
+    /// Whether any queued request uses `expert`.
+    #[must_use]
+    pub fn contains_expert(&self, expert: ExpertId) -> bool {
+        self.items.iter().any(|r| r.expert == expert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(job: u32, expert: u32) -> PendingRequest {
+        PendingRequest {
+            job: JobId(job),
+            stage: 0,
+            expert: ExpertId(expert),
+            ready_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn push_back_preserves_fcfs() {
+        let mut q = ExecutorQueue::new();
+        q.push_back(req(0, 5));
+        q.push_back(req(1, 7));
+        q.push_back(req(2, 5));
+        let order: Vec<u32> = q.iter().map(|r| r.job.0).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(q.front_expert(), Some(ExpertId(5)));
+    }
+
+    #[test]
+    fn grouped_insert_joins_existing_run() {
+        let mut q = ExecutorQueue::new();
+        q.push_back(req(0, 5));
+        q.push_back(req(1, 7));
+        q.insert_grouped(req(2, 5)); // joins job 0's run
+        let experts: Vec<u32> = q.iter().map(|r| r.expert.0).collect();
+        assert_eq!(experts, vec![5, 5, 7]);
+        let jobs: Vec<u32> = q.iter().map(|r| r.job.0).collect();
+        assert_eq!(jobs, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn grouped_insert_after_last_same_expert_occurrence() {
+        let mut q = ExecutorQueue::new();
+        q.push_back(req(0, 5));
+        q.push_back(req(1, 7));
+        q.push_back(req(2, 5)); // second run of expert 5 (FCFS made it so)
+        q.insert_grouped(req(3, 5));
+        let jobs: Vec<u32> = q.iter().map(|r| r.job.0).collect();
+        // Joins the LAST run of expert 5.
+        assert_eq!(jobs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn grouped_insert_without_match_appends() {
+        let mut q = ExecutorQueue::new();
+        q.push_back(req(0, 5));
+        q.insert_grouped(req(1, 9));
+        let experts: Vec<u32> = q.iter().map(|r| r.expert.0).collect();
+        assert_eq!(experts, vec![5, 9]);
+    }
+
+    #[test]
+    fn pop_front_group_respects_expert_boundary() {
+        let mut q = ExecutorQueue::new();
+        for (j, e) in [(0, 5), (1, 5), (2, 5), (3, 7)] {
+            q.push_back(req(j, e));
+        }
+        let batch = q.pop_front_group(10);
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|r| r.expert == ExpertId(5)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.front_expert(), Some(ExpertId(7)));
+    }
+
+    #[test]
+    fn pop_front_group_respects_max_batch() {
+        let mut q = ExecutorQueue::new();
+        for j in 0..6 {
+            q.push_back(req(j, 5));
+        }
+        let batch = q.pop_front_group(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(q.len(), 2);
+        // Zero max batch yields nothing and removes nothing.
+        assert!(q.pop_front_group(0).is_empty());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_from_empty_queue() {
+        let mut q = ExecutorQueue::new();
+        assert!(q.pop_front_group(8).is_empty());
+        assert_eq!(q.front_expert(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn runs_report_contiguous_groups() {
+        let mut q = ExecutorQueue::new();
+        for (j, e) in [(0, 5), (1, 5), (2, 7), (3, 5)] {
+            q.push_back(req(j, e));
+        }
+        assert_eq!(
+            q.runs(),
+            vec![
+                (ExpertId(5), 2),
+                (ExpertId(7), 1),
+                (ExpertId(5), 1)
+            ]
+        );
+        assert!(q.contains_expert(ExpertId(7)));
+        assert!(!q.contains_expert(ExpertId(9)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After arbitrary grouped insertions into an empty queue,
+        /// same-expert requests are contiguous (single run per expert).
+        #[test]
+        fn grouped_insert_keeps_experts_contiguous(
+            experts in proptest::collection::vec(0u32..8, 1..60),
+        ) {
+            let mut q = ExecutorQueue::new();
+            for (j, &e) in experts.iter().enumerate() {
+                q.insert_grouped(PendingRequest {
+                    job: JobId(j as u32),
+                    stage: 0,
+                    expert: ExpertId(e),
+                    ready_at: SimTime::ZERO,
+                });
+            }
+            let runs = q.runs();
+            let mut seen = std::collections::BTreeSet::new();
+            for (e, _) in runs {
+                prop_assert!(seen.insert(e), "expert {e} appears in two runs");
+            }
+            prop_assert_eq!(q.len(), experts.len());
+        }
+
+        /// Popping groups drains the queue completely and yields only
+        /// same-expert batches.
+        #[test]
+        fn pop_groups_drain_queue(
+            experts in proptest::collection::vec(0u32..6, 1..40),
+            max_batch in 1u32..8,
+        ) {
+            let mut q = ExecutorQueue::new();
+            for (j, &e) in experts.iter().enumerate() {
+                q.push_back(PendingRequest {
+                    job: JobId(j as u32),
+                    stage: 0,
+                    expert: ExpertId(e),
+                    ready_at: SimTime::ZERO,
+                });
+            }
+            let mut popped = 0;
+            while !q.is_empty() {
+                let batch = q.pop_front_group(max_batch);
+                prop_assert!(!batch.is_empty());
+                prop_assert!(batch.len() <= max_batch as usize);
+                let first = batch[0].expert;
+                prop_assert!(batch.iter().all(|r| r.expert == first));
+                popped += batch.len();
+            }
+            prop_assert_eq!(popped, experts.len());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The serving-system facade.
+//!
+//! [`ServingSystem`] ties the pieces together the way Figure 7 does:
+//! offline profiling produces the performance matrix, initialization
+//! creates executors and preloads experts, and `serve` runs the online
+//! phase. Baseline systems are the same facade with different
+//! [`SystemConfig`]s.
+//!
+//! ```no_run
+//! use coserve_core::prelude::*;
+//! use coserve_model::devices;
+//! use coserve_workload::task::TaskSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let device = devices::numa_rtx3080ti();
+//! let task = TaskSpec::a1();
+//! let model = task.build_model()?;
+//! let config = presets::coserve(&device);
+//! let system = ServingSystem::new(device, model, config)?;
+//! let report = system.serve(&task.stream(system.model()));
+//! println!("{}", report.summary_line());
+//! # Ok(())
+//! # }
+//! ```
+
+use coserve_metrics::report::RunReport;
+use coserve_model::coe::CoeModel;
+use coserve_sim::device::DeviceProfile;
+use coserve_workload::stream::RequestStream;
+
+use crate::config::SystemConfig;
+use crate::engine::{Engine, EngineError, MemoryLayout};
+use crate::perf::PerfMatrix;
+use crate::profiler::{Profiler, UsageSource};
+
+/// A ready-to-serve system: device, model, offline measurements and
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct ServingSystem {
+    device: DeviceProfile,
+    model: CoeModel,
+    perf: PerfMatrix,
+    config: SystemConfig,
+}
+
+impl ServingSystem {
+    /// Builds a system, running the offline profiler with declared
+    /// usage probabilities (§4.5's predefined-rules case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the device lacks kernels for the
+    /// model's architectures on a configured processor.
+    pub fn new(
+        device: DeviceProfile,
+        model: CoeModel,
+        config: SystemConfig,
+    ) -> Result<Self, EngineError> {
+        let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+        Self::with_matrix(device, model, perf, config)
+    }
+
+    /// Builds a system from an existing performance matrix (e.g. to
+    /// share one profiling pass across many configurations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the matrix or device does not cover
+    /// the configuration.
+    pub fn with_matrix(
+        device: DeviceProfile,
+        model: CoeModel,
+        perf: PerfMatrix,
+        config: SystemConfig,
+    ) -> Result<Self, EngineError> {
+        // Validate eagerly; Engine::new borrows, so scope the check.
+        Engine::new(&device, &model, &perf, &config)?;
+        Ok(ServingSystem {
+            device,
+            model,
+            perf,
+            config,
+        })
+    }
+
+    /// The device profile.
+    #[must_use]
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The CoE model.
+    #[must_use]
+    pub fn model(&self) -> &CoeModel {
+        &self.model
+    }
+
+    /// The offline measurements.
+    #[must_use]
+    pub fn perf(&self) -> &PerfMatrix {
+        &self.perf
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (revalidating it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the new configuration is not
+    /// servable on this device/model.
+    pub fn reconfigure(&mut self, config: SystemConfig) -> Result<(), EngineError> {
+        Engine::new(&self.device, &self.model, &self.perf, &config)?;
+        self.config = config;
+        Ok(())
+    }
+
+    /// The memory layout initialization would use.
+    #[must_use]
+    pub fn memory_layout(&self) -> MemoryLayout {
+        self.engine().memory_layout()
+    }
+
+    /// Serves a request stream to completion.
+    #[must_use]
+    pub fn serve(&self, stream: &RequestStream) -> RunReport {
+        self.engine().run(stream)
+    }
+
+    fn engine(&self) -> Engine<'_> {
+        Engine::new(&self.device, &self.model, &self.perf, &self.config)
+            .expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use coserve_model::devices;
+    use coserve_workload::task::TaskSpec;
+
+    #[test]
+    fn facade_round_trip() {
+        let device = devices::numa_rtx3080ti();
+        let task = TaskSpec::a1().scaled(0.02); // 50 requests
+        let model = task.build_model().unwrap();
+        let config = presets::coserve(&device);
+        let system = ServingSystem::new(device, model, config).unwrap();
+        let stream = task.stream(system.model());
+        let report = system.serve(&stream);
+        assert_eq!(report.completed, 50);
+        assert_eq!(report.system, "CoServe");
+        assert!(system.memory_layout().cache > coserve_sim::memory::Bytes::ZERO);
+        assert_eq!(system.perf().num_experts(), system.model().num_experts());
+    }
+
+    #[test]
+    fn reconfigure_revalidates() {
+        let device = devices::uma_apple_m2();
+        let task = TaskSpec::b1().scaled(0.01);
+        let model = task.build_model().unwrap();
+        let mut system =
+            ServingSystem::new(device, model, presets::coserve_casual(&devices::uma_apple_m2()))
+                .unwrap();
+        let new = presets::coserve(system.device()).renamed("renamed");
+        system.reconfigure(new).unwrap();
+        assert_eq!(system.config().name, "renamed");
+    }
+
+    #[test]
+    fn construction_fails_without_kernels() {
+        let bare = coserve_sim::device::DeviceProfile::numa_rtx3080ti();
+        let task = TaskSpec::a1().scaled(0.01);
+        let model = task.build_model().unwrap();
+        let config = presets::coserve(&bare);
+        // Profiling itself needs kernels; with_matrix path reports the
+        // engine error instead of panicking.
+        let perf = PerfMatrix::from_model_with("bare", &model, |_, _| None);
+        assert!(ServingSystem::with_matrix(bare, model, perf, config).is_err());
+    }
+}

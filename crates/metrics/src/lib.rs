@@ -1,0 +1,27 @@
+//! # coserve-metrics
+//!
+//! Measurement and reporting for CoServe runs: [`report::RunReport`]
+//! (throughput, expert switches, latency ledgers — the quantities in
+//! the paper's Figures 13–16 and 19), descriptive statistics and the
+//! `K·n + B` linear fit used by the offline profiler (§4.5), and
+//! dependency-free table/CSV/series rendering for the figure harness.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+pub mod series;
+pub mod stats;
+pub mod table;
+pub mod timeline;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::report::{ExecutorReport, RunReport, SwitchEvent};
+    pub use crate::series::{FigureData, Series};
+    pub use crate::stats::{linear_fit, percentile, LinFit, Summary};
+    pub use crate::table::{fmt_f64, Table};
+    pub use crate::timeline::{Timeline, TimelineBucket};
+}
+
+pub use prelude::*;

@@ -1,0 +1,283 @@
+//! Run reports.
+//!
+//! Every serving run produces a [`RunReport`]: the throughput and
+//! expert-switch counts the paper's Figures 13–16 plot, plus the
+//! latency ledgers behind Figure 19 and per-executor accounting for
+//! debugging and utilization analysis.
+
+use coserve_model::expert::ExpertId;
+use coserve_sim::device::ProcessorKind;
+use coserve_sim::memory::{Bytes, MemoryTier};
+use coserve_sim::time::{SimSpan, SimTime};
+
+use crate::stats::Summary;
+
+/// One expert load into an executor's model pool after initialization —
+/// an "expert switch" in the paper's accounting (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchEvent {
+    /// When the switch started.
+    pub at: SimTime,
+    /// Index of the executor that loaded the expert.
+    pub executor: usize,
+    /// The expert that was loaded.
+    pub expert: ExpertId,
+    /// Where the expert came from ([`MemoryTier::Cpu`] = staging cache,
+    /// [`MemoryTier::Ssd`] = cold load).
+    pub source: MemoryTier,
+    /// End-to-end load duration.
+    pub duration: SimSpan,
+}
+
+/// Per-executor accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorReport {
+    /// Executor index (stable across the run).
+    pub index: usize,
+    /// Which processor the executor ran on.
+    pub processor: ProcessorKind,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests (batch items) executed.
+    pub items: u64,
+    /// Time spent executing batches.
+    pub exec_time: SimSpan,
+    /// Time spent switching experts.
+    pub switch_time: SimSpan,
+    /// Expert switches performed.
+    pub switches: u64,
+    /// Model-pool capacity.
+    pub pool_capacity: Bytes,
+    /// Peak model-pool usage.
+    pub pool_peak: Bytes,
+    /// When the executor completed its last batch.
+    pub finished_at: SimTime,
+}
+
+/// Accounting for one shared hardware channel (GPU compute, DMA, SSD,
+/// CPU compute, scheduler thread).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelReport {
+    /// Channel name.
+    pub name: &'static str,
+    /// Total committed busy time.
+    pub busy: SimSpan,
+    /// Number of reservations served.
+    pub reservations: u64,
+}
+
+/// The outcome of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Serving system name (e.g. "CoServe Best", "Samba-CoE").
+    pub system: String,
+    /// Device name.
+    pub device: String,
+    /// Task name.
+    pub task: String,
+    /// Primary requests submitted.
+    pub submitted: usize,
+    /// Primary requests fully completed (all stages done).
+    pub completed: usize,
+    /// Primary requests that could not be served (e.g. an expert that
+    /// fits in no pool).
+    pub failed: usize,
+    /// Total stages executed (a two-stage job counts twice).
+    pub stages_executed: usize,
+    /// Time from the first arrival to the last completion.
+    pub makespan: SimSpan,
+    /// All expert switches, in order.
+    pub switch_events: Vec<SwitchEvent>,
+    /// Total time executors spent switching.
+    pub switch_time_total: SimSpan,
+    /// Total time executors spent executing.
+    pub exec_time_total: SimSpan,
+    /// Per-job sojourn times (arrival → final-stage completion) for
+    /// completed jobs.
+    pub job_latencies: Vec<SimSpan>,
+    /// Per-request scheduling processing latencies (Figure 19).
+    pub sched_latencies: Vec<SimSpan>,
+    /// Per-executor accounting.
+    pub executors: Vec<ExecutorReport>,
+    /// Shared-channel accounting.
+    pub channels: Vec<ChannelReport>,
+}
+
+impl RunReport {
+    /// Throughput in images (primary requests) per second — the paper's
+    /// headline metric.
+    ///
+    /// Zero when nothing completed or the makespan is empty.
+    #[must_use]
+    pub fn throughput_ips(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// Total number of expert switches (Figure 14's metric).
+    #[must_use]
+    pub fn expert_switches(&self) -> u64 {
+        self.switch_events.len() as u64
+    }
+
+    /// Switches served from the CPU staging cache.
+    #[must_use]
+    pub fn switches_from_cpu(&self) -> u64 {
+        self.switch_events
+            .iter()
+            .filter(|s| s.source == MemoryTier::Cpu)
+            .count() as u64
+    }
+
+    /// Switches served cold from SSD.
+    #[must_use]
+    pub fn switches_from_ssd(&self) -> u64 {
+        self.switch_events
+            .iter()
+            .filter(|s| s.source == MemoryTier::Ssd)
+            .count() as u64
+    }
+
+    /// Summary of job sojourn latencies, if any job completed.
+    #[must_use]
+    pub fn latency_summary(&self) -> Option<Summary> {
+        Summary::of_spans(&self.job_latencies)
+    }
+
+    /// Summary of scheduling latencies, if recorded.
+    #[must_use]
+    pub fn sched_summary(&self) -> Option<Summary> {
+        Summary::of_spans(&self.sched_latencies)
+    }
+
+    /// Mean inference latency per *request* — total execution time
+    /// divided by stages executed (the per-image inference latency of
+    /// Figure 19).
+    #[must_use]
+    pub fn mean_exec_latency_ms(&self) -> f64 {
+        if self.stages_executed == 0 {
+            return 0.0;
+        }
+        self.exec_time_total.as_millis_f64() / self.stages_executed as f64
+    }
+
+    /// A one-line human-readable summary.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} / {} / {}: {:.1} img/s, {} switches ({} SSD, {} cached), makespan {}",
+            self.system,
+            self.device,
+            self.task,
+            self.throughput_ips(),
+            self.expert_switches(),
+            self.switches_from_ssd(),
+            self.switches_from_cpu(),
+            self.makespan
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            system: "CoServe".into(),
+            device: "NUMA".into(),
+            task: "Task A1".into(),
+            submitted: 100,
+            completed: 100,
+            failed: 0,
+            stages_executed: 150,
+            makespan: SimSpan::from_secs(10),
+            switch_events: vec![
+                SwitchEvent {
+                    at: SimTime::ZERO,
+                    executor: 0,
+                    expert: ExpertId(5),
+                    source: MemoryTier::Ssd,
+                    duration: SimSpan::from_millis(800),
+                },
+                SwitchEvent {
+                    at: SimTime::from_nanos(5),
+                    executor: 1,
+                    expert: ExpertId(6),
+                    source: MemoryTier::Cpu,
+                    duration: SimSpan::from_millis(60),
+                },
+            ],
+            switch_time_total: SimSpan::from_millis(860),
+            exec_time_total: SimSpan::from_secs(3),
+            job_latencies: vec![SimSpan::from_millis(40), SimSpan::from_millis(60)],
+            sched_latencies: vec![SimSpan::from_millis(8)],
+            executors: vec![ExecutorReport {
+                index: 0,
+                processor: ProcessorKind::Gpu,
+                batches: 20,
+                items: 100,
+                exec_time: SimSpan::from_secs(2),
+                switch_time: SimSpan::from_millis(800),
+                switches: 1,
+                pool_capacity: Bytes::gib(3),
+                pool_peak: Bytes::gib(2),
+                finished_at: SimTime::ZERO + SimSpan::from_secs(10),
+            }],
+            channels: vec![ChannelReport {
+                name: "gpu-compute",
+                busy: SimSpan::from_secs(2),
+                reservations: 20,
+            }],
+        }
+    }
+
+    #[test]
+    fn throughput_is_completed_over_makespan() {
+        let r = sample_report();
+        assert!((r.throughput_ips() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_of_empty_run_is_zero() {
+        let mut r = sample_report();
+        r.makespan = SimSpan::ZERO;
+        assert_eq!(r.throughput_ips(), 0.0);
+    }
+
+    #[test]
+    fn switch_accounting_by_source() {
+        let r = sample_report();
+        assert_eq!(r.expert_switches(), 2);
+        assert_eq!(r.switches_from_ssd(), 1);
+        assert_eq!(r.switches_from_cpu(), 1);
+    }
+
+    #[test]
+    fn latency_summaries() {
+        let r = sample_report();
+        let lat = r.latency_summary().unwrap();
+        assert!((lat.mean - 50.0).abs() < 1e-9);
+        let sched = r.sched_summary().unwrap();
+        assert_eq!(sched.count, 1);
+        assert!((r.mean_exec_latency_ms() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_line_mentions_key_numbers() {
+        let line = sample_report().summary_line();
+        assert!(line.contains("10.0 img/s"));
+        assert!(line.contains("2 switches"));
+        assert!(line.contains("CoServe"));
+    }
+
+    #[test]
+    fn mean_exec_latency_of_empty_run() {
+        let mut r = sample_report();
+        r.stages_executed = 0;
+        assert_eq!(r.mean_exec_latency_ms(), 0.0);
+    }
+}

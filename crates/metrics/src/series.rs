@@ -1,0 +1,210 @@
+//! Labeled data series for figure regeneration.
+//!
+//! Each paper figure is one or more series of `(x, y)` points (batch
+//! size → latency, resident experts → throughput, …). [`Series`] and
+//! [`FigureData`] carry those points from the harness to stdout/CSV.
+
+use std::fmt::Write as _;
+
+use crate::table::Table;
+
+/// One labeled curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Creates a series from points.
+    #[must_use]
+    pub fn from_points(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The series label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The points in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The y value at the given x, if present (exact match).
+    #[must_use]
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.0 == x).map(|p| p.1)
+    }
+
+    /// The maximum y value, if any.
+    #[must_use]
+    pub fn y_max(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.1).fold(None, |acc, y| {
+            Some(acc.map_or(y, |m: f64| m.max(y)))
+        })
+    }
+}
+
+/// A figure: several series over a shared x axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    name: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureData {
+            name: name.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// The figure's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The series.
+    #[must_use]
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Looks up a series by label.
+    #[must_use]
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label() == label)
+    }
+
+    /// Renders the figure as a long-format table
+    /// (`series, x, y` rows) — the structure the CSV export uses.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            self.name.clone(),
+            &["series", self.x_label.as_str(), self.y_label.as_str()],
+        );
+        for s in &self.series {
+            for &(x, y) in s.points() {
+                t.row(vec![s.label().to_string(), format!("{x}"), format!("{y:.4}")]);
+            }
+        }
+        t
+    }
+
+    /// A compact textual rendering for stdout: one block per series.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.name);
+        let _ = writeln!(out, "   x: {}, y: {}", self.x_label, self.y_label);
+        for s in &self.series {
+            let _ = write!(out, "  {}:", s.label());
+            for &(x, y) in s.points() {
+                let _ = write!(out, " ({x:.6}, {y:.3})");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut s = Series::new("GPU");
+        assert!(s.is_empty());
+        s.push(1.0, 9.1);
+        s.push(2.0, 10.2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[1], (2.0, 10.2));
+        assert_eq!(s.y_at(1.0), Some(9.1));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.y_max(), Some(10.2));
+        assert_eq!(s.label(), "GPU");
+    }
+
+    #[test]
+    fn empty_series_y_max_is_none() {
+        assert_eq!(Series::new("x").y_max(), None);
+    }
+
+    #[test]
+    fn figure_lookup_and_render() {
+        let mut f = FigureData::new("Figure 5", "batch", "latency_ms");
+        f.add(Series::from_points("NUMA", vec![(1.0, 9.1), (2.0, 10.2)]));
+        f.add(Series::from_points("UMA", vec![(1.0, 11.2)]));
+        assert_eq!(f.series().len(), 2);
+        assert!(f.series_by_label("UMA").is_some());
+        assert!(f.series_by_label("???").is_none());
+        let text = f.render();
+        assert!(text.contains("== Figure 5 =="));
+        assert!(text.contains("NUMA"));
+        assert_eq!(f.name(), "Figure 5");
+    }
+
+    #[test]
+    fn figure_to_table_is_long_format() {
+        let mut f = FigureData::new("fig", "x", "y");
+        f.add(Series::from_points("a", vec![(1.0, 2.0), (3.0, 4.0)]));
+        let t = f.to_table();
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("series,x,y"));
+        assert!(csv.contains("a,1,2.0000"));
+    }
+}

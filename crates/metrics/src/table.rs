@@ -1,0 +1,210 @@
+//! Plain-text tables and CSV output.
+//!
+//! The figure harness prints paper-style tables to stdout and writes
+//! CSV files for plotting. Rendering is intentionally dependency-free:
+//! fixed-width columns, right-aligned numbers.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "# {}", self.title);
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+');
+                if numeric {
+                    let _ = write!(s, "{cell:>w$}");
+                } else {
+                    let _ = write!(s, "{cell:<w$}");
+                }
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows, comma-separated with
+    /// quoting of cells containing commas or quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the write.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with `digits` decimal places (harness convenience).
+#[must_use]
+pub fn fmt_f64(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["system", "throughput"]);
+        t.row(vec!["CoServe".into(), "26.3".into()]);
+        t.row(vec!["Samba-CoE".into(), "3.5".into()]);
+        let s = t.render();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("system"));
+        let lines: Vec<&str> = s.lines().collect();
+        // title + header + rule + 2 rows
+        assert_eq!(lines.len(), 5);
+        // Numbers right-aligned under the header.
+        assert!(lines[3].ends_with("26.3"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_round_trip_structure() {
+        let mut t = Table::new("t", &["k", "v"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["beta".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next(), Some("k,v"));
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("coserve-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/out.csv");
+        let mut t = Table::new("t", &["x"]);
+        t.row(vec!["1".into()]);
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f64(2.5625, 2), "2.56");
+        assert_eq!(fmt_f64(10.0, 1), "10.0");
+    }
+}

@@ -1,0 +1,219 @@
+//! Time-bucketed analysis of a run.
+//!
+//! Figures like the paper's switch-count comparison summarize a whole
+//! run in one number; understanding *why* a policy wins usually needs
+//! the time dimension — when do switches cluster, how does the warm-up
+//! phase differ between policies, how loaded is each executor over
+//! time. [`Timeline`] buckets a run's switch events into fixed windows.
+
+use coserve_sim::memory::MemoryTier;
+use coserve_sim::time::{SimSpan, SimTime};
+
+use crate::report::RunReport;
+
+/// One time bucket of activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimelineBucket {
+    /// Expert switches that *started* in this bucket.
+    pub switches: u32,
+    /// Of those, loads served cold from SSD.
+    pub from_ssd: u32,
+    /// Total switch wall time begun in this bucket.
+    pub switch_wall_nanos: u64,
+}
+
+impl TimelineBucket {
+    /// Total switch wall time begun in this bucket.
+    #[must_use]
+    pub fn switch_wall(&self) -> SimSpan {
+        SimSpan::from_nanos(self.switch_wall_nanos)
+    }
+}
+
+/// A run's switch activity bucketed into fixed windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    bucket: SimSpan,
+    buckets: Vec<TimelineBucket>,
+}
+
+impl Timeline {
+    /// Buckets `report`'s switch events into windows of `bucket` width.
+    /// The timeline spans from time zero to the run's makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    #[must_use]
+    pub fn from_report(report: &RunReport, bucket: SimSpan) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        let horizon = report.makespan.max(bucket);
+        let n = horizon.nanos().div_ceil(bucket.nanos()) as usize;
+        let mut buckets = vec![TimelineBucket::default(); n];
+        for ev in &report.switch_events {
+            let idx = (ev.at.nanos() / bucket.nanos()) as usize;
+            let Some(b) = buckets.get_mut(idx) else {
+                continue; // switch started at the very edge of makespan
+            };
+            b.switches += 1;
+            if ev.source == MemoryTier::Ssd {
+                b.from_ssd += 1;
+            }
+            b.switch_wall_nanos = b.switch_wall_nanos.saturating_add(ev.duration.nanos());
+        }
+        Timeline { bucket, buckets }
+    }
+
+    /// The bucket width.
+    #[must_use]
+    pub fn bucket_width(&self) -> SimSpan {
+        self.bucket
+    }
+
+    /// The buckets in time order.
+    #[must_use]
+    pub fn buckets(&self) -> &[TimelineBucket] {
+        &self.buckets
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the timeline is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The start time of bucket `i`.
+    #[must_use]
+    pub fn bucket_start(&self, i: usize) -> SimTime {
+        SimTime::ZERO + self.bucket * i as u64
+    }
+
+    /// Total switches across the whole timeline (equals the report's
+    /// ledger, minus any events starting exactly at the horizon edge).
+    #[must_use]
+    pub fn total_switches(&self) -> u64 {
+        self.buckets.iter().map(|b| u64::from(b.switches)).sum()
+    }
+
+    /// The index of the first bucket after the initial burst: the first
+    /// bucket whose switch count is at most `threshold` of the maximum
+    /// bucket. Serving systems warm up (cold loads of first-seen
+    /// experts) and then settle; this locates the settling point.
+    #[must_use]
+    pub fn warmup_end(&self, threshold: f64) -> Option<usize> {
+        let max = self.buckets.iter().map(|b| b.switches).max()?;
+        if max == 0 {
+            return Some(0);
+        }
+        let limit = (f64::from(max) * threshold.clamp(0.0, 1.0)).floor() as u32;
+        self.buckets.iter().position(|b| b.switches <= limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{RunReport, SwitchEvent};
+    use coserve_model::expert::ExpertId;
+
+    fn report_with_switches(at_ms: &[(u64, MemoryTier)]) -> RunReport {
+        RunReport {
+            system: "t".into(),
+            device: "d".into(),
+            task: "k".into(),
+            submitted: 10,
+            completed: 10,
+            failed: 0,
+            stages_executed: 10,
+            makespan: SimSpan::from_millis(100),
+            switch_events: at_ms
+                .iter()
+                .map(|&(ms, source)| SwitchEvent {
+                    at: SimTime::ZERO + SimSpan::from_millis(ms),
+                    executor: 0,
+                    expert: ExpertId(0),
+                    source,
+                    duration: SimSpan::from_millis(5),
+                })
+                .collect(),
+            switch_time_total: SimSpan::ZERO,
+            exec_time_total: SimSpan::ZERO,
+            job_latencies: vec![],
+            sched_latencies: vec![],
+            executors: vec![],
+            channels: vec![],
+        }
+    }
+
+    #[test]
+    fn buckets_cover_the_makespan() {
+        let r = report_with_switches(&[(5, MemoryTier::Ssd), (15, MemoryTier::Cpu), (95, MemoryTier::Ssd)]);
+        let t = Timeline::from_report(&r, SimSpan::from_millis(10));
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+        assert_eq!(t.bucket_width(), SimSpan::from_millis(10));
+        assert_eq!(t.buckets()[0].switches, 1);
+        assert_eq!(t.buckets()[0].from_ssd, 1);
+        assert_eq!(t.buckets()[1].switches, 1);
+        assert_eq!(t.buckets()[1].from_ssd, 0);
+        assert_eq!(t.buckets()[9].switches, 1);
+        assert_eq!(t.total_switches(), 3);
+        assert_eq!(t.bucket_start(3), SimTime::ZERO + SimSpan::from_millis(30));
+    }
+
+    #[test]
+    fn switch_wall_accumulates() {
+        let r = report_with_switches(&[(5, MemoryTier::Ssd), (6, MemoryTier::Ssd)]);
+        let t = Timeline::from_report(&r, SimSpan::from_millis(10));
+        assert_eq!(t.buckets()[0].switch_wall(), SimSpan::from_millis(10));
+    }
+
+    #[test]
+    fn warmup_detection() {
+        // Burst early, quiet later.
+        let events: Vec<(u64, MemoryTier)> = (0..20)
+            .map(|i| (i, MemoryTier::Ssd))
+            .chain([(50, MemoryTier::Ssd)])
+            .collect();
+        let r = report_with_switches(&events);
+        let t = Timeline::from_report(&r, SimSpan::from_millis(10));
+        // Bucket 0 has 10 switches; warmup ends at the first bucket with
+        // <= 20% of the max.
+        let end = t.warmup_end(0.2).unwrap();
+        assert!(end >= 2, "warmup ended too early: {end}");
+    }
+
+    #[test]
+    fn empty_switches_are_fine() {
+        let r = report_with_switches(&[]);
+        let t = Timeline::from_report(&r, SimSpan::from_millis(10));
+        assert_eq!(t.total_switches(), 0);
+        assert_eq!(t.warmup_end(0.5), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_panics() {
+        let r = report_with_switches(&[]);
+        let _ = Timeline::from_report(&r, SimSpan::ZERO);
+    }
+
+    #[test]
+    fn real_run_timeline_is_consistent() {
+        // Integration-flavoured: a tiny synthetic report from many
+        // events keeps totals consistent.
+        let events: Vec<(u64, MemoryTier)> =
+            (0..97).map(|i| (i, if i % 3 == 0 { MemoryTier::Cpu } else { MemoryTier::Ssd })).collect();
+        let r = report_with_switches(&events);
+        let t = Timeline::from_report(&r, SimSpan::from_millis(7));
+        assert_eq!(t.total_switches(), 97);
+        let ssd: u64 = t.buckets().iter().map(|b| u64::from(b.from_ssd)).sum();
+        assert_eq!(ssd, r.switches_from_ssd());
+    }
+}

@@ -1,0 +1,144 @@
+//! Individual expert models.
+//!
+//! A CoE system is a pool of independently trained expert models. Each
+//! expert has an architecture (shared cost model), a checkpoint of its
+//! own unique weights, and a *pre-assessed usage probability* — the
+//! statistic the paper's expert manager prefers over LRU history (§3.2,
+//! §4.3). Usage probabilities come from the routing rules plus the
+//! deployment's class distribution and are attached during model
+//! construction or by the offline profiler.
+
+use std::fmt;
+
+use coserve_sim::device::ArchId;
+
+/// Identifies one expert. Expert ids are dense indices into the owning
+/// [`crate::coe::CoeModel`]'s expert table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExpertId(pub u32);
+
+impl ExpertId {
+    /// The id as a usize index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ExpertId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expert#{}", self.0)
+    }
+}
+
+/// One expert model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expert {
+    id: ExpertId,
+    name: String,
+    arch: ArchId,
+    usage_prob: f64,
+}
+
+impl Expert {
+    /// Creates an expert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usage_prob` is negative or NaN. (Values above 1 are
+    /// permitted: shared subsequent experts can be "used" by several
+    /// chains and the manager only ever *compares* probabilities.)
+    #[must_use]
+    pub fn new(id: ExpertId, name: impl Into<String>, arch: ArchId, usage_prob: f64) -> Self {
+        assert!(
+            usage_prob >= 0.0 && !usage_prob.is_nan(),
+            "usage probability must be a non-negative number"
+        );
+        Expert {
+            id,
+            name: name.into(),
+            arch,
+            usage_prob,
+        }
+    }
+
+    /// The expert's id.
+    #[must_use]
+    pub fn id(&self) -> ExpertId {
+        self.id
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The expert's architecture (keys its cost model).
+    #[must_use]
+    pub fn arch(&self) -> ArchId {
+        self.arch
+    }
+
+    /// The pre-assessed probability that an incoming request uses this
+    /// expert (§4.5).
+    #[must_use]
+    pub fn usage_prob(&self) -> f64 {
+        self.usage_prob
+    }
+
+    /// Replaces the usage probability; used when the offline profiler
+    /// re-estimates probabilities empirically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or NaN input.
+    pub fn set_usage_prob(&mut self, p: f64) {
+        assert!(p >= 0.0 && !p.is_nan(), "usage probability must be a non-negative number");
+        self.usage_prob = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::RESNET101;
+
+    #[test]
+    fn construction_and_accessors() {
+        let e = Expert::new(ExpertId(3), "cls-r47", RESNET101, 0.02);
+        assert_eq!(e.id(), ExpertId(3));
+        assert_eq!(e.id().index(), 3);
+        assert_eq!(e.name(), "cls-r47");
+        assert_eq!(e.arch(), RESNET101);
+        assert!((e.usage_prob() - 0.02).abs() < 1e-12);
+        assert_eq!(e.id().to_string(), "expert#3");
+    }
+
+    #[test]
+    fn usage_prob_can_be_updated() {
+        let mut e = Expert::new(ExpertId(0), "x", RESNET101, 0.5);
+        e.set_usage_prob(0.25);
+        assert!((e.usage_prob() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_experts_may_exceed_unity() {
+        // A detection expert shared by many chains can accumulate > 1.
+        let e = Expert::new(ExpertId(1), "det", RESNET101, 1.4);
+        assert!(e.usage_prob() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_prob_panics() {
+        let _ = Expert::new(ExpertId(0), "x", RESNET101, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nan_prob_panics() {
+        let mut e = Expert::new(ExpertId(0), "x", RESNET101, 0.1);
+        e.set_usage_prob(f64::NAN);
+    }
+}

@@ -1,0 +1,200 @@
+//! The discrete-event queue.
+//!
+//! A simulation run is a loop over an [`EventQueue`]: pop the earliest
+//! event, advance the clock to its timestamp, handle it, possibly push
+//! more events. Events at the same timestamp pop in insertion order
+//! (FIFO), which makes runs fully deterministic — an essential property
+//! for reproducing schedules and for the determinism tests.
+//!
+//! ```
+//! use coserve_sim::events::EventQueue;
+//! use coserve_sim::time::SimTime;
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_nanos(20), "late");
+//! q.push(SimTime::from_nanos(10), "early");
+//! assert_eq!(q.pop().unwrap().payload, "early");
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event: a timestamp plus an arbitrary payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone insertion index; breaks timestamp ties FIFO.
+    pub seq: u64,
+    /// The event itself.
+    pub payload: E,
+}
+
+/// Internal heap entry ordered as a min-heap on `(at, seq)`.
+#[derive(Debug)]
+struct Entry<E>(Scheduled<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the earliest first.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    ///
+    /// Scheduling in the past (before the last popped timestamp) is a
+    /// logic error in the engine; it is tolerated here (the event fires
+    /// "now") but flagged in debug builds.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "event scheduled at {at} before current time {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(Scheduled {
+            at: at.max(self.last_popped),
+            seq,
+            payload,
+        }));
+    }
+
+    /// Removes and returns the earliest event, advancing the internal
+    /// notion of "now".
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop()?;
+        self.last_popped = entry.0.at;
+        Some(entry.0)
+    }
+
+    /// The timestamp of the next event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The timestamp of the most recently popped event.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimSpan;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(3), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(40), 4);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        // Push between the pops; still after "now".
+        q.push(q.now() + SimSpan::from_nanos(5), 2);
+        q.push(q.now() + SimSpan::from_nanos(6), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![2, 3, 4]);
+    }
+}

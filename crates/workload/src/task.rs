@@ -1,0 +1,255 @@
+//! Evaluation tasks.
+//!
+//! The paper delineates four tasks (§5.1): 2,500 or 3,500 continuously
+//! arriving requests from Circuit Board A or B, one component image
+//! every 4 ms. [`TaskSpec`] bundles a board, a request count, the
+//! arrival interval and a seed; [`TaskSpec::stream`] materializes the
+//! jobs.
+
+use coserve_model::coe::{CoeModel, ModelError};
+use coserve_sim::time::SimSpan;
+
+use crate::board::BoardSpec;
+use crate::stream::{RequestStream, StreamOrder};
+
+/// The production arrival interval: one component image every 4 ms.
+pub const PAPER_ARRIVAL_INTERVAL: SimSpan = SimSpan::from_millis(4);
+
+/// One evaluation task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    name: String,
+    board: BoardSpec,
+    num_requests: usize,
+    interval: SimSpan,
+    order: StreamOrder,
+    seed: u64,
+}
+
+impl TaskSpec {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_requests` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        board: BoardSpec,
+        num_requests: usize,
+        interval: SimSpan,
+        order: StreamOrder,
+        seed: u64,
+    ) -> Self {
+        assert!(num_requests > 0, "task needs at least one request");
+        TaskSpec {
+            name: name.into(),
+            board,
+            num_requests,
+            interval,
+            order,
+            seed,
+        }
+    }
+
+    /// Task A1: 2,500 requests from Circuit Board A.
+    #[must_use]
+    pub fn a1() -> Self {
+        TaskSpec::new(
+            "Task A1",
+            BoardSpec::board_a(),
+            2_500,
+            PAPER_ARRIVAL_INTERVAL,
+            StreamOrder::BoardOrder,
+            0xA1,
+        )
+    }
+
+    /// Task A2: 3,500 requests from Circuit Board A.
+    #[must_use]
+    pub fn a2() -> Self {
+        TaskSpec::new(
+            "Task A2",
+            BoardSpec::board_a(),
+            3_500,
+            PAPER_ARRIVAL_INTERVAL,
+            StreamOrder::BoardOrder,
+            0xA2,
+        )
+    }
+
+    /// Task B1: 2,500 requests from Circuit Board B.
+    #[must_use]
+    pub fn b1() -> Self {
+        TaskSpec::new(
+            "Task B1",
+            BoardSpec::board_b(),
+            2_500,
+            PAPER_ARRIVAL_INTERVAL,
+            StreamOrder::BoardOrder,
+            0xB1,
+        )
+    }
+
+    /// Task B2: 3,500 requests from Circuit Board B.
+    #[must_use]
+    pub fn b2() -> Self {
+        TaskSpec::new(
+            "Task B2",
+            BoardSpec::board_b(),
+            3_500,
+            PAPER_ARRIVAL_INTERVAL,
+            StreamOrder::BoardOrder,
+            0xB2,
+        )
+    }
+
+    /// All four paper tasks in presentation order (A1, A2, B1, B2).
+    #[must_use]
+    pub fn paper_tasks() -> Vec<TaskSpec> {
+        vec![TaskSpec::a1(), TaskSpec::a2(), TaskSpec::b1(), TaskSpec::b2()]
+    }
+
+    /// The task's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The board the task draws from.
+    #[must_use]
+    pub fn board(&self) -> &BoardSpec {
+        &self.board
+    }
+
+    /// Number of primary requests.
+    #[must_use]
+    pub fn num_requests(&self) -> usize {
+        self.num_requests
+    }
+
+    /// Arrival interval between requests.
+    #[must_use]
+    pub fn interval(&self) -> SimSpan {
+        self.interval
+    }
+
+    /// Builds the CoE model for the task's board.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from model validation.
+    pub fn build_model(&self) -> Result<CoeModel, ModelError> {
+        self.board.build_model()
+    }
+
+    /// Materializes the request stream against `model`.
+    #[must_use]
+    pub fn stream(&self, model: &CoeModel) -> RequestStream {
+        RequestStream::generate(
+            self.name.clone(),
+            &self.board,
+            model,
+            self.num_requests,
+            self.interval,
+            self.order,
+            self.seed,
+        )
+    }
+
+    /// A smaller task with the same board and ordering: the offline
+    /// phase's "smaller, representative dataset sampled from the
+    /// application scenario" (§4.4). A distinct seed keeps the sample
+    /// from being a literal prefix of the evaluation stream.
+    #[must_use]
+    pub fn sample(&self, num_requests: usize) -> TaskSpec {
+        TaskSpec {
+            name: format!("{} (sample {num_requests})", self.name),
+            board: self.board.clone(),
+            num_requests: num_requests.max(1),
+            interval: self.interval,
+            order: self.order,
+            seed: self.seed ^ 0x5A5A_5A5A,
+        }
+    }
+
+    /// A proportionally scaled-down task for fast tests: `fraction` of
+    /// the requests (at least one).
+    #[must_use]
+    pub fn scaled(&self, fraction: f64) -> TaskSpec {
+        let n = ((self.num_requests as f64 * fraction).round() as usize).max(1);
+        TaskSpec {
+            name: format!("{} (x{fraction})", self.name),
+            board: self.board.clone(),
+            num_requests: n,
+            interval: self.interval,
+            order: self.order,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tasks_match_section_5_1() {
+        let tasks = TaskSpec::paper_tasks();
+        assert_eq!(tasks.len(), 4);
+        assert_eq!(tasks[0].num_requests(), 2_500);
+        assert_eq!(tasks[1].num_requests(), 3_500);
+        assert_eq!(tasks[2].num_requests(), 2_500);
+        assert_eq!(tasks[3].num_requests(), 3_500);
+        assert_eq!(tasks[0].board().name(), "Circuit Board A");
+        assert_eq!(tasks[3].board().name(), "Circuit Board B");
+        for t in &tasks {
+            assert_eq!(t.interval(), SimSpan::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn stream_has_requested_size() {
+        let task = TaskSpec::a1().scaled(0.1);
+        let model = task.build_model().unwrap();
+        let s = task.stream(&model);
+        assert_eq!(s.len(), 250);
+        assert!(s.name().contains("Task A1"));
+    }
+
+    #[test]
+    fn stream_is_reproducible_across_calls() {
+        let task = TaskSpec::b1().scaled(0.05);
+        let model = task.build_model().unwrap();
+        assert_eq!(task.stream(&model), task.stream(&model));
+    }
+
+    #[test]
+    fn sample_differs_from_main_stream() {
+        let task = TaskSpec::a1();
+        let model = task.build_model().unwrap();
+        let sample = task.sample(100);
+        assert_eq!(sample.num_requests(), 100);
+        let main = task.scaled(0.04); // also 100 requests
+        assert_ne!(sample.stream(&model), main.stream(&model));
+    }
+
+    #[test]
+    fn scaled_never_hits_zero() {
+        assert_eq!(TaskSpec::a1().scaled(0.0).num_requests(), 1);
+        assert_eq!(TaskSpec::a1().sample(0).num_requests(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_requests_panics() {
+        let _ = TaskSpec::new(
+            "bad",
+            BoardSpec::board_a(),
+            0,
+            PAPER_ARRIVAL_INTERVAL,
+            StreamOrder::Iid,
+            1,
+        );
+    }
+}

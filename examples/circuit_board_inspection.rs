@@ -1,0 +1,59 @@
+//! The paper's headline scenario: circuit-board quality inspection with
+//! hundreds of experts on memory-constrained edge devices.
+//!
+//! Runs Task A1 (2,500 component images of Circuit Board A, one every
+//! 4 ms) on both evaluation devices, comparing CoServe against the
+//! Samba-CoE baselines — a compact version of Figures 13 and 14.
+//!
+//! ```sh
+//! cargo run --release -p coserve --example circuit_board_inspection
+//! ```
+
+use coserve::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = TaskSpec::a1();
+    println!(
+        "{}: {} requests from {} ({} component types, {} detector groups)\n",
+        task.name(),
+        task.num_requests(),
+        task.board().name(),
+        task.board().num_components(),
+        task.board().num_detectors(),
+    );
+
+    for device in devices::paper_devices() {
+        let model = task.build_model()?;
+        println!("== {device}");
+        println!(
+            "   model needs {} of weights; GPU offers {} usable",
+            model.total_weight_bytes(),
+            device.gpu_usable()
+        );
+
+        // One profiling pass shared by every system under comparison.
+        let profiler = Profiler::with_defaults();
+        let perf = profiler.profile(&device, &model, UsageSource::Declared);
+        let stream = task.stream(&model);
+
+        let mut systems = all_baselines(&device);
+        systems.push(presets::coserve_casual(&device));
+        systems.push(presets::coserve(&device));
+
+        let mut samba_throughput = None;
+        for config in &systems {
+            let engine = Engine::new(&device, &model, &perf, config)?;
+            let report = engine.run(&stream);
+            let baseline = *samba_throughput.get_or_insert(report.throughput_ips());
+            println!(
+                "   {:<22} {:>6.1} img/s ({:>4.1}x) {:>5} switches",
+                report.system,
+                report.throughput_ips(),
+                report.throughput_ips() / baseline,
+                report.expert_switches(),
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

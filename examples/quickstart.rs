@@ -1,0 +1,65 @@
+//! Quickstart: build a small CoE model, configure CoServe, serve a
+//! request stream, and read the report.
+//!
+//! ```sh
+//! cargo run --release -p coserve --example quickstart
+//! ```
+
+use coserve::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A CoE model. Every component type gets a dedicated ResNet101
+    //    classification expert; some components share YOLOv5 detection
+    //    experts that verify alignment after classification passes.
+    let board = BoardSpec::synthetic("demo-board", 48, 4, 1.2, 60.0, 0.5);
+    let model = board.build_model()?;
+    println!(
+        "model: {} experts, {} total weights",
+        model.num_experts(),
+        model.total_weight_bytes()
+    );
+
+    // 2. A device. The paper's NUMA box: RTX 3080 Ti (12 GB) + Xeon.
+    //    The model above needs ~8 GB of weights plus inference
+    //    workspace, so experts must be switched in and out.
+    let device = devices::numa_rtx3080ti();
+    println!("device: {device}");
+
+    // 3. CoServe. `ServingSystem::new` runs the offline profiler
+    //    (microbenchmarks -> K/B latency fits, max batch sizes, load
+    //    latencies) and validates the configuration.
+    let config = presets::coserve(&device);
+    let system = ServingSystem::new(device, model, config)?;
+    let k = system.perf().expect_entry(RESNET101, ProcessorKind::Gpu);
+    println!(
+        "profiled ResNet101 on GPU: K={:.2}ms B={:.2}ms max_batch={} load_from_ssd={}",
+        k.k_ms, k.b_ms, k.max_batch, k.load_from_ssd
+    );
+
+    // 4. Serve 400 requests arriving every 4 ms.
+    let task = TaskSpec::new(
+        "quickstart",
+        board,
+        400,
+        PAPER_ARRIVAL_INTERVAL,
+        StreamOrder::BoardOrder,
+        7,
+    );
+    let stream = task.stream(system.model());
+    let report = system.serve(&stream);
+
+    // 5. Read the results.
+    println!("{}", report.summary_line());
+    for e in &report.executors {
+        println!(
+            "  executor {} ({}): {} batches / {} requests, {} switches, pool peak {}",
+            e.index, e.processor, e.batches, e.items, e.switches, e.pool_peak
+        );
+    }
+    let lat = report.latency_summary().expect("jobs completed");
+    println!(
+        "  job latency: mean {:.0} ms, p50 {:.0} ms, p99 {:.0} ms",
+        lat.mean, lat.p50, lat.p99
+    );
+    Ok(())
+}

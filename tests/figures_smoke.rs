@@ -1,0 +1,111 @@
+//! Smoke tests for the figure harness: every table/figure generator
+//! runs on a scaled-down workload and produces sane rows.
+//!
+//! Each integration-test binary is its own process, so setting
+//! `COSERVE_SCALE` here cannot leak into other test binaries; the tests
+//! in this file all want the same value.
+
+use coserve_bench::figures;
+
+fn scale_down() {
+    // Safe pre-2024 edition; all tests in this binary set the same value.
+    std::env::set_var("COSERVE_SCALE", "0.05");
+    std::env::set_var(
+        "COSERVE_EXPERIMENT_DIR",
+        std::env::temp_dir().join("coserve-figsmoke"),
+    );
+}
+
+#[test]
+fn table1_lists_both_devices() {
+    scale_down();
+    let t = figures::table1_hardware();
+    assert_eq!(t.len(), 5);
+    let csv = t.to_csv();
+    assert!(csv.contains("RTX3080Ti"));
+    assert!(csv.contains("Apple M2"));
+}
+
+#[test]
+fn fig01_shares_match_paper_bands() {
+    scale_down();
+    let t = figures::fig01_switch_share();
+    assert_eq!(t.len(), 12); // 2 devices × 2 paths × 3 archs
+    let csv = t.to_csv();
+    for line in csv.lines().skip(1) {
+        let share: f64 = line.split(',').next_back().unwrap().parse().unwrap();
+        assert!((55.0..100.0).contains(&share), "share {share} out of band: {line}");
+        if line.contains("SSD") {
+            assert!(share > 85.0, "SSD share too low: {line}");
+        }
+    }
+}
+
+#[test]
+fn fig05_06_12_sweeps_have_full_batch_range() {
+    scale_down();
+    let t5 = figures::fig05_avg_latency();
+    assert_eq!(t5.len(), 2 * 2 * 32);
+    let t6 = figures::fig06_mem_footprint();
+    assert_eq!(t6.len(), 2 * 2 * 32);
+    let t12 = figures::fig12_exec_latency();
+    assert_eq!(t12.len(), 2);
+    assert_eq!(t12[0].len(), 2 * 2 * 2 * 32);
+    assert_eq!(t12[1].len(), 8);
+}
+
+#[test]
+fn fig11_cdf_is_monotone() {
+    scale_down();
+    let tables = figures::fig11_usage_cdf();
+    assert_eq!(tables.len(), 2);
+    let csv = tables[0].to_csv();
+    let mut prev = 0.0f64;
+    for line in csv.lines().skip(1) {
+        let v: f64 = line.split(',').next_back().unwrap().parse().unwrap();
+        assert!(v + 1e-12 >= prev, "CDF not monotone at {line}");
+        prev = v;
+    }
+    assert!(prev > 0.99, "CDF must reach 1, got {prev}");
+}
+
+#[test]
+fn fig13_14_suite_produces_all_cells() {
+    scale_down();
+    let (thr, sw) = figures::fig13_14_throughput_and_switches();
+    // 2 devices × 4 tasks × 5 systems.
+    assert_eq!(thr.len(), 40);
+    assert_eq!(sw.len(), 40);
+    let csv = thr.to_csv();
+    assert!(csv.contains("CoServe Best"));
+    assert!(csv.contains("Samba-CoE Parallel"));
+}
+
+#[test]
+fn fig15_16_ablation_produces_all_cells() {
+    scale_down();
+    let (thr, sw) = figures::fig15_16_ablation();
+    // 2 devices × 4 tasks × 4 ladder steps.
+    assert_eq!(thr.len(), 32);
+    assert_eq!(sw.len(), 32);
+}
+
+#[test]
+fn fig17_18_19_produce_rows() {
+    scale_down();
+    let t17 = figures::fig17_executors();
+    assert_eq!(t17.len(), 2 * 2 * 7);
+    let t18 = figures::fig18_window_search();
+    assert!(t18.len() >= 6, "window search produced too few rows");
+    let t19 = figures::fig19_overhead();
+    assert_eq!(t19.len(), 4);
+    // Scheduling latency must stay below inference latency (Figure 19's
+    // conclusion) in every row.
+    for line in t19.to_csv().lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let sched: f64 = cells[2].parse().unwrap();
+        let gap: f64 = cells[5].parse().unwrap();
+        assert!(sched < 60.0, "scheduling latency implausible: {line}");
+        assert!(gap < 25.0, "scheduling overhead too large at small scale: {line}");
+    }
+}
