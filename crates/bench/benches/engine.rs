@@ -64,7 +64,7 @@ fn bench_systems(c: &mut Criterion) {
     group.finish();
 }
 
-/// Ablation bench for the design choice DESIGN.md calls out: the
+/// Ablation bench for a deliberate scheduler design choice: the
 /// dependency-aware assignment predicts queue totals per arrival
 /// (O(executors × runs)); round-robin is O(1). This quantifies the
 /// simulator-side cost of that choice.
@@ -91,8 +91,8 @@ fn bench_preload(c: &mut Criterion) {
     let config = presets::coserve(&ctx.device);
     group.bench_function("build_and_preload_370_experts", |b| {
         b.iter(|| {
-            let engine = Engine::new(&ctx.device, &ctx.model, &ctx.perf, &config)
-                .expect("valid config");
+            let engine =
+                Engine::new(&ctx.device, &ctx.model, &ctx.perf, &config).expect("valid config");
             black_box(engine.memory_layout().executors.len())
         });
     });

@@ -23,8 +23,12 @@ fn setup(n: u32) -> (CoeModel, PerfMatrix, ModelPool) {
     let mut pool = ModelPool::new(Bytes::gib(64));
     for i in 0..n {
         let e = ExpertId(i);
-        pool.insert(e, model.weight_bytes(e), SimTime::ZERO + SimSpan::from_millis(u64::from(i)))
-            .expect("fits");
+        pool.insert(
+            e,
+            model.weight_bytes(e),
+            SimTime::ZERO + SimSpan::from_millis(u64::from(i)),
+        )
+        .expect("fits");
     }
     (model, perf, pool)
 }
@@ -66,7 +70,8 @@ fn bench_orphan_heavy_pool(c: &mut Criterion) {
     let mut pool = ModelPool::new(Bytes::gib(16));
     for g in 0..board.num_detectors() as u32 {
         let e = board.detector_of(g);
-        pool.insert(e, model.weight_bytes(e), SimTime::ZERO).expect("fits");
+        pool.insert(e, model.weight_bytes(e), SimTime::ZERO)
+            .expect("fits");
     }
     let protected = BTreeSet::new();
     let ctx = EvictionContext {

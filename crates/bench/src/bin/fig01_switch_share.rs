@@ -1,4 +1,7 @@
 //! Figure 1: expert-switching latency share of total inference latency.
 fn main() {
-    coserve_bench::emit(&coserve_bench::figures::fig01_switch_share(), "fig01_switch_share");
+    coserve_bench::emit(
+        &coserve_bench::figures::fig01_switch_share(),
+        "fig01_switch_share",
+    );
 }

@@ -1,4 +1,7 @@
 //! Figure 5: average inference latency vs batch size.
 fn main() {
-    coserve_bench::emit(&coserve_bench::figures::fig05_avg_latency(), "fig05_avg_latency");
+    coserve_bench::emit(
+        &coserve_bench::figures::fig05_avg_latency(),
+        "fig05_avg_latency",
+    );
 }

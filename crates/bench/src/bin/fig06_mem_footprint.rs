@@ -1,4 +1,7 @@
 //! Figure 6: memory footprint vs batch size.
 fn main() {
-    coserve_bench::emit(&coserve_bench::figures::fig06_mem_footprint(), "fig06_mem_footprint");
+    coserve_bench::emit(
+        &coserve_bench::figures::fig06_mem_footprint(),
+        "fig06_mem_footprint",
+    );
 }

@@ -1,6 +1,9 @@
 //! Figure 12: execution latency vs batch size, with fitted K/B.
 fn main() {
-    for (i, t) in coserve_bench::figures::fig12_exec_latency().iter().enumerate() {
+    for (i, t) in coserve_bench::figures::fig12_exec_latency()
+        .iter()
+        .enumerate()
+    {
         coserve_bench::emit(t, &format!("fig12_exec_latency_{i}"));
     }
 }

@@ -1,4 +1,7 @@
 //! Figure 17: throughput under different numbers of executors.
 fn main() {
-    coserve_bench::emit(&coserve_bench::figures::fig17_executors(), "fig17_executors");
+    coserve_bench::emit(
+        &coserve_bench::figures::fig17_executors(),
+        "fig17_executors",
+    );
 }

@@ -1,4 +1,7 @@
 //! Figure 18: the decay-window memory-allocation search trace.
 fn main() {
-    coserve_bench::emit(&coserve_bench::figures::fig18_window_search(), "fig18_window_search");
+    coserve_bench::emit(
+        &coserve_bench::figures::fig18_window_search(),
+        "fig18_window_search",
+    );
 }

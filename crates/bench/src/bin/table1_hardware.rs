@@ -1,4 +1,7 @@
 //! Table 1: hardware for evaluation.
 fn main() {
-    coserve_bench::emit(&coserve_bench::figures::table1_hardware(), "table1_hardware");
+    coserve_bench::emit(
+        &coserve_bench::figures::table1_hardware(),
+        "table1_hardware",
+    );
 }

@@ -2,7 +2,9 @@
 //!
 //! Every function returns the [`Table`]s that regenerate the artifact;
 //! the `fig*` binaries and `all_figures` print them and write CSVs.
-//! Paper-reported reference values live in `EXPERIMENTS.md`.
+//! Paper-reported reference bands are asserted in
+//! `tests/figures_smoke.rs`; `PAPER.md` at the workspace root
+//! summarizes the source paper.
 
 use coserve_core::autotune::{window_search, UsageCdf, WindowSearchOptions};
 use coserve_core::presets;
@@ -58,7 +60,14 @@ pub fn table1_hardware() -> Table {
 pub fn fig01_switch_share() -> Table {
     let mut t = Table::new(
         "Figure 1: Expert switching latency share of total inference latency (%)",
-        &["device", "path", "arch", "switch_ms", "exec_ms", "switch_share_pct"],
+        &[
+            "device",
+            "path",
+            "arch",
+            "switch_ms",
+            "exec_ms",
+            "switch_share_pct",
+        ],
     );
     for device in paper_devices() {
         for route in [TransferRoute::CpuToGpu, TransferRoute::SsdToGpu] {
@@ -178,7 +187,15 @@ pub fn fig12_exec_latency() -> Vec<Table> {
     );
     let mut fits = Table::new(
         "Figure 12 (annotation): fitted K and B per architecture/processor",
-        &["device", "processor", "arch", "K_ms", "B_ms", "r2", "max_batch"],
+        &[
+            "device",
+            "processor",
+            "arch",
+            "K_ms",
+            "B_ms",
+            "r2",
+            "max_batch",
+        ],
     );
     let profiler = Profiler::with_defaults();
     for device in paper_devices() {
@@ -221,7 +238,15 @@ pub fn fig13_14_throughput_and_switches() -> (Table, Table) {
     );
     let mut sw = Table::new(
         "Figure 14: Number of expert switches",
-        &["device", "task", "system", "switches", "from_ssd", "from_cache", "reduction_vs_samba_pct"],
+        &[
+            "device",
+            "task",
+            "system",
+            "switches",
+            "from_ssd",
+            "from_cache",
+            "reduction_vs_samba_pct",
+        ],
     );
     for device in paper_devices() {
         for task in paper_tasks() {

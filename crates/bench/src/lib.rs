@@ -2,9 +2,9 @@
 //!
 //! The benchmark harness that regenerates every table and figure of the
 //! CoServe paper. Each `fig*`/`table*` binary prints the paper-style
-//! rows to stdout and writes a CSV into the experiment directory
-//! (`target/experiments` by default, `COSERVE_EXPERIMENT_DIR` to
-//! override). `all_figures` runs the lot.
+//! rows to stdout and writes a CSV into the output directory
+//! (`target/figures/` under the workspace root by default,
+//! `COSERVE_OUT_DIR` to override). `all_figures` runs the lot.
 //!
 //! Scaling: the full evaluation (2,500–3,500 requests per task) runs in
 //! seconds in release mode; set `COSERVE_SCALE=0.1` to smoke-test the
@@ -28,12 +28,21 @@ use coserve_sim::device::DeviceProfile;
 use coserve_workload::stream::RequestStream;
 use coserve_workload::task::TaskSpec;
 
-/// Where CSV outputs land.
+/// Where CSV outputs land: `COSERVE_OUT_DIR` when set, otherwise
+/// `target/figures/` under the workspace root. The default is anchored to
+/// the workspace (not the current working directory) so figure binaries
+/// and tests behave the same from any invocation path.
 #[must_use]
 pub fn out_dir() -> PathBuf {
-    std::env::var_os("COSERVE_EXPERIMENT_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+    if let Some(dir) = std::env::var_os("COSERVE_OUT_DIR") {
+        return PathBuf::from(dir);
+    }
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .join("target/figures")
 }
 
 /// The global workload scale factor (`COSERVE_SCALE`, default 1.0).
@@ -172,6 +181,29 @@ mod tests {
     fn paper_matrix_shape() {
         assert_eq!(paper_devices().len(), 2);
         assert_eq!(paper_tasks().len(), 4);
+    }
+
+    #[test]
+    fn out_dir_default_is_workspace_anchored() {
+        // Other tests in this binary don't set COSERVE_OUT_DIR; when the
+        // harness environment does, the override must win verbatim.
+        let dir = out_dir();
+        match std::env::var_os("COSERVE_OUT_DIR") {
+            Some(v) => assert_eq!(dir, PathBuf::from(v)),
+            None => {
+                assert!(dir.is_absolute(), "default must not depend on CWD");
+                assert!(dir.ends_with("target/figures"));
+                // The anchor must be the workspace root, not some other
+                // ancestor: <root>/Cargo.toml must exist two levels up
+                // from <root>/target/figures.
+                let root = dir.parent().and_then(|p| p.parent()).unwrap();
+                assert!(
+                    root.join("Cargo.toml").is_file(),
+                    "out_dir() anchored outside the workspace: {}",
+                    dir.display()
+                );
+            }
+        }
     }
 }
 pub mod figures;

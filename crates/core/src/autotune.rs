@@ -161,7 +161,10 @@ pub fn window_search(
     sample: &RequestStream,
     options: WindowSearchOptions,
 ) -> WindowSearchResult {
-    assert!(base.gpu_executor_count() > 0, "window search needs GPU executors");
+    assert!(
+        base.gpu_executor_count() > 0,
+        "window search needs GPU executors"
+    );
     assert!(options.initial_window >= 1.0, "window must be at least 1");
     assert!(options.fit_points >= 2, "need at least two fit points");
     let decay = 1.0 - options.initial_window / 100.0; // Eq. 1
@@ -309,7 +312,13 @@ pub fn tune(
         trials
             .iter()
             .copied()
-            .reduce(|best, t| if t.throughput > best.throughput { t } else { best })
+            .reduce(|best, t| {
+                if t.throughput > best.throughput {
+                    t
+                } else {
+                    best
+                }
+            })
             .expect("candidate list is non-empty")
     }
     let mut candidates = standard_executor_candidates();
@@ -317,7 +326,13 @@ pub fn tune(
     let best = first_strict_max(&trials);
     // Also probe a second CPU executor at the winning GPU count.
     candidates.push((best.gpus, 2));
-    let extra = executor_search(device, model, perf, &candidates[candidates.len() - 1..], sample);
+    let extra = executor_search(
+        device,
+        model,
+        perf,
+        &candidates[candidates.len() - 1..],
+        sample,
+    );
     let mut all_trials = trials;
     all_trials.extend(extra);
     let best = first_strict_max(&all_trials);
@@ -462,6 +477,7 @@ mod tests {
         assert_eq!(tuned.config.name, "CoServe Best");
         assert!(tuned.config.gpu_executor_count() >= 1);
         assert_eq!(tuned.executor_trials.len(), 6); // 5 grid + 1 extra
+
         // Either the window target was adopted, or the validation guard
         // fell back to the fraction-based split.
         match tuned.config.memory.gpu_resident_experts {

@@ -180,22 +180,24 @@ impl SystemConfigBuilder {
     /// Adds `n` GPU executors.
     #[must_use]
     pub fn gpu_executors(mut self, n: usize) -> Self {
-        self.config.executors.extend(
-            std::iter::repeat_n(ExecutorSpec {
+        self.config.executors.extend(std::iter::repeat_n(
+            ExecutorSpec {
                 processor: ProcessorKind::Gpu,
-            }, n),
-        );
+            },
+            n,
+        ));
         self
     }
 
     /// Adds `n` CPU executors.
     #[must_use]
     pub fn cpu_executors(mut self, n: usize) -> Self {
-        self.config.executors.extend(
-            std::iter::repeat_n(ExecutorSpec {
+        self.config.executors.extend(std::iter::repeat_n(
+            ExecutorSpec {
                 processor: ProcessorKind::Cpu,
-            }, n),
-        );
+            },
+            n,
+        ));
         self
     }
 
@@ -282,7 +284,10 @@ impl SystemConfigBuilder {
     #[must_use]
     pub fn build(self) -> SystemConfig {
         let c = self.config;
-        assert!(!c.executors.is_empty(), "system needs at least one executor");
+        assert!(
+            !c.executors.is_empty(),
+            "system needs at least one executor"
+        );
         assert!(c.scheduler_slots > 0, "scheduler needs at least one worker");
         for f in [
             c.memory.gpu_pool_fraction,
@@ -301,7 +306,10 @@ mod tests {
 
     #[test]
     fn builder_defaults_are_coserve_policies() {
-        let c = SystemConfig::builder("CoServe").gpu_executors(3).cpu_executors(1).build();
+        let c = SystemConfig::builder("CoServe")
+            .gpu_executors(3)
+            .cpu_executors(1)
+            .build();
         assert_eq!(c.assign, AssignPolicy::DependencyAware);
         assert_eq!(c.arrange, ArrangePolicy::Grouped);
         assert_eq!(c.eviction, EvictionPolicy::DependencyAware);

@@ -29,7 +29,7 @@ use coserve_sim::time::{SimSpan, SimTime};
 use coserve_sim::transfer::TransferRoute;
 use coserve_workload::stream::RequestStream;
 
-use crate::config::{AssignPolicy, ArrangePolicy, SystemConfig};
+use crate::config::{ArrangePolicy, AssignPolicy, SystemConfig};
 use crate::evict::{select_victims, EvictionContext};
 use crate::perf::PerfMatrix;
 use crate::pool::ModelPool;
@@ -138,8 +138,7 @@ pub fn plan_memory(
     } else {
         // UMA: one unified pool for everyone, no staging tier.
         let total = config.executors.len() as u64;
-        let share =
-            Bytes::new(device.gpu_usable().get() / total.max(1)).saturating_sub(overhead);
+        let share = Bytes::new(device.gpu_usable().get() / total.max(1)).saturating_sub(overhead);
         (share, share, Bytes::ZERO)
     };
 
@@ -229,12 +228,10 @@ impl<'a> Engine<'a> {
                 perf_experts: perf.num_experts(),
             });
         }
-        let procs: BTreeSet<ProcessorKind> =
-            config.executors.iter().map(|e| e.processor).collect();
+        let procs: BTreeSet<ProcessorKind> = config.executors.iter().map(|e| e.processor).collect();
         for arch in model.archs() {
             for &proc in &procs {
-                if device.kernel(arch.id(), proc).is_none()
-                    || perf.entry(arch.id(), proc).is_none()
+                if device.kernel(arch.id(), proc).is_none() || perf.entry(arch.id(), proc).is_none()
                 {
                     return Err(EngineError::MissingKernel(arch.id(), proc));
                 }
@@ -462,7 +459,8 @@ impl<'a> Run<'a> {
         // Figure 19 reports the per-request scheduling *processing*
         // latency; backlog behind the serial scheduler thread still
         // delays the enqueue (res.end) but is not part of this metric.
-        self.sched_latencies.push(res.end.saturating_since(res.start));
+        self.sched_latencies
+            .push(res.end.saturating_since(res.start));
         self.events.push(res.end, Ev::Sched { job, stage });
     }
 
@@ -586,10 +584,7 @@ impl<'a> Run<'a> {
         }
         let arch = self.engine.model.expert(expert).arch();
         let entry = self.engine.perf.expect_entry(arch, exec.processor);
-        let cached = self
-            .cache
-            .as_ref()
-            .is_some_and(|c| c.contains(expert));
+        let cached = self.cache.as_ref().is_some_and(|c| c.contains(expert));
         match (exec.processor, cached) {
             (ProcessorKind::Gpu, true) => entry.load_from_cpu,
             (ProcessorKind::Gpu, false) => entry.load_from_ssd,
@@ -737,9 +732,9 @@ impl<'a> Run<'a> {
         let mut legs: std::collections::VecDeque<Leg> = std::collections::VecDeque::new();
         let mut switch_busy = SimSpan::ZERO;
         let push_leg = |legs: &mut std::collections::VecDeque<Leg>,
-                            busy: &mut SimSpan,
-                            channel: LegChannel,
-                            span: SimSpan| {
+                        busy: &mut SimSpan,
+                        channel: LegChannel,
+                        span: SimSpan| {
             if !span.is_zero() {
                 legs.push_back(Leg { channel, span });
                 *busy += span;
@@ -795,7 +790,11 @@ impl<'a> Run<'a> {
 
             // Load the expert from its best source tier.
             let cached = self.cache.as_ref().is_some_and(|c| c.contains(expert));
-            let source = if cached { MemoryTier::Cpu } else { MemoryTier::Ssd };
+            let source = if cached {
+                MemoryTier::Cpu
+            } else {
+                MemoryTier::Ssd
+            };
             let route = match (processor, cached) {
                 (ProcessorKind::Gpu, true) => Some(TransferRoute::CpuToGpu),
                 (ProcessorKind::Gpu, false) => Some(TransferRoute::SsdToGpu),
@@ -917,19 +916,15 @@ impl<'a> Run<'a> {
                 finished_at: e.finished_at,
             })
             .collect();
-        let mut channels: Vec<ChannelReport> = [
-            &self.gpu_compute,
-            &self.cpu_compute,
-            &self.dma,
-            &self.ssd,
-        ]
-        .into_iter()
-        .map(|c| ChannelReport {
-            name: c.name(),
-            busy: c.busy_total(),
-            reservations: c.reservation_count(),
-        })
-        .collect();
+        let mut channels: Vec<ChannelReport> =
+            [&self.gpu_compute, &self.cpu_compute, &self.dma, &self.ssd]
+                .into_iter()
+                .map(|c| ChannelReport {
+                    name: c.name(),
+                    busy: c.busy_total(),
+                    reservations: c.reservation_count(),
+                })
+                .collect();
         for pooled in [&self.scheduler, &self.host_work] {
             channels.push(ChannelReport {
                 name: pooled.name(),
@@ -1050,7 +1045,10 @@ mod tests {
     }
 
     fn coserve_config() -> SystemConfig {
-        SystemConfig::builder("CoServe").gpu_executors(2).cpu_executors(1).build()
+        SystemConfig::builder("CoServe")
+            .gpu_executors(2)
+            .cpu_executors(1)
+            .build()
     }
 
     #[test]
@@ -1085,12 +1083,22 @@ mod tests {
         let engine = Engine::new(&device, &model, &perf, &config).unwrap();
         let layout = engine.memory_layout();
         // Pools have real capacity.
-        assert!(layout.executors.iter().all(|m| m.pool_capacity > Bytes::ZERO));
-        assert!(layout.cache > Bytes::ZERO, "NUMA device has a staging cache");
+        assert!(layout
+            .executors
+            .iter()
+            .all(|m| m.pool_capacity > Bytes::ZERO));
+        assert!(
+            layout.cache > Bytes::ZERO,
+            "NUMA device has a staging cache"
+        );
         let report = engine.run(&stream);
         // Peak usage shows the preload happened.
         for e in &report.executors {
-            assert!(e.pool_peak > Bytes::ZERO, "executor {} never held experts", e.index);
+            assert!(
+                e.pool_peak > Bytes::ZERO,
+                "executor {} never held experts",
+                e.index
+            );
         }
     }
 
@@ -1104,8 +1112,12 @@ mod tests {
             .arrange(ArrangePolicy::Fcfs)
             .eviction(crate::evict::EvictionPolicy::Lru)
             .build();
-        let g = Engine::new(&device, &model, &perf, &grouped).unwrap().run(&stream);
-        let f = Engine::new(&device, &model, &perf, &fcfs).unwrap().run(&stream);
+        let g = Engine::new(&device, &model, &perf, &grouped)
+            .unwrap()
+            .run(&stream);
+        let f = Engine::new(&device, &model, &perf, &fcfs)
+            .unwrap()
+            .run(&stream);
         assert!(
             g.expert_switches() < f.expert_switches(),
             "grouped {} vs fcfs {}",
@@ -1147,7 +1159,12 @@ mod tests {
     #[test]
     fn perf_mismatch_is_a_construction_error() {
         let (device, model, _, _) = setup(10, 10);
-        let wrong = PerfMatrix::new("dev", std::collections::BTreeMap::new(), vec![0.1], vec![1.0]);
+        let wrong = PerfMatrix::new(
+            "dev",
+            std::collections::BTreeMap::new(),
+            vec![0.1],
+            vec![1.0],
+        );
         let config = coserve_config();
         let err = Engine::new(&device, &model, &wrong, &config).unwrap_err();
         assert!(matches!(err, EngineError::PerfModelMismatch { .. }));
@@ -1157,7 +1174,9 @@ mod tests {
     fn switch_events_record_sources() {
         let (device, model, perf, stream) = setup(60, 500);
         let config = coserve_config();
-        let report = Engine::new(&device, &model, &perf, &config).unwrap().run(&stream);
+        let report = Engine::new(&device, &model, &perf, &config)
+            .unwrap()
+            .run(&stream);
         // With 60 ResNet experts and small pools there must be switching.
         assert!(report.expert_switches() > 0);
         for ev in &report.switch_events {
@@ -1175,7 +1194,10 @@ mod tests {
         let model = board.build_model().unwrap();
         let device = devices::uma_apple_m2();
         let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
-        let config = SystemConfig::builder("uma").gpu_executors(2).cpu_executors(1).build();
+        let config = SystemConfig::builder("uma")
+            .gpu_executors(2)
+            .cpu_executors(1)
+            .build();
         let layout = plan_memory(&device, &model, &perf, &config);
         assert_eq!(layout.cache, Bytes::ZERO, "UMA has no staging cache");
         let total: Bytes = layout
@@ -1189,7 +1211,10 @@ mod tests {
     #[test]
     fn cpu_pool_follows_limited_compute_rule() {
         let (device, model, perf, _) = setup(20, 1);
-        let on = SystemConfig::builder("rule-on").gpu_executors(1).cpu_executors(1).build();
+        let on = SystemConfig::builder("rule-on")
+            .gpu_executors(1)
+            .cpu_executors(1)
+            .build();
         let layout_on = plan_memory(&device, &model, &perf, &on);
         let plan_off = crate::config::MemoryPlan {
             cpu_max_batch_rule: false,
@@ -1224,7 +1249,9 @@ mod tests {
             .gpu_executors(1)
             .batching(false)
             .build();
-        let report = Engine::new(&device, &model, &perf, &config).unwrap().run(&stream);
+        let report = Engine::new(&device, &model, &perf, &config)
+            .unwrap()
+            .run(&stream);
         assert_eq!(report.completed, 80);
         let e0 = &report.executors[0];
         assert_eq!(e0.batches, e0.items, "every batch must be singleton");
@@ -1233,10 +1260,17 @@ mod tests {
     #[test]
     fn no_preload_starts_cold() {
         let (device, model, perf, stream) = setup(15, 60);
-        let cold = SystemConfig::builder("cold").gpu_executors(1).preload(false).build();
+        let cold = SystemConfig::builder("cold")
+            .gpu_executors(1)
+            .preload(false)
+            .build();
         let warm = SystemConfig::builder("warm").gpu_executors(1).build();
-        let cold_r = Engine::new(&device, &model, &perf, &cold).unwrap().run(&stream);
-        let warm_r = Engine::new(&device, &model, &perf, &warm).unwrap().run(&stream);
+        let cold_r = Engine::new(&device, &model, &perf, &cold)
+            .unwrap()
+            .run(&stream);
+        let warm_r = Engine::new(&device, &model, &perf, &warm)
+            .unwrap()
+            .run(&stream);
         assert!(
             cold_r.expert_switches() > warm_r.expert_switches(),
             "cold {} vs warm {}",
@@ -1250,11 +1284,20 @@ mod tests {
     fn cpu_only_system_serves_everything() {
         let (device, model, perf, stream) = setup(12, 40);
         let config = SystemConfig::builder("cpu-only").cpu_executors(2).build();
-        let report = Engine::new(&device, &model, &perf, &config).unwrap().run(&stream);
+        let report = Engine::new(&device, &model, &perf, &config)
+            .unwrap()
+            .run(&stream);
         assert_eq!(report.completed, 40);
-        assert!(report.executors.iter().all(|e| e.processor == ProcessorKind::Cpu));
+        assert!(report
+            .executors
+            .iter()
+            .all(|e| e.processor == ProcessorKind::Cpu));
         // GPU channels untouched.
-        let gpu = report.channels.iter().find(|c| c.name == "gpu-compute").unwrap();
+        let gpu = report
+            .channels
+            .iter()
+            .find(|c| c.name == "gpu-compute")
+            .unwrap();
         assert_eq!(gpu.reservations, 0);
     }
 
@@ -1273,8 +1316,12 @@ mod tests {
             .arrange(ArrangePolicy::Fcfs)
             .eviction(crate::evict::EvictionPolicy::Lru)
             .build();
-        let lfu_r = Engine::new(&device, &model, &perf, &lfu).unwrap().run(&stream);
-        let lru_r = Engine::new(&device, &model, &perf, &lru).unwrap().run(&stream);
+        let lfu_r = Engine::new(&device, &model, &perf, &lfu)
+            .unwrap()
+            .run(&stream);
+        let lru_r = Engine::new(&device, &model, &perf, &lru)
+            .unwrap()
+            .run(&stream);
         assert_eq!(lfu_r.completed, 300);
         assert_ne!(lfu_r.switch_events, lru_r.switch_events);
     }
@@ -1287,15 +1334,19 @@ mod tests {
             .scheduling_cost(SimSpan::from_millis(8))
             .build();
         let fast = slow.pre_scheduled();
-        let slow_r = Engine::new(&device, &model, &perf, &slow).unwrap().run(&stream);
-        let fast_r = Engine::new(&device, &model, &perf, &fast).unwrap().run(&stream);
+        let slow_r = Engine::new(&device, &model, &perf, &slow)
+            .unwrap()
+            .run(&stream);
+        let fast_r = Engine::new(&device, &model, &perf, &fast)
+            .unwrap()
+            .run(&stream);
         assert_eq!(slow_r.completed, 300);
         // Scheduling latency is recorded.
         assert!(slow_r.sched_summary().unwrap().mean >= 8.0);
         assert!(fast_r.sched_summary().unwrap().mean < 1e-9);
         // The gap stays small: scheduling pipelines with inference.
-        let gap = (fast_r.throughput_ips() - slow_r.throughput_ips()).abs()
-            / fast_r.throughput_ips();
+        let gap =
+            (fast_r.throughput_ips() - slow_r.throughput_ips()).abs() / fast_r.throughput_ips();
         assert!(gap < 0.2, "scheduling overhead gap {gap:.3}");
     }
 }

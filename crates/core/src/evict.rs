@@ -160,10 +160,9 @@ pub fn select_victims(
                 let ra = pool.resident(a).expect("resident");
                 let rb = pool.resident(b).expect("resident");
                 match policy {
-                    EvictionPolicy::Lru => ra
-                        .last_used
-                        .cmp(&rb.last_used)
-                        .then(ra.seq.cmp(&rb.seq)),
+                    EvictionPolicy::Lru => {
+                        ra.last_used.cmp(&rb.last_used).then(ra.seq.cmp(&rb.seq))
+                    }
                     EvictionPolicy::Fifo => ra.seq.cmp(&rb.seq),
                     EvictionPolicy::Lfu => ra
                         .uses
@@ -300,8 +299,13 @@ mod tests {
             perf: &perf,
             protected: &protected,
         };
-        let v =
-            select_victims(EvictionPolicy::DependencyAware, &pool, Bytes::mib(200), &ctx).unwrap();
+        let v = select_victims(
+            EvictionPolicy::DependencyAware,
+            &pool,
+            Bytes::mib(200),
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(v, vec![big, small]);
     }
 
@@ -386,8 +390,7 @@ mod tests {
             perf: &perf,
             protected: &protected,
         };
-        let err =
-            select_victims(EvictionPolicy::Lru, &pool, Bytes::mib(500), &ctx).unwrap_err();
+        let err = select_victims(EvictionPolicy::Lru, &pool, Bytes::mib(500), &ctx).unwrap_err();
         assert_eq!(err.missing, Bytes::mib(400));
         assert!(err.to_string().contains("missing"));
     }
@@ -412,7 +415,10 @@ mod tests {
 
     #[test]
     fn policy_display() {
-        assert_eq!(EvictionPolicy::DependencyAware.to_string(), "dependency-aware");
+        assert_eq!(
+            EvictionPolicy::DependencyAware.to_string(),
+            "dependency-aware"
+        );
         assert_eq!(EvictionPolicy::Lru.to_string(), "LRU");
         assert_eq!(EvictionPolicy::Fifo.to_string(), "FIFO");
         assert_eq!(EvictionPolicy::Lfu.to_string(), "LFU");

@@ -140,14 +140,21 @@ impl ModelPool {
     /// [`PoolError::AlreadyResident`] when the expert is loaded,
     /// [`PoolError::Insufficient`] when it does not fit (the caller must
     /// evict first).
-    pub fn insert(&mut self, expert: ExpertId, bytes: Bytes, now: SimTime) -> Result<(), PoolError> {
+    pub fn insert(
+        &mut self,
+        expert: ExpertId,
+        bytes: Bytes,
+        now: SimTime,
+    ) -> Result<(), PoolError> {
         if self.contains(expert) {
             return Err(PoolError::AlreadyResident(expert));
         }
-        self.memory.allocate(bytes).map_err(|e| PoolError::Insufficient {
-            expert,
-            shortfall: bytes.saturating_sub(e.available),
-        })?;
+        self.memory
+            .allocate(bytes)
+            .map_err(|e| PoolError::Insufficient {
+                expert,
+                shortfall: bytes.saturating_sub(e.available),
+            })?;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.residents.insert(

@@ -148,7 +148,9 @@ impl Profiler {
             .fold(f64::INFINITY, f64::min);
         points
             .iter()
-            .find(|p| p.latency_ms / f64::from(p.batch) <= best * (1.0 + self.options.plateau_threshold))
+            .find(|p| {
+                p.latency_ms / f64::from(p.batch) <= best * (1.0 + self.options.plateau_threshold)
+            })
             .map_or(1, |p| p.batch)
     }
 

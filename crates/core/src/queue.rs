@@ -220,11 +220,7 @@ mod tests {
         }
         assert_eq!(
             q.runs(),
-            vec![
-                (ExpertId(5), 2),
-                (ExpertId(7), 1),
-                (ExpertId(5), 1)
-            ]
+            vec![(ExpertId(5), 2), (ExpertId(7), 1), (ExpertId(5), 1)]
         );
         assert!(q.contains_expert(ExpertId(7)));
         assert!(!q.contains_expert(ExpertId(9)));

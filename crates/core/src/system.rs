@@ -164,9 +164,12 @@ mod tests {
         let device = devices::uma_apple_m2();
         let task = TaskSpec::b1().scaled(0.01);
         let model = task.build_model().unwrap();
-        let mut system =
-            ServingSystem::new(device, model, presets::coserve_casual(&devices::uma_apple_m2()))
-                .unwrap();
+        let mut system = ServingSystem::new(
+            device,
+            model,
+            presets::coserve_casual(&devices::uma_apple_m2()),
+        )
+        .unwrap();
         let new = presets::coserve(system.device()).renamed("renamed");
         system.reconfigure(new).unwrap();
         assert_eq!(system.config().name, "renamed");

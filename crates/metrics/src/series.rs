@@ -72,9 +72,10 @@ impl Series {
     /// The maximum y value, if any.
     #[must_use]
     pub fn y_max(&self) -> Option<f64> {
-        self.points.iter().map(|p| p.1).fold(None, |acc, y| {
-            Some(acc.map_or(y, |m: f64| m.max(y)))
-        })
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.max(y))))
     }
 }
 
@@ -137,7 +138,11 @@ impl FigureData {
         );
         for s in &self.series {
             for &(x, y) in s.points() {
-                t.row(vec![s.label().to_string(), format!("{x}"), format!("{y:.4}")]);
+                t.row(vec![
+                    s.label().to_string(),
+                    format!("{x}"),
+                    format!("{y:.4}"),
+                ]);
             }
         }
         t

@@ -77,7 +77,10 @@ impl Table {
                     s.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align text.
-                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+');
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+');
                 if numeric {
                     let _ = write!(s, "{cell:>w$}");
                 } else {
@@ -110,7 +113,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -153,7 +153,11 @@ mod tests {
 
     #[test]
     fn buckets_cover_the_makespan() {
-        let r = report_with_switches(&[(5, MemoryTier::Ssd), (15, MemoryTier::Cpu), (95, MemoryTier::Ssd)]);
+        let r = report_with_switches(&[
+            (5, MemoryTier::Ssd),
+            (15, MemoryTier::Cpu),
+            (95, MemoryTier::Ssd),
+        ]);
         let t = Timeline::from_report(&r, SimSpan::from_millis(10));
         assert_eq!(t.len(), 10);
         assert!(!t.is_empty());
@@ -208,8 +212,18 @@ mod tests {
     fn real_run_timeline_is_consistent() {
         // Integration-flavoured: a tiny synthetic report from many
         // events keeps totals consistent.
-        let events: Vec<(u64, MemoryTier)> =
-            (0..97).map(|i| (i, if i % 3 == 0 { MemoryTier::Cpu } else { MemoryTier::Ssd })).collect();
+        let events: Vec<(u64, MemoryTier)> = (0..97)
+            .map(|i| {
+                (
+                    i,
+                    if i % 3 == 0 {
+                        MemoryTier::Cpu
+                    } else {
+                        MemoryTier::Ssd
+                    },
+                )
+            })
+            .collect();
         let r = report_with_switches(&events);
         let t = Timeline::from_report(&r, SimSpan::from_millis(7));
         assert_eq!(t.total_switches(), 97);

@@ -12,8 +12,8 @@
 //! * Figure 6 — GPU memory footprint grows ≈ 1.5 ResNet101 experts per
 //!   extra batch item on the NUMA device.
 //!
-//! See `DESIGN.md` §6 for the calibration targets and `EXPERIMENTS.md`
-//! for the measured outcomes.
+//! The band assertions in `tests/figures_smoke.rs` pin these shapes;
+//! `PAPER.md` at the workspace root summarizes the source paper.
 
 use coserve_sim::compute::{LatencyModel, MemoryModel};
 use coserve_sim::device::{DeviceProfile, KernelProfile, ProcessorKind};
@@ -44,7 +44,11 @@ pub fn install_numa_kernels(device: &mut DeviceProfile) {
     let yolol = ArchSpec::yolov5l().weights();
     use ProcessorKind::{Cpu, Gpu};
     device.set_kernel(RESNET101, Gpu, kernel(8.0, 1.1, 16, 0.5, 200, resnet, 260));
-    device.set_kernel(RESNET101, Cpu, kernel(170.0, 36.0, 8, 4.0, 100, resnet, 150));
+    device.set_kernel(
+        RESNET101,
+        Cpu,
+        kernel(170.0, 36.0, 8, 4.0, 100, resnet, 150),
+    );
     device.set_kernel(YOLOV5M, Gpu, kernel(4.0, 2.0, 12, 0.8, 150, yolom, 190));
     device.set_kernel(YOLOV5M, Cpu, kernel(300.0, 75.0, 6, 8.0, 100, yolom, 110));
     device.set_kernel(YOLOV5L, Gpu, kernel(5.0, 3.2, 12, 1.0, 200, yolol, 260));
@@ -95,7 +99,11 @@ mod tests {
     use coserve_sim::transfer::TransferRoute;
 
     /// Switch share for batch-1 inference on the GPU, as in Figure 1.
-    fn switch_share(device: &DeviceProfile, arch: coserve_sim::device::ArchId, route: TransferRoute) -> f64 {
+    fn switch_share(
+        device: &DeviceProfile,
+        arch: coserve_sim::device::ArchId,
+        route: TransferRoute,
+    ) -> f64 {
         let k = device.kernel(arch, ProcessorKind::Gpu).unwrap();
         let weights = k.memory.weights;
         let exec = k.latency.latency(1).as_secs_f64();
@@ -169,7 +177,10 @@ mod tests {
             .unwrap()
             .latency
             .optimal_batch(32);
-        assert!((4..=7).contains(&uma_cpu_opt), "UMA CPU optimum {uma_cpu_opt}");
+        assert!(
+            (4..=7).contains(&uma_cpu_opt),
+            "UMA CPU optimum {uma_cpu_opt}"
+        );
     }
 
     #[test]
@@ -187,8 +198,16 @@ mod tests {
     fn cpu_is_much_slower_than_gpu() {
         for d in paper_devices() {
             for arch in [RESNET101, YOLOV5M, YOLOV5L] {
-                let gpu = d.kernel(arch, ProcessorKind::Gpu).unwrap().latency.latency_ms(4);
-                let cpu = d.kernel(arch, ProcessorKind::Cpu).unwrap().latency.latency_ms(4);
+                let gpu = d
+                    .kernel(arch, ProcessorKind::Gpu)
+                    .unwrap()
+                    .latency
+                    .latency_ms(4);
+                let cpu = d
+                    .kernel(arch, ProcessorKind::Cpu)
+                    .unwrap()
+                    .latency
+                    .latency_ms(4);
                 assert!(cpu > 4.0 * gpu, "{}: CPU {cpu} vs GPU {gpu}", d.name());
             }
         }

@@ -94,7 +94,10 @@ impl Expert {
     ///
     /// Panics on negative or NaN input.
     pub fn set_usage_prob(&mut self, p: f64) {
-        assert!(p >= 0.0 && !p.is_nan(), "usage probability must be a non-negative number");
+        assert!(
+            p >= 0.0 && !p.is_nan(),
+            "usage probability must be a non-negative number"
+        );
         self.usage_prob = p;
     }
 }

@@ -227,7 +227,9 @@ mod tests {
             g.add_dependency(e(1), e(1)),
             Err(GraphError::SelfDependency(e(1)))
         );
-        assert!(GraphError::SelfDependency(e(1)).to_string().contains("itself"));
+        assert!(GraphError::SelfDependency(e(1))
+            .to_string()
+            .contains("itself"));
     }
 
     #[test]
@@ -235,7 +237,10 @@ mod tests {
         let mut g = DependencyGraph::new(3);
         g.add_dependency(e(0), e(1)).unwrap();
         g.add_dependency(e(1), e(2)).unwrap();
-        assert_eq!(g.add_dependency(e(2), e(0)), Err(GraphError::Cycle(e(2), e(0))));
+        assert_eq!(
+            g.add_dependency(e(2), e(0)),
+            Err(GraphError::Cycle(e(2), e(0)))
+        );
         // The failed insert left the graph intact.
         assert_eq!(g.edge_count(), 2);
     }

@@ -65,7 +65,10 @@ impl RouteStage {
     /// Panics if `p` is not in `[0, 1]`.
     #[must_use]
     pub fn then_with_prob(expert: ExpertId, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "proceed probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "proceed probability must be in [0,1]"
+        );
         RouteStage {
             expert,
             proceed_prob: p,

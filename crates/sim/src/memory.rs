@@ -277,7 +277,11 @@ impl MemoryPool {
     /// Freeing more than is allocated indicates an engine bug; it is
     /// clamped to zero in release builds and flagged in debug builds.
     pub fn free(&mut self, size: Bytes) {
-        debug_assert!(size <= self.used, "freeing {size} but only {} used", self.used);
+        debug_assert!(
+            size <= self.used,
+            "freeing {size} but only {} used",
+            self.used
+        );
         self.used = self.used.saturating_sub(size);
     }
 }

@@ -233,6 +233,20 @@ mod tests {
         SimTime::ZERO + ms(v)
     }
 
+    /// Regression: a reservation can be interrogated with a request
+    /// timestamp *later* than its granted start (the engine replays
+    /// reordered bookkeeping when batches complete out of arrival
+    /// order). The delay must clamp to zero, never panic.
+    #[test]
+    fn queueing_delay_clamps_for_reordered_request_times() {
+        let mut r = FifoResource::new("gpu");
+        let first = r.reserve(at(0), ms(10)); // occupies [0, 10)
+        let second = r.reserve(at(2), ms(5)); // queues: starts at 10
+        assert_eq!(second.queueing_delay(at(2)), ms(8));
+        // Reordered: asking with a timestamp after the granted start.
+        assert_eq!(first.queueing_delay(at(7)), SimSpan::ZERO);
+    }
+
     #[test]
     fn immediate_grant_when_idle() {
         let mut r = FifoResource::new("gpu");

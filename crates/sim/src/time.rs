@@ -347,4 +347,26 @@ mod tests {
         let t = SimTime::MAX + SimSpan::from_secs(1);
         assert_eq!(t, SimTime::MAX);
     }
+
+    /// Regression for the panicking `Sub` contract: reordered operands
+    /// trip the debug assertion rather than silently wrapping. Code that
+    /// can legitimately observe reordered timestamps (scheduler and
+    /// eviction paths) must use `saturating_since`/`saturating_sub`; a
+    /// workspace-wide audit (disabling these `Sub` impls and recompiling
+    /// all targets) found no such call site outside this module.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "SimTime subtraction went negative")]
+    fn reordered_instant_subtraction_panics_in_debug() {
+        let earlier = SimTime::from_nanos(5);
+        let later = SimTime::from_nanos(9);
+        let _ = earlier - later;
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "SimSpan subtraction went negative")]
+    fn reordered_span_subtraction_panics_in_debug() {
+        let _ = SimSpan::from_nanos(5) - SimSpan::from_nanos(9);
+    }
 }

@@ -80,7 +80,11 @@ impl BoardSpec {
     ) -> Self {
         assert!(!components.is_empty(), "board needs at least one component");
         for (i, c) in components.iter().enumerate() {
-            assert_eq!(c.class, ClassId(i as u32), "component classes must be dense");
+            assert_eq!(
+                c.class,
+                ClassId(i as u32),
+                "component classes must be dense"
+            );
             assert!(
                 (0.0..=1.0).contains(&c.pass_prob),
                 "pass probability must be in [0,1]"
@@ -125,8 +129,7 @@ impl BoardSpec {
         detected_fraction: f64,
     ) -> Self {
         assert!(num_components > 0 && num_detectors > 0);
-        let dist =
-            ClassDistribution::zipf_with_floor(num_components, zipf_s, zipf_scale, 1.0);
+        let dist = ClassDistribution::zipf_with_floor(num_components, zipf_s, zipf_scale, 1.0);
         let detector_archs: Vec<DetectorArch> = (0..num_detectors)
             .map(|g| {
                 if g * 3 < num_detectors * 2 {
@@ -210,7 +213,10 @@ impl BoardSpec {
     #[must_use]
     pub fn class_distribution(&self) -> ClassDistribution {
         ClassDistribution::from_weights(
-            self.components.iter().map(|c| c.quantity_per_board).collect(),
+            self.components
+                .iter()
+                .map(|c| c.quantity_per_board)
+                .collect(),
         )
     }
 
@@ -255,9 +261,7 @@ impl BoardSpec {
         for c in &self.components {
             let cls_expert = self.classifier_of(c.class);
             let rule = match c.detector_group {
-                Some(g) => {
-                    RouteRule::with_follow_up(cls_expert, self.detector_of(g), c.pass_prob)
-                }
+                Some(g) => RouteRule::with_follow_up(cls_expert, self.detector_of(g), c.pass_prob),
                 None => RouteRule::single(cls_expert),
             };
             b.rule(c.class, rule);
@@ -271,7 +275,6 @@ impl BoardSpec {
         Ok(model)
     }
 }
-
 
 /// Error from parsing a board CSV.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -480,14 +483,18 @@ mod tests {
         let spec = BoardSpec::board_a();
         let model = spec.build_model().unwrap();
         // Classification usage sums to 1 (every request runs stage 1).
-        let cls_mass: f64 = (0..352).map(|i| model.expert(ExpertId(i)).usage_prob()).sum();
+        let cls_mass: f64 = (0..352)
+            .map(|i| model.expert(ExpertId(i)).usage_prob())
+            .sum();
         assert!((cls_mass - 1.0).abs() < 1e-9, "cls mass {cls_mass}");
         // Most-used classifier is the most common component.
         let p0 = model.expert(ExpertId(0)).usage_prob();
         let p_last = model.expert(ExpertId(351)).usage_prob();
         assert!(p0 > 10.0 * p_last);
         // Detection experts have aggregate shared usage.
-        let det_mass: f64 = (352..370).map(|i| model.expert(ExpertId(i)).usage_prob()).sum();
+        let det_mass: f64 = (352..370)
+            .map(|i| model.expert(ExpertId(i)).usage_prob())
+            .sum();
         assert!((0.3..0.7).contains(&det_mass), "det mass {det_mass}");
     }
 
@@ -568,7 +575,6 @@ mod tests {
         );
     }
 
-
     #[test]
     fn csv_round_trip() {
         let csv = "\
@@ -594,8 +600,7 @@ ic-u7,2,5,yolov5l,0.85
         assert_eq!(err.line, 1);
         let err = BoardSpec::from_csv("x", header).unwrap_err();
         assert!(err.message.contains("no component rows"));
-        let err =
-            BoardSpec::from_csv("x", &format!("{header}a,1,0,unknownnet,0.5\n")).unwrap_err();
+        let err = BoardSpec::from_csv("x", &format!("{header}a,1,0,unknownnet,0.5\n")).unwrap_err();
         assert!(err.message.contains("unknown detector arch"), "{err}");
         let err = BoardSpec::from_csv("x", &format!("{header}a,-3,,,0.5\n")).unwrap_err();
         assert!(err.message.contains("must be positive"));

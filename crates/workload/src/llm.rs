@@ -27,19 +27,36 @@ pub const LLM_RERANKER: ArchId = ArchId(101);
 
 /// The default domain list.
 pub const DOMAINS: [&str; 8] = [
-    "code", "math", "law", "medical", "finance", "writing", "translation", "search",
+    "code",
+    "math",
+    "law",
+    "medical",
+    "finance",
+    "writing",
+    "translation",
+    "search",
 ];
 
 /// Architecture spec for the domain experts.
 #[must_use]
 pub fn llm_expert_arch() -> ArchSpec {
-    ArchSpec::new(LLM_EXPERT, "llm-expert-1.3b", 1_300_000_000, Bytes::new(2_600_000_000))
+    ArchSpec::new(
+        LLM_EXPERT,
+        "llm-expert-1.3b",
+        1_300_000_000,
+        Bytes::new(2_600_000_000),
+    )
 }
 
 /// Architecture spec for the shared reranker.
 #[must_use]
 pub fn llm_reranker_arch() -> ArchSpec {
-    ArchSpec::new(LLM_RERANKER, "llm-reranker-0.4b", 400_000_000, Bytes::new(800_000_000))
+    ArchSpec::new(
+        LLM_RERANKER,
+        "llm-reranker-0.4b",
+        400_000_000,
+        Bytes::new(800_000_000),
+    )
 }
 
 /// Installs cost models for the LLM architectures on a device.
@@ -52,7 +69,11 @@ pub fn install_llm_kernels(device: &mut DeviceProfile) {
         ProcessorKind::Gpu,
         KernelProfile {
             latency: LatencyModel::linear(150.0, 45.0).with_saturation(8, 10.0),
-            memory: MemoryModel::new(Bytes::mib(512), llm_expert_arch().weights(), Bytes::mib(320)),
+            memory: MemoryModel::new(
+                Bytes::mib(512),
+                llm_expert_arch().weights(),
+                Bytes::mib(320),
+            ),
         },
     );
     device.set_kernel(
@@ -60,7 +81,11 @@ pub fn install_llm_kernels(device: &mut DeviceProfile) {
         ProcessorKind::Cpu,
         KernelProfile {
             latency: LatencyModel::linear(900.0, 420.0).with_saturation(4, 60.0),
-            memory: MemoryModel::new(Bytes::mib(256), llm_expert_arch().weights(), Bytes::mib(200)),
+            memory: MemoryModel::new(
+                Bytes::mib(256),
+                llm_expert_arch().weights(),
+                Bytes::mib(200),
+            ),
         },
     );
     device.set_kernel(
@@ -68,7 +93,11 @@ pub fn install_llm_kernels(device: &mut DeviceProfile) {
         ProcessorKind::Gpu,
         KernelProfile {
             latency: LatencyModel::linear(20.0, 6.0).with_saturation(16, 1.0),
-            memory: MemoryModel::new(Bytes::mib(128), llm_reranker_arch().weights(), Bytes::mib(64)),
+            memory: MemoryModel::new(
+                Bytes::mib(128),
+                llm_reranker_arch().weights(),
+                Bytes::mib(64),
+            ),
         },
     );
     device.set_kernel(
@@ -76,7 +105,11 @@ pub fn install_llm_kernels(device: &mut DeviceProfile) {
         ProcessorKind::Cpu,
         KernelProfile {
             latency: LatencyModel::linear(120.0, 45.0).with_saturation(6, 10.0),
-            memory: MemoryModel::new(Bytes::mib(64), llm_reranker_arch().weights(), Bytes::mib(48)),
+            memory: MemoryModel::new(
+                Bytes::mib(64),
+                llm_reranker_arch().weights(),
+                Bytes::mib(48),
+            ),
         },
     );
 }

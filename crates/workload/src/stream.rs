@@ -86,7 +86,9 @@ impl RequestStream {
         let classes: Vec<ClassId> = match order {
             StreamOrder::Iid => {
                 let dist = board.class_distribution();
-                (0..num_requests).map(|_| dist.sample(&mut class_rng)).collect()
+                (0..num_requests)
+                    .map(|_| dist.sample(&mut class_rng))
+                    .collect()
             }
             StreamOrder::BoardOrder => {
                 let mut out = Vec::with_capacity(num_requests);
@@ -196,8 +198,11 @@ impl RequestStream {
     /// The distinct experts the stream touches, sorted.
     #[must_use]
     pub fn distinct_experts(&self) -> Vec<ExpertId> {
-        let mut ids: Vec<ExpertId> =
-            self.jobs.iter().flat_map(|j| j.stages.iter().copied()).collect();
+        let mut ids: Vec<ExpertId> = self
+            .jobs
+            .iter()
+            .flat_map(|j| j.stages.iter().copied())
+            .collect();
         ids.sort();
         ids.dedup();
         ids
@@ -235,15 +240,8 @@ mod tests {
     fn make(order: StreamOrder, n: usize, seed: u64) -> (BoardSpec, RequestStream) {
         let board = small_board();
         let model = board.build_model().unwrap();
-        let s = RequestStream::generate(
-            "s",
-            &board,
-            &model,
-            n,
-            SimSpan::from_millis(4),
-            order,
-            seed,
-        );
+        let s =
+            RequestStream::generate("s", &board, &model, n, SimSpan::from_millis(4), order, seed);
         (board, s)
     }
 
@@ -252,7 +250,10 @@ mod tests {
         let (_, s) = make(StreamOrder::Iid, 10, 1);
         assert_eq!(s.len(), 10);
         for (i, j) in s.jobs().iter().enumerate() {
-            assert_eq!(j.arrival, SimTime::ZERO + SimSpan::from_millis(4) * i as u64);
+            assert_eq!(
+                j.arrival,
+                SimTime::ZERO + SimSpan::from_millis(4) * i as u64
+            );
             assert_eq!(j.id, JobId(i as u32));
         }
         assert_eq!(s.last_arrival(), SimTime::ZERO + SimSpan::from_millis(36));

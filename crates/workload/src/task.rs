@@ -107,7 +107,12 @@ impl TaskSpec {
     /// All four paper tasks in presentation order (A1, A2, B1, B2).
     #[must_use]
     pub fn paper_tasks() -> Vec<TaskSpec> {
-        vec![TaskSpec::a1(), TaskSpec::a2(), TaskSpec::b1(), TaskSpec::b2()]
+        vec![
+            TaskSpec::a1(),
+            TaskSpec::a2(),
+            TaskSpec::b1(),
+            TaskSpec::b2(),
+        ]
     }
 
     /// The task's name.

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Expert usage CDF (Figure 11) --------------------------------
     let cdf = autotune::UsageCdf::from_perf(&perf);
-    println!("\nexpert-usage CDF: top-35 of {} experts cover {:.1}%", cdf.len(), cdf.coverage(35) * 100.0);
+    println!(
+        "\nexpert-usage CDF: top-35 of {} experts cover {:.1}%",
+        cdf.len(),
+        cdf.coverage(35) * 100.0
+    );
 
     // --- The two offline searches ------------------------------------
     let sample = task.sample(600).stream(&model);

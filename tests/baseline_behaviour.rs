@@ -129,7 +129,9 @@ fn suite_runs_all_five_systems() {
     assert!(!tuned.executor_trials.is_empty());
     let stream = task.stream(&model);
     for config in &systems {
-        let r = Engine::new(&device, &model, &perf, config).unwrap().run(&stream);
+        let r = Engine::new(&device, &model, &perf, config)
+            .unwrap()
+            .run(&stream);
         assert_eq!(r.completed, stream.len(), "{} dropped jobs", config.name);
     }
 }

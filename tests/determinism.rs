@@ -19,6 +19,32 @@ fn full_pipeline_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// The `coserve-sim` docs claim runs are deterministic "bit for bit":
+/// the same `TaskSpec` served twice on fresh `ServingSystem`s (separate
+/// profiling passes, separate engines, separate streams) must produce
+/// identical `RunReport`s, down to individual latency samples and switch
+/// events.
+#[test]
+fn fresh_serving_systems_reproduce_reports_bit_for_bit() {
+    let run = || {
+        let task = TaskSpec::a1().scaled(0.08);
+        let model = task.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let config = presets::coserve(&device);
+        let system = ServingSystem::new(device, model, config).unwrap();
+        let stream = task.stream(system.model());
+        system.serve(&stream)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.latency_summary(), b.latency_summary());
+    assert_eq!(a.sched_summary(), b.sched_summary());
+    assert_eq!(a.expert_switches(), b.expert_switches());
+    assert_eq!(a.switch_events, b.switch_events);
+    // And the whole struct, in case a field is added later and missed above.
+    assert_eq!(a, b);
+}
+
 #[test]
 fn different_seeds_change_the_schedule() {
     let task = TaskSpec::a1().scaled(0.08);
@@ -29,8 +55,24 @@ fn different_seeds_change_the_schedule() {
     let engine = Engine::new(&device, &model, &perf, &config).unwrap();
     // Different workload seeds → different streams → different runs.
     let board = task.board().clone();
-    let s1 = RequestStream::generate("s1", &board, &model, 200, SimSpan::from_millis(4), StreamOrder::Iid, 1);
-    let s2 = RequestStream::generate("s2", &board, &model, 200, SimSpan::from_millis(4), StreamOrder::Iid, 2);
+    let s1 = RequestStream::generate(
+        "s1",
+        &board,
+        &model,
+        200,
+        SimSpan::from_millis(4),
+        StreamOrder::Iid,
+        1,
+    );
+    let s2 = RequestStream::generate(
+        "s2",
+        &board,
+        &model,
+        200,
+        SimSpan::from_millis(4),
+        StreamOrder::Iid,
+        2,
+    );
     let r1 = engine.run(&s1);
     let r2 = engine.run(&s2);
     assert_ne!(r1.switch_events, r2.switch_events);
@@ -75,11 +117,19 @@ fn reports_are_independent_of_construction_order() {
     let coserve_cfg = presets::coserve(&device);
     let samba_cfg = samba_coe(&device);
 
-    let co_first = Engine::new(&device, &model, &perf, &coserve_cfg).unwrap().run(&stream);
-    let sa_second = Engine::new(&device, &model, &perf, &samba_cfg).unwrap().run(&stream);
+    let co_first = Engine::new(&device, &model, &perf, &coserve_cfg)
+        .unwrap()
+        .run(&stream);
+    let sa_second = Engine::new(&device, &model, &perf, &samba_cfg)
+        .unwrap()
+        .run(&stream);
 
-    let sa_first = Engine::new(&device, &model, &perf, &samba_cfg).unwrap().run(&stream);
-    let co_second = Engine::new(&device, &model, &perf, &coserve_cfg).unwrap().run(&stream);
+    let sa_first = Engine::new(&device, &model, &perf, &samba_cfg)
+        .unwrap()
+        .run(&stream);
+    let co_second = Engine::new(&device, &model, &perf, &coserve_cfg)
+        .unwrap()
+        .run(&stream);
 
     assert_eq!(co_first, co_second);
     assert_eq!(sa_first, sa_second);

@@ -39,8 +39,12 @@ fn coserve_beats_samba_on_throughput_and_switches() {
     let (device, model, perf, stream) = context(0.5);
     let coserve = presets::coserve(&device);
     let samba = samba_coe(&device);
-    let co = Engine::new(&device, &model, &perf, &coserve).unwrap().run(&stream);
-    let sa = Engine::new(&device, &model, &perf, &samba).unwrap().run(&stream);
+    let co = Engine::new(&device, &model, &perf, &coserve)
+        .unwrap()
+        .run(&stream);
+    let sa = Engine::new(&device, &model, &perf, &samba)
+        .unwrap()
+        .run(&stream);
     assert!(
         co.throughput_ips() > 2.0 * sa.throughput_ips(),
         "CoServe {:.1} img/s vs Samba {:.1} img/s",
@@ -131,13 +135,15 @@ fn llm_scenario_end_to_end() {
     let model = coserve::workload::llm::build_llm_coe(6, 0.5).unwrap();
     let mut device = devices::numa_rtx3080ti();
     coserve::workload::llm::install_llm_kernels(&mut device);
-    let stream =
-        coserve::workload::llm::llm_stream(&model, 6, 120, SimSpan::from_millis(200), 11);
+    let stream = coserve::workload::llm::llm_stream(&model, 6, 120, SimSpan::from_millis(200), 11);
     let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Empirical(&stream));
     let config = presets::coserve_with(&device, "CoServe", 2, 1, None);
     let report = Engine::new(&device, &model, &perf, &config)
         .unwrap()
         .run(&stream);
     assert_eq!(report.completed, 120);
-    assert!(report.expert_switches() > 0, "9 large experts cannot all fit");
+    assert!(
+        report.expert_switches() > 0,
+        "9 large experts cannot all fit"
+    );
 }

@@ -11,7 +11,7 @@ fn scale_down() {
     // Safe pre-2024 edition; all tests in this binary set the same value.
     std::env::set_var("COSERVE_SCALE", "0.05");
     std::env::set_var(
-        "COSERVE_EXPERIMENT_DIR",
+        "COSERVE_OUT_DIR",
         std::env::temp_dir().join("coserve-figsmoke"),
     );
 }
@@ -34,7 +34,10 @@ fn fig01_shares_match_paper_bands() {
     let csv = t.to_csv();
     for line in csv.lines().skip(1) {
         let share: f64 = line.split(',').next_back().unwrap().parse().unwrap();
-        assert!((55.0..100.0).contains(&share), "share {share} out of band: {line}");
+        assert!(
+            (55.0..100.0).contains(&share),
+            "share {share} out of band: {line}"
+        );
         if line.contains("SSD") {
             assert!(share > 85.0, "SSD share too low: {line}");
         }
@@ -106,6 +109,9 @@ fn fig17_18_19_produce_rows() {
         let sched: f64 = cells[2].parse().unwrap();
         let gap: f64 = cells[5].parse().unwrap();
         assert!(sched < 60.0, "scheduling latency implausible: {line}");
-        assert!(gap < 25.0, "scheduling overhead too large at small scale: {line}");
+        assert!(
+            gap < 25.0,
+            "scheduling overhead too large at small scale: {line}"
+        );
     }
 }

@@ -44,7 +44,10 @@ fn empirical_usage_matches_declared_on_large_sample() {
     let declared: Vec<ExpertId> = model.experts_by_usage().into_iter().take(10).collect();
     let estimated: Vec<ExpertId> = perf.experts_by_usage().into_iter().take(10).collect();
     let overlap = declared.iter().filter(|e| estimated.contains(e)).count();
-    assert!(overlap >= 7, "top-10 overlap only {overlap}: {declared:?} vs {estimated:?}");
+    assert!(
+        overlap >= 7,
+        "top-10 overlap only {overlap}: {declared:?} vs {estimated:?}"
+    );
 }
 
 #[test]
@@ -84,7 +87,9 @@ fn window_search_result_is_servable_and_in_range() {
     assert!(result.chosen <= model.num_experts());
     // The chosen count yields a servable config that completes work.
     let config = presets::coserve_with(&device, "win", 3, 1, Some(result.chosen));
-    let report = Engine::new(&device, &model, &perf, &config).unwrap().run(&sample);
+    let report = Engine::new(&device, &model, &perf, &config)
+        .unwrap()
+        .run(&sample);
     assert_eq!(report.completed, sample.len());
 }
 

@@ -1,0 +1,179 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to the crates.io
+//! registry, so this vendored crate supplies the subset of criterion's API
+//! that the `coserve-bench` benches use: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher`] (`iter` / `iter_batched`), [`BatchSize`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is real (wall-clock over a fixed iteration budget) but there is no
+//! statistical analysis, warm-up tuning, or HTML reporting. The goal is that
+//! `cargo bench` runs, prints a per-benchmark mean, and exercises exactly the
+//! same code paths the real harness would.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching criterion's export.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost across a batch of iterations.
+///
+/// The stand-in runs every batch size the same way (setup once per
+/// iteration), so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; setup is cheap relative to the routine.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Inputs per batch chosen by the harness.
+    PerIteration,
+}
+
+/// Number of timed iterations per benchmark in the stand-in harness.
+///
+/// Kept deliberately small: `cargo bench` in CI should smoke-test the
+/// benchmark bodies, not produce publication-quality numbers.
+const DEFAULT_ITERS: u64 = 10;
+
+/// Measures and reports a single benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self {
+            iters,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` over the iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    fn report(&self, name: &str) {
+        let mean = self.elapsed.as_secs_f64() / self.iters.max(1) as f64;
+        println!("bench: {name:<60} {:>12.3} ms/iter", mean * 1e3);
+    }
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<u64>,
+}
+
+impl Criterion {
+    /// Benchmarks a single routine under `name`.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: ToString,
+        F: FnMut(&mut Bencher),
+    {
+        let iters = self.sample_size.unwrap_or(DEFAULT_ITERS);
+        let mut b = Bencher::new(iters);
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: ToString>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size.unwrap_or(DEFAULT_ITERS),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration budget for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion enforces a floor of 10 samples; mirror that so callers
+        // passing small numbers behave identically against the real crate.
+        self.sample_size = (n as u64).max(10);
+        self
+    }
+
+    /// Sets the target measurement time (accepted and ignored).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine within this group.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: ToString,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name.to_string()));
+        self
+    }
+
+    /// Finishes the group. A no-op in the stand-in harness.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
