@@ -21,4 +21,5 @@ fn main() {
     emit(&figures::fig17_executors(), "fig17_executors");
     emit(&figures::fig18_window_search(), "fig18_window_search");
     emit(&figures::fig19_overhead(), "fig19_overhead");
+    emit(&figures::fig20_latency_vs_load(), "fig20_latency_vs_load");
 }

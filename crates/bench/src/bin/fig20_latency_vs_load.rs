@@ -1,0 +1,7 @@
+//! Open-loop extension: tail latency and drops vs offered load.
+fn main() {
+    coserve_bench::emit(
+        &coserve_bench::figures::fig20_latency_vs_load(),
+        "fig20_latency_vs_load",
+    );
+}

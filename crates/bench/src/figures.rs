@@ -7,14 +7,18 @@
 //! summarizes the source paper.
 
 use coserve_core::autotune::{window_search, UsageCdf, WindowSearchOptions};
+use coserve_core::config::AdmissionControl;
+use coserve_core::engine::Engine;
 use coserve_core::presets;
 use coserve_core::profiler::Profiler;
 use coserve_metrics::table::{fmt_f64, Table};
 use coserve_model::arch::{ArchSpec, RESNET101};
 use coserve_sim::device::ProcessorKind;
 use coserve_sim::transfer::TransferRoute;
+use coserve_workload::arrivals::ArrivalProcess;
+use coserve_workload::stream::{RequestStream, StreamOrder};
 
-use crate::{paper_devices, paper_tasks, Bench};
+use crate::{paper_devices, paper_tasks, scale, Bench};
 
 /// Table 1: hardware for evaluation.
 #[must_use]
@@ -401,6 +405,81 @@ pub fn fig18_window_search() -> Table {
             fmt_f64(result.deviation * 100.0, 1),
             format!("selected range; chosen {} (deviation %)", result.chosen),
         ]);
+    }
+    t
+}
+
+/// Open-loop extension figure: tail latency and drop rate vs offered
+/// load (Poisson arrivals) for CoServe and the Samba-CoE baselines, all
+/// pushed through the same bounded-queue admission harness. This is the
+/// latency-vs-load curve open-loop serving comparisons (SN40L, CoMoE)
+/// report and the paper's closed evaluation cannot produce.
+#[must_use]
+pub fn fig20_latency_vs_load() -> Table {
+    let mut t = Table::new(
+        "Figure 20 (extension): Tail latency and drops vs offered load (Poisson, NUMA)",
+        &[
+            "system",
+            "offered_rps",
+            "p50_ms",
+            "p90_ms",
+            "p95_ms",
+            "p99_ms",
+            "drop_pct",
+            "goodput_ips",
+        ],
+    );
+    let device = paper_devices().remove(0);
+    let task = paper_tasks().remove(0);
+    let model = task.build_model().expect("built-in boards validate");
+    let perf = Profiler::with_defaults().profile(
+        &device,
+        &model,
+        coserve_core::profiler::UsageSource::Declared,
+    );
+    // Floor high enough that the arrival volume can overflow the
+    // bounded queues even at smoke-test scales — the overload leg of
+    // the curve must show nonzero drops.
+    let requests = ((800.0 * scale()).round() as usize).max(300);
+    let systems = [
+        presets::coserve(&device),
+        coserve_baselines::samba::samba_coe(&device),
+        coserve_baselines::samba::samba_coe_parallel(&device),
+    ];
+    for rps in [100.0, 250.0, 500.0, 1_000.0] {
+        // One arrival schedule per load level, shared by every system.
+        let stream = RequestStream::generate_open_loop(
+            format!("open-loop poisson {rps}/s"),
+            task.board(),
+            &model,
+            requests,
+            ArrivalProcess::poisson(rps),
+            StreamOrder::Iid,
+            7,
+        );
+        for base in &systems {
+            let mut config = base.clone();
+            config.admission = Some(AdmissionControl::default());
+            config.max_overtake = Some(presets::ONLINE_MAX_OVERTAKE);
+            let report = Engine::new(&device, &model, &perf, &config)
+                .expect("harness configs are valid")
+                .run(&stream);
+            let lat = report.latency_summary();
+            let fmt_lat = |f: fn(&coserve_metrics::stats::Summary) -> f64| {
+                lat.as_ref()
+                    .map_or_else(|| "-".into(), |s| fmt_f64(f(s), 1))
+            };
+            t.row(vec![
+                config.name.clone(),
+                fmt_f64(rps, 0),
+                fmt_lat(|s| s.p50),
+                fmt_lat(|s| s.p90),
+                fmt_lat(|s| s.p95),
+                fmt_lat(|s| s.p99),
+                fmt_f64(100.0 * report.drop_rate(), 1),
+                fmt_f64(report.throughput_ips(), 1),
+            ]);
+        }
     }
     t
 }

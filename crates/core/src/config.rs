@@ -40,6 +40,39 @@ pub struct ExecutorSpec {
     pub processor: ProcessorKind,
 }
 
+/// Admission control for open-loop online serving: executor queues are
+/// bounded and requests that would overflow them are dropped (and
+/// accounted) instead of queued indefinitely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Maximum pending requests per executor queue; a request assigned
+    /// to a full queue is dropped.
+    pub queue_capacity: usize,
+}
+
+impl AdmissionControl {
+    /// Bounds each executor queue at `queue_capacity` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity` is zero (no request could ever be
+    /// admitted).
+    #[must_use]
+    pub fn with_queue_capacity(queue_capacity: usize) -> Self {
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        AdmissionControl { queue_capacity }
+    }
+}
+
+impl Default for AdmissionControl {
+    /// A per-executor bound of 64 pending requests — deep enough to
+    /// ride out bursts, shallow enough that queueing delay stays
+    /// bounded at overload.
+    fn default() -> Self {
+        AdmissionControl { queue_capacity: 64 }
+    }
+}
+
 /// How device memory is split between expert pools, inference
 /// workspace, and (on NUMA devices) the CPU staging cache (§4.4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +139,15 @@ pub struct SystemConfig {
     pub scheduler_slots: usize,
     /// Memory split.
     pub memory: MemoryPlan,
+    /// Open-loop admission control (bounded executor queues with drop
+    /// accounting). `None` — the default — is the paper's closed-loop
+    /// mode: queues grow without bound and nothing is dropped.
+    pub admission: Option<AdmissionControl>,
+    /// Starvation bound for grouped arranging: the maximum number of
+    /// times a queued request may be overtaken by same-expert grouping
+    /// before later arrivals append FCFS behind it. `None` — the
+    /// default — reproduces the paper's unbounded §4.2 behaviour.
+    pub max_overtake: Option<u32>,
     /// Seed for the run's deterministic RNG.
     pub seed: u64,
 }
@@ -126,6 +168,8 @@ impl SystemConfig {
                 scheduling_cost: SimSpan::from_micros(500),
                 scheduler_slots: 2,
                 memory: MemoryPlan::default(),
+                admission: None,
+                max_overtake: None,
                 seed: 7,
             },
         }
@@ -261,6 +305,22 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enables open-loop admission control with bounded executor
+    /// queues.
+    #[must_use]
+    pub fn admission(mut self, control: AdmissionControl) -> Self {
+        self.config.admission = Some(control);
+        self
+    }
+
+    /// Sets the grouped-arranging starvation bound (maximum overtakes
+    /// per queued request).
+    #[must_use]
+    pub fn max_overtake(mut self, bound: u32) -> Self {
+        self.config.max_overtake = Some(bound);
+        self
+    }
+
     /// Sets the window-search result: total GPU-resident experts.
     #[must_use]
     pub fn gpu_resident_experts(mut self, n: usize) -> Self {
@@ -351,6 +411,31 @@ mod tests {
             .gpu_resident_experts(35)
             .build();
         assert_eq!(c.memory.gpu_resident_experts, Some(35));
+    }
+
+    #[test]
+    fn closed_loop_defaults_have_no_admission() {
+        let c = SystemConfig::builder("closed").gpu_executors(1).build();
+        assert_eq!(c.admission, None);
+        assert_eq!(c.max_overtake, None);
+    }
+
+    #[test]
+    fn online_knobs_round_trip() {
+        let c = SystemConfig::builder("online")
+            .gpu_executors(1)
+            .admission(AdmissionControl::with_queue_capacity(32))
+            .max_overtake(8)
+            .build();
+        assert_eq!(c.admission.unwrap().queue_capacity, 32);
+        assert_eq!(c.max_overtake, Some(8));
+        assert_eq!(AdmissionControl::default().queue_capacity, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be positive")]
+    fn zero_queue_capacity_panics() {
+        let _ = AdmissionControl::with_queue_capacity(0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! executor's compute — the pipelining that makes multiple executors
 //! worthwhile.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use coserve_metrics::report::{ChannelReport, ExecutorReport, RunReport, SwitchEvent};
@@ -258,6 +258,36 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// Round-robin expert preloading across executor pools (§4.1): experts
+/// arrive in descending-usage order; each goes to the pool at the
+/// cursor (probing forward past pools it does not fit), and the cursor
+/// advances past the pool that accepted it — so a full or too-small
+/// pool never skews placement onto a single neighbour.
+fn preload_round_robin(
+    pools: &mut [&mut ModelPool],
+    order: &[ExpertId],
+    weight_bytes: impl Fn(ExpertId) -> Bytes,
+) {
+    let n = pools.len();
+    if n == 0 {
+        return;
+    }
+    let mut cursor = 0usize;
+    for &expert in order {
+        let bytes = weight_bytes(expert);
+        for probe in 0..n {
+            let idx = (cursor + probe) % n;
+            if pools[idx].fits(bytes) {
+                pools[idx]
+                    .insert(expert, bytes, SimTime::ZERO)
+                    .expect("fits was checked");
+                cursor = (idx + 1) % n;
+                break;
+            }
+        }
+    }
+}
+
 /// Events driving the serving loop.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
@@ -324,6 +354,7 @@ struct ExecState {
 struct JobState {
     failed: bool,
     done: bool,
+    dropped: bool,
 }
 
 struct Run<'a> {
@@ -342,10 +373,13 @@ struct Run<'a> {
     rr_cursor: usize,
     completed: usize,
     failed: usize,
+    admitted: usize,
+    dropped: usize,
     stages_executed: usize,
     last_done: SimTime,
     switch_events: Vec<SwitchEvent>,
     job_latencies: Vec<SimSpan>,
+    stage_latencies: BTreeMap<u8, Vec<SimSpan>>,
     sched_latencies: Vec<SimSpan>,
 }
 
@@ -393,10 +427,13 @@ impl<'a> Run<'a> {
             rr_cursor: 0,
             completed: 0,
             failed: 0,
+            admitted: 0,
+            dropped: 0,
             stages_executed: 0,
             last_done: SimTime::ZERO,
             switch_events: Vec::new(),
             job_latencies: Vec::new(),
+            stage_latencies: BTreeMap::new(),
             sched_latencies: Vec::new(),
         };
         if engine.config.preload {
@@ -409,26 +446,10 @@ impl<'a> Run<'a> {
     /// round-robin manner, prioritized by descending usage
     /// probabilities, until the memory is fully utilized."
     fn preload(&mut self) {
-        if self.execs.is_empty() {
-            return;
-        }
         let order = self.engine.perf.experts_by_usage();
-        let n = self.execs.len();
-        let mut cursor = 0usize;
-        for expert in order {
-            let bytes = self.engine.model.weight_bytes(expert);
-            for probe in 0..n {
-                let idx = (cursor + probe) % n;
-                if self.execs[idx].pool.fits(bytes) {
-                    self.execs[idx]
-                        .pool
-                        .insert(expert, bytes, SimTime::ZERO)
-                        .expect("fits was checked");
-                    cursor = (idx + 1) % n;
-                    break;
-                }
-            }
-        }
+        let model = self.engine.model;
+        let mut pools: Vec<&mut ModelPool> = self.execs.iter_mut().map(|e| &mut e.pool).collect();
+        preload_round_robin(&mut pools, &order, |e| model.weight_bytes(e));
     }
 
     fn execute(mut self) -> RunReport {
@@ -467,15 +488,34 @@ impl<'a> Run<'a> {
     fn on_sched(&mut self, job: u32, stage: u8, now: SimTime) {
         let expert = self.stream.jobs()[job as usize].stages[stage as usize];
         let exec_idx = self.assign(expert, now);
+        // Open-loop admission control: a request assigned to a full
+        // queue is dropped, terminating its job (stages are sequential,
+        // so nothing else of the job is in flight).
+        if let Some(admission) = self.engine.config.admission {
+            if self.execs[exec_idx].queue.len() >= admission.queue_capacity {
+                let state = &mut self.jobs[job as usize];
+                if !state.dropped && !state.done && !state.failed {
+                    state.dropped = true;
+                    self.dropped += 1;
+                }
+                return;
+            }
+        }
+        if stage == 0 {
+            self.admitted += 1;
+        }
         let req = PendingRequest {
             job: coserve_workload::stream::JobId(job),
             stage,
             expert,
             ready_at: now,
         };
-        match self.engine.config.arrange {
-            ArrangePolicy::Grouped => self.execs[exec_idx].queue.insert_grouped(req),
-            ArrangePolicy::Fcfs => self.execs[exec_idx].queue.push_back(req),
+        match (self.engine.config.arrange, self.engine.config.max_overtake) {
+            (ArrangePolicy::Grouped, Some(bound)) => self.execs[exec_idx]
+                .queue
+                .insert_grouped_bounded(req, bound),
+            (ArrangePolicy::Grouped, None) => self.execs[exec_idx].queue.insert_grouped(req),
+            (ArrangePolicy::Fcfs, _) => self.execs[exec_idx].queue.push_back(req),
         }
         self.try_start(exec_idx, now);
     }
@@ -539,6 +579,10 @@ impl<'a> Run<'a> {
         self.stages_executed += batch.len();
         self.last_done = self.last_done.max(now);
         for req in batch {
+            self.stage_latencies
+                .entry(req.stage)
+                .or_default()
+                .push(now.saturating_since(req.ready_at));
             let job = &self.stream.jobs()[req.job.index()];
             let next_stage = req.stage + 1;
             if (next_stage as usize) < job.stages.len() {
@@ -941,12 +985,15 @@ impl<'a> Run<'a> {
             submitted: self.stream.len(),
             completed: self.completed,
             failed: self.failed,
+            admitted: self.admitted,
+            dropped: self.dropped,
             stages_executed: self.stages_executed,
             makespan: self.last_done.saturating_since(SimTime::ZERO),
             switch_events: self.switch_events,
             switch_time_total,
             exec_time_total,
             job_latencies: self.job_latencies,
+            stage_latencies: self.stage_latencies,
             sched_latencies: self.sched_latencies,
             executors,
             channels,
@@ -978,6 +1025,8 @@ mod proptests {
             evict_sel in 0u8..4,
             batching in any::<bool>(),
             preload in any::<bool>(),
+            admit in any::<bool>(),
+            overtake_sel in 0u8..3,
             seed in 0u64..1_000,
         ) {
             let board = BoardSpec::synthetic("prop", 12, 2, 1.2, 20.0, 0.5);
@@ -992,7 +1041,7 @@ mod proptests {
             if cpus > 0 {
                 builder = builder.cpu_executors(cpus);
             }
-            let config = builder
+            let mut builder = builder
                 .assign(if assign_da { AssignPolicy::DependencyAware } else { AssignPolicy::RoundRobin })
                 .arrange(if arrange_grouped { ArrangePolicy::Grouped } else { ArrangePolicy::Fcfs })
                 .eviction(match evict_sel {
@@ -1002,11 +1051,26 @@ mod proptests {
                     _ => EvictionPolicy::Lfu,
                 })
                 .batching(batching)
-                .preload(preload)
-                .build();
+                .preload(preload);
+            if admit {
+                builder = builder.admission(crate::config::AdmissionControl::with_queue_capacity(4));
+            }
+            match overtake_sel {
+                0 => {}
+                1 => builder = builder.max_overtake(0),
+                _ => builder = builder.max_overtake(4),
+            }
+            let config = builder.build();
             let engine = Engine::new(&device, &model, &perf, &config).expect("valid");
             let report = engine.run(&stream);
-            prop_assert_eq!(report.completed + report.failed, report.submitted);
+            prop_assert_eq!(
+                report.completed + report.failed + report.dropped,
+                report.submitted
+            );
+            if !admit {
+                prop_assert_eq!(report.dropped, 0);
+                prop_assert_eq!(report.admitted, report.submitted);
+            }
             let exec_switches: u64 = report.executors.iter().map(|e| e.switches).sum();
             prop_assert_eq!(exec_switches, report.expert_switches());
             let again = engine.run(&stream);
@@ -1324,6 +1388,136 @@ mod tests {
             .run(&stream);
         assert_eq!(lfu_r.completed, 300);
         assert_ne!(lfu_r.switch_events, lru_r.switch_events);
+    }
+
+    /// Satellite regression: when one pool is full (or too small), the
+    /// round-robin preload cursor must keep distributing the remaining
+    /// experts evenly across the other pools instead of piling them
+    /// onto one neighbour.
+    #[test]
+    fn preload_round_robin_stays_even_when_one_pool_is_full() {
+        let expert_size = Bytes::mib(10);
+        let mut tiny = ModelPool::new(Bytes::mib(10)); // fits exactly one
+        let mut a = ModelPool::new(Bytes::gib(1));
+        let mut b = ModelPool::new(Bytes::gib(1));
+        let order: Vec<ExpertId> = (0..11).map(ExpertId).collect();
+        {
+            let mut pools = [&mut tiny, &mut a, &mut b];
+            preload_round_robin(&mut pools, &order, |_| expert_size);
+        }
+        assert_eq!(tiny.len(), 1, "tiny pool takes exactly one expert");
+        assert_eq!(a.len() + b.len(), 10, "everything else is placed");
+        assert!(
+            a.len().abs_diff(b.len()) <= 1,
+            "skewed distribution: {} vs {}",
+            a.len(),
+            b.len()
+        );
+    }
+
+    #[test]
+    fn preload_round_robin_skips_oversized_experts_per_pool() {
+        let mut small = ModelPool::new(Bytes::mib(5));
+        let mut big = ModelPool::new(Bytes::mib(100));
+        let order: Vec<ExpertId> = (0..4).map(ExpertId).collect();
+        {
+            let mut pools = [&mut small, &mut big];
+            // Every expert is 10 MiB: none ever fits the small pool.
+            preload_round_robin(&mut pools, &order, |_| Bytes::mib(10));
+        }
+        assert_eq!(small.len(), 0);
+        assert_eq!(big.len(), 4);
+        // Empty pool list is a no-op, not a panic.
+        preload_round_robin(&mut [], &order, |_| Bytes::mib(10));
+    }
+
+    #[test]
+    fn admission_drops_at_overload_and_conserves_jobs() {
+        let (device, model, perf, stream) = setup(30, 300);
+        let config = SystemConfig::builder("online")
+            .gpu_executors(1)
+            .admission(crate::config::AdmissionControl::with_queue_capacity(2))
+            .max_overtake(8)
+            .build();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let report = engine.run(&stream);
+        assert!(report.dropped > 0, "capacity-2 queue must shed load");
+        assert_eq!(
+            report.completed + report.failed + report.dropped,
+            report.submitted
+        );
+        assert!(report.admitted >= report.completed);
+        assert!(report.admitted < report.submitted);
+        assert!(report.drop_rate() > 0.0);
+        // Determinism holds with admission control on.
+        assert_eq!(report, engine.run(&stream));
+    }
+
+    #[test]
+    fn admission_with_headroom_matches_closed_loop() {
+        let (device, model, perf, stream) = setup(20, 100);
+        let closed = SystemConfig::builder("same").gpu_executors(2).build();
+        let open = SystemConfig::builder("same")
+            .gpu_executors(2)
+            .admission(crate::config::AdmissionControl::with_queue_capacity(4096))
+            .build();
+        let closed_r = Engine::new(&device, &model, &perf, &closed)
+            .unwrap()
+            .run(&stream);
+        let open_r = Engine::new(&device, &model, &perf, &open)
+            .unwrap()
+            .run(&stream);
+        assert_eq!(closed_r.dropped, 0);
+        assert_eq!(open_r.dropped, 0);
+        assert_eq!(open_r.admitted, open_r.submitted);
+        assert_eq!(closed_r, open_r, "unused admission bound must not perturb");
+    }
+
+    #[test]
+    fn stage_latency_ledgers_cover_executed_stages() {
+        let (device, model, perf, stream) = setup(30, 200);
+        let config = coserve_config();
+        let report = Engine::new(&device, &model, &perf, &config)
+            .unwrap()
+            .run(&stream);
+        // Every job runs stage 0; stage 1 runs for two-stage jobs only.
+        assert_eq!(report.stage_latencies[&0].len(), 200);
+        let total: usize = report.stage_latencies.values().map(Vec::len).sum();
+        assert_eq!(total, report.stages_executed);
+        for stage in report.stages() {
+            let s = report.stage_summary(stage).unwrap();
+            assert!(s.is_finite(), "stage {stage} summary not finite");
+            assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        }
+    }
+
+    #[test]
+    fn zero_overtake_bound_degrades_grouping_to_fcfs() {
+        let (device, model, perf, stream) = setup(25, 150);
+        let grouped0 = SystemConfig::builder("same")
+            .gpu_executors(2)
+            .max_overtake(0)
+            .build();
+        let fcfs = SystemConfig::builder("same")
+            .gpu_executors(2)
+            .arrange(ArrangePolicy::Fcfs)
+            .build();
+        let a = Engine::new(&device, &model, &perf, &grouped0)
+            .unwrap()
+            .run(&stream);
+        let b = Engine::new(&device, &model, &perf, &fcfs)
+            .unwrap()
+            .run(&stream);
+        assert_eq!(a, b, "bound 0 must order queues exactly like FCFS");
+        // A generous bound still reduces switches vs FCFS.
+        let bounded = SystemConfig::builder("same")
+            .gpu_executors(2)
+            .max_overtake(32)
+            .build();
+        let c = Engine::new(&device, &model, &perf, &bounded)
+            .unwrap()
+            .run(&stream);
+        assert!(c.expert_switches() <= b.expert_switches());
     }
 
     #[test]

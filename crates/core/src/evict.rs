@@ -5,8 +5,10 @@
 //! stages:
 //!
 //! 1. evict *subsequent* experts none of whose preliminary experts are
-//!    resident — they cannot run anyway — in descending memory-footprint
-//!    order (fewest evictions that satisfy the need);
+//!    resident — they cannot run anyway — picking a minimal sufficient
+//!    set: biggest-first while no single orphan covers the remaining
+//!    need (fewest evictions), then the smallest orphan that does
+//!    (no gratuitous over-eviction);
 //! 2. if still short, evict remaining experts in ascending pre-assessed
 //!    usage probability.
 //!
@@ -113,7 +115,14 @@ pub fn select_victims(
 
     match policy {
         EvictionPolicy::DependencyAware => {
-            // Stage 1: orphaned subsequent experts, biggest first.
+            // Stage 1: orphaned subsequent experts, as a minimal
+            // sufficient set. Plain biggest-first over-evicts: with
+            // orphans of 178 and 85 MiB and a 50 MiB need it would
+            // evict the 178 MiB expert when the 85 MiB one alone
+            // suffices. So: while no single orphan covers what is
+            // still needed, take the biggest (fewest evictions);
+            // once one does, take the *smallest* single orphan that
+            // covers the remainder and stop.
             let mut stage1: Vec<ExpertId> = pool
                 .residents()
                 .map(|(e, _)| e)
@@ -131,7 +140,22 @@ pub fn select_victims(
                 bb.cmp(&ba).then(a.cmp(&b))
             });
             let stage1_set: BTreeSet<ExpertId> = stage1.iter().copied().collect();
-            take(stage1, &mut victims, &mut freed);
+            let mut remaining: std::collections::VecDeque<ExpertId> = stage1.into();
+            while freed < need && !remaining.is_empty() {
+                let still_needed = need - freed;
+                // The list is sorted descending, so the last element
+                // that covers `still_needed` is the smallest sufficient
+                // one.
+                let sufficient = remaining
+                    .iter()
+                    .rposition(|&e| pool.resident(e).expect("resident").bytes >= still_needed);
+                let chosen = match sufficient {
+                    Some(idx) => remaining.remove(idx).expect("index in range"),
+                    None => remaining.pop_front().expect("non-empty"),
+                };
+                freed += pool.resident(chosen).expect("resident").bytes;
+                victims.push(chosen);
+            }
 
             // Stage 2: everything else, least-probable first.
             if freed < need {
@@ -307,6 +331,87 @@ mod tests {
         )
         .unwrap();
         assert_eq!(v, vec![big, small]);
+    }
+
+    /// Regression: with orphaned subsequents of 178 and 85 MiB and a
+    /// 50 MiB need, plain biggest-first evicted the 178 MiB expert even
+    /// though the 85 MiB one alone satisfies the need — gratuitously
+    /// throwing away a bigger (more expensive to reload) expert.
+    #[test]
+    fn stage1_does_not_over_evict_when_a_smaller_orphan_suffices() {
+        let mut b = CoeModel::builder("two-dets");
+        b.arch(ArchSpec::resnet101());
+        b.arch(ArchSpec::yolov5m());
+        let c0 = b.expert("c0", RESNET101, 0.5);
+        let small = b.expert("det-s", YOLOV5M, 0.4);
+        let big = b.expert("det-b", RESNET101, 0.3);
+        b.rule(ClassId(0), RouteRule::with_follow_up(c0, small, 0.5));
+        b.rule(ClassId(1), RouteRule::with_follow_up(c0, big, 0.5));
+        let model = b.build().unwrap();
+        let perf = matrix_for(&model);
+
+        let mut pool = ModelPool::new(Bytes::gib(1));
+        pool.insert(small, Bytes::mib(85), t(0)).unwrap();
+        pool.insert(big, Bytes::mib(178), t(1)).unwrap();
+        let protected = BTreeSet::new();
+        let ctx = EvictionContext {
+            model: &model,
+            perf: &perf,
+            protected: &protected,
+        };
+        // 50 MiB need: the smaller orphan alone suffices.
+        let v =
+            select_victims(EvictionPolicy::DependencyAware, &pool, Bytes::mib(50), &ctx).unwrap();
+        assert_eq!(v, vec![small], "over-evicted: {v:?}");
+        // 100 MiB need: only the bigger orphan suffices alone.
+        let v = select_victims(
+            EvictionPolicy::DependencyAware,
+            &pool,
+            Bytes::mib(100),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(v, vec![big]);
+    }
+
+    /// Three orphans where the minimal sufficient set still needs the
+    /// biggest-first phase before the final smallest-sufficient pick.
+    #[test]
+    fn stage1_minimal_set_combines_biggest_then_smallest_sufficient() {
+        let mut b = CoeModel::builder("three-dets");
+        b.arch(ArchSpec::resnet101());
+        b.arch(ArchSpec::yolov5m());
+        let c0 = b.expert("c0", RESNET101, 0.5);
+        let d0 = b.expert("d0", YOLOV5M, 0.4);
+        let d1 = b.expert("d1", YOLOV5M, 0.3);
+        let d2 = b.expert("d2", RESNET101, 0.2);
+        b.rule(ClassId(0), RouteRule::with_follow_up(c0, d0, 0.5));
+        b.rule(ClassId(1), RouteRule::with_follow_up(c0, d1, 0.5));
+        b.rule(ClassId(2), RouteRule::with_follow_up(c0, d2, 0.5));
+        let model = b.build().unwrap();
+        let perf = matrix_for(&model);
+
+        let mut pool = ModelPool::new(Bytes::gib(1));
+        pool.insert(d0, Bytes::mib(60), t(0)).unwrap();
+        pool.insert(d1, Bytes::mib(90), t(1)).unwrap();
+        pool.insert(d2, Bytes::mib(200), t(2)).unwrap();
+        let protected = BTreeSet::new();
+        let ctx = EvictionContext {
+            model: &model,
+            perf: &perf,
+            protected: &protected,
+        };
+        // Need 250: no single orphan covers it, so take the biggest
+        // (200), then the smallest that covers the remaining 50 (60) —
+        // NOT the 90 MiB one biggest-first would grab next.
+        let v = select_victims(
+            EvictionPolicy::DependencyAware,
+            &pool,
+            Bytes::mib(250),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(v, vec![d2, d0]);
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub mod prelude {
         WindowSearchResult,
     };
     pub use crate::config::{
-        ArrangePolicy, AssignPolicy, ExecutorSpec, MemoryPlan, SystemConfig, SystemConfigBuilder,
+        AdmissionControl, ArrangePolicy, AssignPolicy, ExecutorSpec, MemoryPlan, SystemConfig,
+        SystemConfigBuilder,
     };
     pub use crate::engine::{plan_memory, Engine, EngineError, MemoryLayout};
     pub use crate::evict::{select_victims, EvictError, EvictionContext, EvictionPolicy};

@@ -107,6 +107,23 @@ pub fn coserve_em_ra(device: &DeviceProfile) -> SystemConfig {
     config
 }
 
+/// The default grouped-arranging starvation bound used by the online
+/// preset: grouping may overtake a queued request at most this many
+/// times before falling back to FCFS behind it.
+pub const ONLINE_MAX_OVERTAKE: u32 = 16;
+
+/// The fully optimized CoServe configured for open-loop online serving:
+/// bounded executor queues with drop accounting (admission control) and
+/// a grouping starvation bound, so tail latency stays finite at
+/// overload.
+#[must_use]
+pub fn coserve_online(device: &DeviceProfile) -> SystemConfig {
+    let mut config = coserve(device).renamed("CoServe Online");
+    config.admission = Some(crate::config::AdmissionControl::default());
+    config.max_overtake = Some(ONLINE_MAX_OVERTAKE);
+    config
+}
+
 /// The four ablation steps in presentation order:
 /// None → EM → EM+RA → full CoServe (§5.3, Figures 15–16).
 #[must_use]
@@ -150,6 +167,17 @@ mod tests {
         assert_eq!(c.eviction, EvictionPolicy::DependencyAware);
         assert_eq!(c.gpu_executor_count(), 3);
         assert_eq!(c.cpu_executor_count(), 1);
+    }
+
+    #[test]
+    fn online_preset_bounds_queues_and_overtakes() {
+        let c = coserve_online(&devices::numa_rtx3080ti());
+        assert_eq!(c.name, "CoServe Online");
+        assert!(c.admission.is_some());
+        assert_eq!(c.max_overtake, Some(ONLINE_MAX_OVERTAKE));
+        // The underlying policies stay fully CoServe.
+        assert_eq!(c.assign, AssignPolicy::DependencyAware);
+        assert_eq!(c.arrange, ArrangePolicy::Grouped);
     }
 
     #[test]

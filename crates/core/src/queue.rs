@@ -6,6 +6,14 @@
 //! requests form contiguous runs; the batch splitter then peels
 //! maximal same-expert prefixes bounded by the current maximum
 //! executable batch size.
+//!
+//! Unbounded grouping can starve: a steady arrival of same-expert
+//! requests keeps inserting ahead of an older request for a different
+//! expert, delaying it indefinitely. [`ExecutorQueue::insert_grouped_bounded`]
+//! caps how many times any queued request may be overtaken; once a
+//! request hits the bound, later arrivals append at the tail instead of
+//! jumping past it — grouping becomes best-effort, latency stays
+//! bounded.
 
 use std::collections::VecDeque;
 
@@ -27,10 +35,18 @@ pub struct PendingRequest {
     pub ready_at: SimTime,
 }
 
+/// A queued request plus the number of times later arrivals have been
+/// inserted ahead of it — the bookkeeping behind the starvation bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    req: PendingRequest,
+    overtaken: u32,
+}
+
 /// An ordered queue of pending requests with grouped insertion.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutorQueue {
-    items: VecDeque<PendingRequest>,
+    items: VecDeque<Slot>,
 }
 
 impl ExecutorQueue {
@@ -54,23 +70,47 @@ impl ExecutorQueue {
 
     /// Appends at the tail (FCFS order — the baselines' behaviour).
     pub fn push_back(&mut self, req: PendingRequest) {
-        self.items.push_back(req);
+        self.items.push_back(Slot { req, overtaken: 0 });
     }
 
     /// Inserts `req` directly after the last queued request using the
     /// same expert, or at the tail if none exists — CoServe's request
-    /// arranging (§4.2).
+    /// arranging (§4.2), with no starvation bound (the paper's
+    /// behaviour).
     pub fn insert_grouped(&mut self, req: PendingRequest) {
-        match self.items.iter().rposition(|r| r.expert == req.expert) {
-            Some(idx) => self.items.insert(idx + 1, req),
-            None => self.items.push_back(req),
+        self.insert_grouped_bounded(req, u32::MAX);
+    }
+
+    /// Grouped insertion with a starvation bound: `req` joins the last
+    /// same-expert run only if doing so would not overtake any request
+    /// that has already been overtaken `max_overtake` times; otherwise
+    /// it appends at the tail. With `max_overtake = 0` this degrades to
+    /// FCFS; with `u32::MAX` it is exactly [`ExecutorQueue::insert_grouped`].
+    ///
+    /// Bounding overtakes bounds delay: a queued request can be passed
+    /// at most `max_overtake` times, so its start time is at most the
+    /// service time of the requests ahead of it at enqueue plus
+    /// `max_overtake` extra requests.
+    pub fn insert_grouped_bounded(&mut self, req: PendingRequest, max_overtake: u32) {
+        let Some(idx) = self.items.iter().rposition(|s| s.req.expert == req.expert) else {
+            self.items.push_back(Slot { req, overtaken: 0 });
+            return;
+        };
+        let pos = idx + 1;
+        if self.items.range(pos..).any(|s| s.overtaken >= max_overtake) {
+            self.items.push_back(Slot { req, overtaken: 0 });
+            return;
         }
+        for s in self.items.range_mut(pos..) {
+            s.overtaken += 1;
+        }
+        self.items.insert(pos, Slot { req, overtaken: 0 });
     }
 
     /// The expert needed by the queue head, if any.
     #[must_use]
     pub fn front_expert(&self) -> Option<ExpertId> {
-        self.items.front().map(|r| r.expert)
+        self.items.front().map(|s| s.req.expert)
     }
 
     /// Removes and returns the maximal same-expert prefix, capped at
@@ -85,8 +125,8 @@ impl ExecutorQueue {
         let mut batch = Vec::new();
         while batch.len() < max_batch as usize {
             match self.items.front() {
-                Some(r) if r.expert == expert => {
-                    batch.push(self.items.pop_front().expect("front exists"));
+                Some(s) if s.req.expert == expert => {
+                    batch.push(self.items.pop_front().expect("front exists").req);
                 }
                 _ => break,
             }
@@ -96,7 +136,7 @@ impl ExecutorQueue {
 
     /// Iterates queued requests front to back.
     pub fn iter(&self) -> impl Iterator<Item = &PendingRequest> {
-        self.items.iter()
+        self.items.iter().map(|s| &s.req)
     }
 
     /// Iterates the queue as contiguous same-expert runs:
@@ -104,10 +144,10 @@ impl ExecutorQueue {
     #[must_use]
     pub fn runs(&self) -> Vec<(ExpertId, u32)> {
         let mut out: Vec<(ExpertId, u32)> = Vec::new();
-        for r in &self.items {
+        for s in &self.items {
             match out.last_mut() {
-                Some((e, n)) if *e == r.expert => *n += 1,
-                _ => out.push((r.expert, 1)),
+                Some((e, n)) if *e == s.req.expert => *n += 1,
+                _ => out.push((s.req.expert, 1)),
             }
         }
         out
@@ -116,7 +156,7 @@ impl ExecutorQueue {
     /// Whether any queued request uses `expert`.
     #[must_use]
     pub fn contains_expert(&self, expert: ExpertId) -> bool {
-        self.items.iter().any(|r| r.expert == expert)
+        self.items.iter().any(|s| s.req.expert == expert)
     }
 }
 
@@ -175,6 +215,58 @@ mod tests {
         q.insert_grouped(req(1, 9));
         let experts: Vec<u32> = q.iter().map(|r| r.expert.0).collect();
         assert_eq!(experts, vec![5, 9]);
+    }
+
+    /// Regression for the grouping-starvation bug: a steady arrival of
+    /// same-expert requests must not delay an older request for a
+    /// different expert past the overtake bound.
+    #[test]
+    fn bounded_grouping_prevents_starvation() {
+        let bound = 3;
+        let mut q = ExecutorQueue::new();
+        q.push_back(req(0, 5)); // expert-5 run the stream will join
+        q.push_back(req(1, 7)); // the victim: different expert, older
+        for j in 2..50 {
+            q.insert_grouped_bounded(req(j, 5), bound);
+        }
+        let victim_pos = q.iter().position(|r| r.job == JobId(1)).unwrap();
+        // Job 1 started at position 1 and may be overtaken at most
+        // `bound` times, so it can sit no deeper than 1 + bound.
+        assert!(
+            victim_pos <= 1 + bound as usize,
+            "victim starved at position {victim_pos} of {}",
+            q.len()
+        );
+        // Unbounded grouping DOES starve in the same scenario — the bug
+        // this pins.
+        let mut unbounded = ExecutorQueue::new();
+        unbounded.push_back(req(0, 5));
+        unbounded.push_back(req(1, 7));
+        for j in 2..50 {
+            unbounded.insert_grouped(req(j, 5));
+        }
+        let starved_pos = unbounded.iter().position(|r| r.job == JobId(1)).unwrap();
+        assert_eq!(starved_pos, unbounded.len() - 1, "expected tail starvation");
+    }
+
+    #[test]
+    fn bounded_grouping_zero_is_fcfs() {
+        let mut q = ExecutorQueue::new();
+        q.push_back(req(0, 5));
+        q.push_back(req(1, 7));
+        q.insert_grouped_bounded(req(2, 5), 0);
+        let jobs: Vec<u32> = q.iter().map(|r| r.job.0).collect();
+        assert_eq!(jobs, vec![0, 1, 2], "bound 0 must never overtake");
+    }
+
+    #[test]
+    fn bounded_grouping_still_groups_under_the_bound() {
+        let mut q = ExecutorQueue::new();
+        q.push_back(req(0, 5));
+        q.push_back(req(1, 7));
+        q.insert_grouped_bounded(req(2, 5), 8);
+        let experts: Vec<u32> = q.iter().map(|r| r.expert.0).collect();
+        assert_eq!(experts, vec![5, 5, 7], "grouping works below the bound");
     }
 
     #[test]
@@ -252,6 +344,34 @@ mod proptests {
             let mut seen = std::collections::BTreeSet::new();
             for (e, _) in runs {
                 prop_assert!(seen.insert(e), "expert {e} appears in two runs");
+            }
+            prop_assert_eq!(q.len(), experts.len());
+        }
+
+        /// Under bounded grouped insertion, no request is ever overtaken
+        /// by more than `bound` later arrivals: at most `bound` requests
+        /// with a larger (younger) job id sit ahead of it.
+        #[test]
+        fn bounded_insert_bounds_overtakes(
+            experts in proptest::collection::vec(0u32..6, 1..80),
+            bound in 0u32..6,
+        ) {
+            let mut q = ExecutorQueue::new();
+            for (j, &e) in experts.iter().enumerate() {
+                q.insert_grouped_bounded(PendingRequest {
+                    job: JobId(j as u32),
+                    stage: 0,
+                    expert: ExpertId(e),
+                    ready_at: SimTime::ZERO,
+                }, bound);
+            }
+            let order: Vec<u32> = q.iter().map(|r| r.job.0).collect();
+            for (pos, &job) in order.iter().enumerate() {
+                let younger_ahead = order[..pos].iter().filter(|&&o| o > job).count();
+                prop_assert!(
+                    younger_ahead <= bound as usize,
+                    "job {job} overtaken {younger_ahead} times (bound {bound})"
+                );
             }
             prop_assert_eq!(q.len(), experts.len());
         }

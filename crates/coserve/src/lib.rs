@@ -17,6 +17,11 @@
 //! * [`baselines`] — the Samba-CoE baselines and evaluation suite;
 //! * [`metrics`] — run reports, statistics and table rendering.
 //!
+//! [`serve`] adds what the paper's closed evaluation cannot express:
+//! open-loop online serving with Poisson/bursty arrivals, bounded
+//! queues, admission control and tail-latency (p50/p90/p95/p99)
+//! reporting — see [`serve::serve_open_loop`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -49,8 +54,11 @@ pub use coserve_model as model;
 pub use coserve_sim as sim;
 pub use coserve_workload as workload;
 
+pub mod serve;
+
 /// One-stop imports for the common workflow.
 pub mod prelude {
+    pub use crate::serve::{open_loop_stream, serve_open_loop, OpenLoopOptions};
     pub use coserve_baselines::prelude::*;
     pub use coserve_core::prelude::*;
     pub use coserve_metrics::prelude::*;

@@ -2,8 +2,12 @@
 //!
 //! Every serving run produces a [`RunReport`]: the throughput and
 //! expert-switch counts the paper's Figures 13–16 plot, plus the
-//! latency ledgers behind Figure 19 and per-executor accounting for
-//! debugging and utilization analysis.
+//! latency ledgers behind Figure 19, per-executor accounting for
+//! debugging and utilization analysis, and — for open-loop online
+//! serving — admission/drop counters and per-stage latency ledgers
+//! backing tail-latency (p50/p90/p95/p99) SLO reporting.
+
+use std::collections::BTreeMap;
 
 use coserve_model::expert::ExpertId;
 use coserve_sim::device::ProcessorKind;
@@ -82,6 +86,12 @@ pub struct RunReport {
     /// Primary requests that could not be served (e.g. an expert that
     /// fits in no pool).
     pub failed: usize,
+    /// Primary requests whose first stage passed admission control
+    /// (equals `submitted` when no admission bound is configured).
+    pub admitted: usize,
+    /// Primary requests dropped by admission control at any stage —
+    /// the open-loop overload/backpressure counter.
+    pub dropped: usize,
     /// Total stages executed (a two-stage job counts twice).
     pub stages_executed: usize,
     /// Time from the first arrival to the last completion.
@@ -95,6 +105,10 @@ pub struct RunReport {
     /// Per-job sojourn times (arrival → final-stage completion) for
     /// completed jobs.
     pub job_latencies: Vec<SimSpan>,
+    /// Per-stage sojourn times (stage enqueued → stage batch finished),
+    /// keyed by stage index — the ledger behind per-stage percentile
+    /// reporting.
+    pub stage_latencies: BTreeMap<u8, Vec<SimSpan>>,
     /// Per-request scheduling processing latencies (Figure 19).
     pub sched_latencies: Vec<SimSpan>,
     /// Per-executor accounting.
@@ -153,6 +167,43 @@ impl RunReport {
         Summary::of_spans(&self.sched_latencies)
     }
 
+    /// Summary of sojourn latencies for one stage index, if any request
+    /// of that stage completed.
+    #[must_use]
+    pub fn stage_summary(&self, stage: u8) -> Option<Summary> {
+        Summary::of_spans(self.stage_latencies.get(&stage)?)
+    }
+
+    /// The stage indices with recorded latencies, in order.
+    #[must_use]
+    pub fn stages(&self) -> Vec<u8> {
+        self.stage_latencies.keys().copied().collect()
+    }
+
+    /// Fraction of submitted requests dropped by admission control
+    /// (zero for closed-loop runs).
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.submitted as f64
+    }
+
+    /// Fraction of *submitted* requests that completed within `slo` —
+    /// the goodput-style SLO-attainment metric of open-loop serving
+    /// comparisons. Dropped and failed requests count as violations:
+    /// a system shedding 90 % of its load must not report near-100 %
+    /// attainment off the survivors. `None` when nothing was submitted.
+    #[must_use]
+    pub fn slo_attainment(&self, slo: SimSpan) -> Option<f64> {
+        if self.submitted == 0 {
+            return None;
+        }
+        let met = self.job_latencies.iter().filter(|&&l| l <= slo).count();
+        Some(met as f64 / self.submitted as f64)
+    }
+
     /// Mean inference latency per *request* — total execution time
     /// divided by stages executed (the per-image inference latency of
     /// Figure 19).
@@ -164,11 +215,21 @@ impl RunReport {
         self.exec_time_total.as_millis_f64() / self.stages_executed as f64
     }
 
-    /// A one-line human-readable summary.
+    /// A one-line human-readable summary. Open-loop runs with drops
+    /// append the drop count.
     #[must_use]
     pub fn summary_line(&self) -> String {
+        let drops = if self.dropped > 0 {
+            format!(
+                ", {} dropped ({:.1} %)",
+                self.dropped,
+                100.0 * self.drop_rate()
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{} / {} / {}: {:.1} img/s, {} switches ({} SSD, {} cached), makespan {}",
+            "{} / {} / {}: {:.1} img/s, {} switches ({} SSD, {} cached), makespan {}{}",
             self.system,
             self.device,
             self.task,
@@ -176,7 +237,8 @@ impl RunReport {
             self.expert_switches(),
             self.switches_from_ssd(),
             self.switches_from_cpu(),
-            self.makespan
+            self.makespan,
+            drops
         )
     }
 }
@@ -193,6 +255,8 @@ mod tests {
             submitted: 100,
             completed: 100,
             failed: 0,
+            admitted: 100,
+            dropped: 0,
             stages_executed: 150,
             makespan: SimSpan::from_secs(10),
             switch_events: vec![
@@ -214,6 +278,13 @@ mod tests {
             switch_time_total: SimSpan::from_millis(860),
             exec_time_total: SimSpan::from_secs(3),
             job_latencies: vec![SimSpan::from_millis(40), SimSpan::from_millis(60)],
+            stage_latencies: BTreeMap::from([
+                (
+                    0u8,
+                    vec![SimSpan::from_millis(30), SimSpan::from_millis(50)],
+                ),
+                (1u8, vec![SimSpan::from_millis(10)]),
+            ]),
             sched_latencies: vec![SimSpan::from_millis(8)],
             executors: vec![ExecutorReport {
                 index: 0,
@@ -279,5 +350,40 @@ mod tests {
         let mut r = sample_report();
         r.stages_executed = 0;
         assert_eq!(r.mean_exec_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn stage_summaries_cover_recorded_stages() {
+        let r = sample_report();
+        assert_eq!(r.stages(), vec![0, 1]);
+        let s0 = r.stage_summary(0).unwrap();
+        assert_eq!(s0.count, 2);
+        assert!((s0.mean - 40.0).abs() < 1e-9);
+        assert_eq!(r.stage_summary(1).unwrap().count, 1);
+        assert!(r.stage_summary(7).is_none());
+    }
+
+    #[test]
+    fn drop_accounting_and_slo() {
+        let mut r = sample_report();
+        assert_eq!(r.drop_rate(), 0.0);
+        assert!(!r.summary_line().contains("dropped"));
+        r.dropped = 25;
+        r.admitted = 75;
+        assert!((r.drop_rate() - 0.25).abs() < 1e-12);
+        assert!(r.summary_line().contains("25 dropped (25.0 %)"));
+        // SLO attainment is goodput-style: measured over *submitted*
+        // requests, so the 98 that recorded no completion latency (and
+        // any drops) count as violations, not survivorship.
+        r.submitted = 4;
+        assert_eq!(r.slo_attainment(SimSpan::from_millis(50)), Some(0.25));
+        assert_eq!(r.slo_attainment(SimSpan::from_millis(100)), Some(0.5));
+        r.job_latencies.clear();
+        assert_eq!(r.slo_attainment(SimSpan::from_millis(50)), Some(0.0));
+        // Empty latency ledgers are explicit `None`s, never NaN rows.
+        assert!(r.latency_summary().is_none());
+        r.submitted = 0;
+        assert_eq!(r.drop_rate(), 0.0);
+        assert_eq!(r.slo_attainment(SimSpan::from_millis(50)), None);
     }
 }

@@ -67,10 +67,15 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinFit> {
     })
 }
 
-/// A five-number-plus-mean summary of a sample.
+/// A percentile-grade summary of a sample (tail-latency reporting).
+///
+/// Construction goes through [`Summary::of`], which rejects empty
+/// samples with `None` — the `count > 0` invariant is what keeps every
+/// field finite (no silent `NaN` means or percentiles in reports and
+/// CSVs downstream).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
-    /// Number of samples.
+    /// Number of samples (always positive).
     pub count: usize,
     /// Arithmetic mean.
     pub mean: f64,
@@ -78,6 +83,10 @@ pub struct Summary {
     pub min: f64,
     /// Median (p50).
     pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
     /// Maximum.
@@ -85,7 +94,9 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes a sample. Returns `None` for an empty sample.
+    /// Summarizes a sample. Returns `None` for an empty sample — the
+    /// zero-safe contract every report/CSV path relies on instead of
+    /// dividing by a zero count.
     #[must_use]
     pub fn of(values: &[f64]) -> Option<Summary> {
         if values.is_empty() {
@@ -100,9 +111,22 @@ impl Summary {
             mean,
             min: sorted[0],
             p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p95: percentile_sorted(&sorted, 95.0),
             p99: percentile_sorted(&sorted, 99.0),
             max: sorted[count - 1],
         })
+    }
+
+    /// Whether every statistic is a finite number — the invariant the
+    /// empty-sample guard exists to protect.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        [
+            self.mean, self.min, self.p50, self.p90, self.p95, self.p99, self.max,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
     }
 
     /// Summarizes a sample of spans, in milliseconds.
@@ -194,7 +218,31 @@ mod tests {
         assert!(Summary::of(&[]).is_none());
         let s = Summary::of(&[7.0]).unwrap();
         assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p90, 7.0);
+        assert_eq!(s.p95, 7.0);
         assert_eq!(s.p99, 7.0);
+    }
+
+    /// Regression: an empty sample must be an explicit `None`, never a
+    /// summary with `NaN` statistics — both for raw values and spans
+    /// (the path reports and CSVs consume).
+    #[test]
+    fn empty_samples_are_explicit_not_nan() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of_spans(&[]).is_none());
+        assert_eq!(percentile(&[], 99.0), None);
+        // Every non-empty summary is fully finite.
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn summary_tail_percentiles_are_ordered() {
+        let values: Vec<f64> = (0..1000).map(f64::from).collect();
+        let s = Summary::of(&values).unwrap();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99);
+        assert!((s.p90 - 899.1).abs() < 1e-9);
+        assert!((s.p95 - 949.05).abs() < 1e-9);
     }
 
     #[test]

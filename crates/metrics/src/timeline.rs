@@ -130,6 +130,8 @@ mod tests {
             submitted: 10,
             completed: 10,
             failed: 0,
+            admitted: 10,
+            dropped: 0,
             stages_executed: 10,
             makespan: SimSpan::from_millis(100),
             switch_events: at_ms
@@ -145,6 +147,7 @@ mod tests {
             switch_time_total: SimSpan::ZERO,
             exec_time_total: SimSpan::ZERO,
             job_latencies: vec![],
+            stage_latencies: std::collections::BTreeMap::new(),
             sched_latencies: vec![],
             executors: vec![],
             channels: vec![],

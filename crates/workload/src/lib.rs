@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrivals;
 pub mod board;
 pub mod distribution;
 pub mod llm;
@@ -33,6 +34,7 @@ pub mod task;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::arrivals::ArrivalProcess;
     pub use crate::board::{BoardSpec, ComponentSpec, DetectorArch, ParseBoardError};
     pub use crate::distribution::ClassDistribution;
     pub use crate::stream::{Job, JobId, RequestStream, StreamOrder};

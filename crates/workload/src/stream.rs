@@ -13,6 +13,7 @@ use coserve_model::routing::ClassId;
 use coserve_sim::rng::SimRng;
 use coserve_sim::time::{SimSpan, SimTime};
 
+use crate::arrivals::ArrivalProcess;
 use crate::board::BoardSpec;
 
 /// Identifies a job within one stream.
@@ -78,10 +79,46 @@ impl RequestStream {
         order: StreamOrder,
         seed: u64,
     ) -> Self {
+        RequestStream::generate_open_loop(
+            name,
+            board,
+            model,
+            num_requests,
+            ArrivalProcess::Uniform { interval },
+            order,
+            seed,
+        )
+    }
+
+    /// Generates a stream whose arrival times come from an open-loop
+    /// [`ArrivalProcess`] instead of the fixed conveyor interval.
+    ///
+    /// With [`ArrivalProcess::Uniform`] this is byte-identical to
+    /// [`RequestStream::generate`]: classes and stage pre-rolls use the
+    /// same seeded sub-streams, so the arrival schedule is the *only*
+    /// thing an arrival-process sweep varies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_requests` is zero or the model lacks a routing
+    /// rule for a sampled class (impossible for models built from the
+    /// same [`BoardSpec`]).
+    #[must_use]
+    pub fn generate_open_loop(
+        name: impl Into<String>,
+        board: &BoardSpec,
+        model: &CoeModel,
+        num_requests: usize,
+        process: ArrivalProcess,
+        order: StreamOrder,
+        seed: u64,
+    ) -> Self {
         assert!(num_requests > 0, "stream needs at least one request");
         let mut rng = SimRng::seed_from(seed);
         let mut class_rng = rng.fork(1);
         let mut stage_rng = rng.fork(2);
+        let mut arrival_rng = rng.fork(3);
+        let arrivals = process.sample_arrivals(num_requests, &mut arrival_rng);
 
         let classes: Vec<ClassId> = match order {
             StreamOrder::Iid => {
@@ -111,8 +148,9 @@ impl RequestStream {
 
         let jobs = classes
             .into_iter()
+            .zip(arrivals)
             .enumerate()
-            .map(|(i, class)| {
+            .map(|(i, (class, arrival))| {
                 let rule = model
                     .routing()
                     .rule(class)
@@ -127,7 +165,7 @@ impl RequestStream {
                 Job {
                     id: JobId(i as u32),
                     class,
-                    arrival: SimTime::ZERO + interval * i as u64,
+                    arrival,
                     stages,
                 }
             })
@@ -337,6 +375,73 @@ mod tests {
         let count0 = s.jobs().iter().filter(|j| j.class == ClassId(0)).count();
         let expected = board.components()[0].quantity_per_board.round() as usize * 2;
         assert_eq!(count0, expected);
+    }
+
+    #[test]
+    fn open_loop_uniform_matches_generate() {
+        let board = small_board();
+        let model = board.build_model().unwrap();
+        let closed = RequestStream::generate(
+            "s",
+            &board,
+            &model,
+            120,
+            SimSpan::from_millis(4),
+            StreamOrder::Iid,
+            7,
+        );
+        let open = RequestStream::generate_open_loop(
+            "s",
+            &board,
+            &model,
+            120,
+            ArrivalProcess::Uniform {
+                interval: SimSpan::from_millis(4),
+            },
+            StreamOrder::Iid,
+            7,
+        );
+        assert_eq!(closed, open);
+    }
+
+    #[test]
+    fn open_loop_poisson_changes_only_arrivals() {
+        let board = small_board();
+        let model = board.build_model().unwrap();
+        let make = |process| {
+            RequestStream::generate_open_loop(
+                "s",
+                &board,
+                &model,
+                150,
+                process,
+                StreamOrder::Iid,
+                7,
+            )
+        };
+        let uniform = make(ArrivalProcess::Uniform {
+            interval: SimSpan::from_millis(4),
+        });
+        let poisson = make(ArrivalProcess::poisson(250.0));
+        assert_ne!(uniform, poisson);
+        // Same classes and stage pre-rolls, different arrival times.
+        for (u, p) in uniform.jobs().iter().zip(poisson.jobs()) {
+            assert_eq!(u.class, p.class);
+            assert_eq!(u.stages, p.stages);
+        }
+        // Arrivals remain non-decreasing (from_jobs' invariant).
+        let again = RequestStream::from_jobs("copy", poisson.jobs().to_vec());
+        assert_eq!(again.jobs(), poisson.jobs());
+    }
+
+    #[test]
+    fn open_loop_generation_is_deterministic() {
+        let board = small_board();
+        let model = board.build_model().unwrap();
+        let p = ArrivalProcess::bursty(100.0, 900.0, 100.0, 25.0);
+        let a = RequestStream::generate_open_loop("b", &board, &model, 200, p, StreamOrder::Iid, 3);
+        let b = RequestStream::generate_open_loop("b", &board, &model, 200, p, StreamOrder::Iid, 3);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Open-loop online serving: sweep offered load and report tail
+//! latency, drop rate and SLO attainment.
+//!
+//! ```sh
+//! cargo run --release --example open_loop_serving
+//! ```
+//!
+//! The closed paper evaluation replays a conveyor (one image every
+//! 4 ms); this example instead offers Poisson and bursty MMPP traffic
+//! at increasing rates to a CoServe system with bounded executor
+//! queues, the regime where admission control and p99 matter.
+
+use coserve::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = BoardSpec::synthetic("online-demo", 32, 3, 1.2, 40.0, 0.5);
+    let model = board.build_model()?;
+    let device = devices::numa_rtx3080ti();
+    let system = ServingSystem::new(
+        device,
+        model,
+        presets::coserve_online(&devices::numa_rtx3080ti()),
+    )?;
+
+    let slo = SimSpan::from_millis(2_000);
+    println!("CoServe open-loop serving on {}", system.device().name());
+    println!("SLO: end-to-end latency <= {slo}\n");
+    println!(
+        "{:<22} {:>8} {:>9} {:>9} {:>9} {:>7} {:>8}",
+        "arrivals", "p50_ms", "p90_ms", "p99_ms", "goodput", "drop%", "SLO-ok%"
+    );
+
+    let mut processes = vec![ArrivalProcess::Uniform {
+        interval: PAPER_ARRIVAL_INTERVAL,
+    }];
+    for rps in [50.0, 150.0, 400.0, 1_200.0] {
+        processes.push(ArrivalProcess::poisson(rps));
+    }
+    // A bursty stream with the same 150 rps average as the mid sweep.
+    processes.push(ArrivalProcess::bursty(50.0, 550.0, 200.0, 50.0));
+
+    for process in processes {
+        let options = OpenLoopOptions::new(process).requests(400);
+        let report = serve_open_loop(&system, &board, &options);
+        let lat = report.latency_summary().expect("some jobs complete");
+        println!(
+            "{:<22} {:>8.1} {:>9.1} {:>9.1} {:>9.1} {:>6.1}% {:>7.1}%",
+            process.to_string(),
+            lat.p50,
+            lat.p90,
+            lat.p99,
+            report.throughput_ips(),
+            100.0 * report.drop_rate(),
+            100.0 * report.slo_attainment(slo).unwrap_or(0.0),
+        );
+    }
+
+    Ok(())
+}

@@ -115,3 +115,32 @@ fn fig17_18_19_produce_rows() {
         );
     }
 }
+
+#[test]
+fn fig20_latency_vs_load_has_finite_tails_and_overload_drops() {
+    scale_down();
+    let t = figures::fig20_latency_vs_load();
+    // 4 load levels × 3 systems.
+    assert_eq!(t.len(), 12);
+    let csv = t.to_csv();
+    let mut any_drops = false;
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        // p50/p90/p95/p99 are finite, parseable, and ordered.
+        let p50: f64 = cells[2].parse().unwrap();
+        let p95: f64 = cells[4].parse().unwrap();
+        let p99: f64 = cells[5].parse().unwrap();
+        assert!(p50.is_finite() && p95.is_finite() && p99.is_finite());
+        assert!(p50 <= p95 && p95 <= p99, "percentiles unordered: {line}");
+        let drop_pct: f64 = cells[6].parse().unwrap();
+        assert!((0.0..=100.0).contains(&drop_pct));
+        if drop_pct > 0.0 {
+            any_drops = true;
+        }
+    }
+    assert!(
+        any_drops,
+        "the overload leg of the curve must shed load:\n{csv}"
+    );
+    assert!(csv.contains("CoServe") && csv.contains("Samba-CoE"));
+}
