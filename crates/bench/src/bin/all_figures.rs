@@ -1,5 +1,5 @@
 //! Regenerates every table and figure of the paper in order.
-use coserve_bench::{emit, figures};
+use coserve_bench::{emit, emit_json, figures};
 
 fn main() {
     emit(&figures::table1_hardware(), "table1_hardware");
@@ -22,4 +22,9 @@ fn main() {
     emit(&figures::fig18_window_search(), "fig18_window_search");
     emit(&figures::fig19_overhead(), "fig19_overhead");
     emit(&figures::fig20_latency_vs_load(), "fig20_latency_vs_load");
+    let (cluster, artifacts) = figures::fig21_cluster_scaling();
+    emit(&cluster, "fig21_cluster_scaling");
+    for (stem, json) in &artifacts {
+        emit_json(json, stem);
+    }
 }

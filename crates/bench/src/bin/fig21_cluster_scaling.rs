@@ -1,0 +1,8 @@
+//! Cluster extension: throughput and cross-node hops vs fleet size.
+fn main() {
+    let (table, artifacts) = coserve_bench::figures::fig21_cluster_scaling();
+    coserve_bench::emit(&table, "fig21_cluster_scaling");
+    for (stem, json) in &artifacts {
+        coserve_bench::emit_json(json, stem);
+    }
+}

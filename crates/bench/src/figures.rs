@@ -6,14 +6,19 @@
 //! `tests/figures_smoke.rs`; `PAPER.md` at the workspace root
 //! summarizes the source paper.
 
+use coserve_cluster::dispatch::RoutePolicy;
+use coserve_cluster::placement::PlacementStrategy;
+use coserve_cluster::{ClusterOptions, ClusterSystem};
 use coserve_core::autotune::{window_search, UsageCdf, WindowSearchOptions};
 use coserve_core::config::AdmissionControl;
 use coserve_core::engine::Engine;
 use coserve_core::presets;
 use coserve_core::profiler::Profiler;
+use coserve_metrics::cluster::ClusterReport;
 use coserve_metrics::table::{fmt_f64, Table};
 use coserve_model::arch::{ArchSpec, RESNET101};
 use coserve_sim::device::ProcessorKind;
+use coserve_sim::network::LinkProfile;
 use coserve_sim::transfer::TransferRoute;
 use coserve_workload::arrivals::ArrivalProcess;
 use coserve_workload::stream::{RequestStream, StreamOrder};
@@ -482,6 +487,123 @@ pub fn fig20_latency_vs_load() -> Table {
         }
     }
     t
+}
+
+/// Cluster extension figure: throughput, drops and cross-node hops as
+/// the fleet scales out, swept over placement strategy × routing
+/// policy under the A1 task at overload. The single-node row is the
+/// baseline every speedup compares against.
+///
+/// Returns the table plus machine-readable JSON artifacts (the
+/// single-node `RunReport` and the 4-node usage-aware/residency-first
+/// `ClusterReport`), emitted as `.json` files by the figure binaries.
+#[must_use]
+pub fn fig21_cluster_scaling() -> (Table, Vec<(String, String)>) {
+    let mut t = Table::new(
+        "Figure 21 (extension): Cluster scaling — throughput and cross-node hops (A1, overload)",
+        &[
+            "nodes",
+            "placement",
+            "route",
+            "offered_rps",
+            "throughput_ips",
+            "speedup_vs_1node",
+            "drop_pct",
+            "cross_hops",
+            "hops_per_req",
+            "p95_ms",
+        ],
+    );
+    let device = paper_devices().remove(0);
+    let task = paper_tasks().remove(0);
+    let model = task.build_model().expect("built-in boards validate");
+    let config = presets::coserve(&device);
+    // Overload: the offered rate far exceeds one node's capacity, and
+    // shallow admission queues force the single node to shed load while
+    // a 4-node fleet absorbs it — the scaling headroom the figure plots.
+    let rps = 4_000.0;
+    let requests = ((1_000.0 * scale()).round() as usize).max(250);
+    let stream = RequestStream::generate_open_loop(
+        format!("{} open-loop poisson {rps}/s", task.name()),
+        task.board(),
+        &model,
+        requests,
+        ArrivalProcess::poisson(rps),
+        StreamOrder::Iid,
+        7,
+    );
+    let admission = AdmissionControl::with_queue_capacity(16);
+
+    let run = |nodes: usize, placement: PlacementStrategy, route: RoutePolicy| -> ClusterReport {
+        let options = ClusterOptions::default().placement(placement).route(route);
+        let cluster = ClusterSystem::homogeneous(
+            nodes,
+            &device,
+            &config,
+            &model,
+            LinkProfile::ethernet_10g(),
+            options,
+        )
+        .expect("harness clusters are valid");
+        cluster.serve_with_online(&stream, admission, presets::ONLINE_MAX_OVERTAKE)
+    };
+    let mut row =
+        |r: &ClusterReport, placement: PlacementStrategy, route: RoutePolicy, base: f64| {
+            let p95 = r
+                .latency_summary()
+                .map_or_else(|| "-".into(), |s| fmt_f64(s.p95, 1));
+            let speedup = if base > 0.0 {
+                r.throughput_ips() / base
+            } else {
+                0.0
+            };
+            t.row(vec![
+                r.num_nodes().to_string(),
+                placement.to_string(),
+                route.to_string(),
+                fmt_f64(rps, 0),
+                fmt_f64(r.throughput_ips(), 1),
+                fmt_f64(speedup, 2),
+                fmt_f64(100.0 * r.drop_rate(), 1),
+                r.cross_node_hops.to_string(),
+                fmt_f64(r.hops_per_request(), 3),
+                p95,
+            ]);
+        };
+
+    let mut artifacts = Vec::new();
+    let baseline = run(
+        1,
+        PlacementStrategy::UsageAware,
+        RoutePolicy::ResidencyFirst,
+    );
+    let base_thr = baseline.throughput_ips();
+    row(
+        &baseline,
+        PlacementStrategy::UsageAware,
+        RoutePolicy::ResidencyFirst,
+        base_thr,
+    );
+    artifacts.push((
+        "fig21_single_node_report".to_string(),
+        baseline.nodes[0].to_json(),
+    ));
+    // 2 nodes: placement sweep under the default routing.
+    for placement in PlacementStrategy::ALL {
+        let r = run(2, placement, RoutePolicy::ResidencyFirst);
+        row(&r, placement, RoutePolicy::ResidencyFirst, base_thr);
+    }
+    // 4 nodes: the full placement × routing matrix.
+    for placement in PlacementStrategy::ALL {
+        for route in RoutePolicy::ALL {
+            let r = run(4, placement, route);
+            if placement == PlacementStrategy::UsageAware && route == RoutePolicy::ResidencyFirst {
+                artifacts.push(("fig21_cluster_report".to_string(), r.to_json()));
+            }
+            row(&r, placement, route, base_thr);
+        }
+    }
+    (t, artifacts)
 }
 
 /// Figure 19: scheduling latency vs inference latency, and the

@@ -166,6 +166,23 @@ pub fn emit(table: &Table, file_stem: &str) {
     }
 }
 
+/// Writes a machine-readable JSON artifact (a `RunReport::to_json()` or
+/// `ClusterReport::to_json()` payload) next to the figure CSVs; the
+/// file name gets a `.json` suffix.
+pub fn emit_json(json: &str, file_stem: &str) {
+    let path = out_dir().join(format!("{file_stem}.json"));
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, json)
+    };
+    match write() {
+        Ok(()) => println!("[json] {}\n", path.display()),
+        Err(err) => eprintln!("[json] failed to write {}: {err}\n", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,434 @@
+//! Multi-node request routing.
+//!
+//! The cluster front-end sees every request before any node does and
+//! decides, deterministically, which node serves it. Routing weighs
+//! two signals:
+//!
+//! * **residency** — how many experts of the request's pre-rolled chain
+//!   the candidate node holds under the placement plan (local experts
+//!   mean no fabric transfers and no cold loads), and
+//! * **queue depth** — a work-left estimate per node, maintained from
+//!   the [`PerfMatrix`] predictions the paper's scheduler already uses
+//!   (§4.2): never the simulator's ground truth.
+//!
+//! When a request's chain includes experts the routed node does not
+//! hold, each such stage pays one **cross-node hop**: an activation
+//! transfer over the [`Fabric`] link from the nearest holder, charged
+//! by delaying the request's arrival at the node. Hop counts and total
+//! fabric time flow into the
+//! [`coserve_metrics::cluster::ClusterReport`].
+
+use std::fmt;
+
+use coserve_core::perf::PerfMatrix;
+use coserve_model::coe::CoeModel;
+use coserve_model::expert::ExpertId;
+use coserve_sim::device::ProcessorKind;
+use coserve_sim::memory::Bytes;
+use coserve_sim::network::{Fabric, NodeId};
+use coserve_sim::time::{SimSpan, SimTime};
+use coserve_workload::stream::{Job, RequestStream};
+
+use crate::placement::PlacementPlan;
+
+/// How the cluster front-end picks a node for each request.
+///
+/// For the first two policies, nodes still tied after both criteria
+/// are taken round-robin (rotated by the dispatch sequence number), so
+/// a fully tied fleet spreads load instead of piling onto node 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Maximize expert residency for the request's chain; break ties by
+    /// the smaller work-left estimate.
+    ResidencyFirst,
+    /// Minimize the work-left estimate; break ties by higher residency.
+    LeastLoaded,
+    /// Ignore both signals and rotate (the locality-blind baseline).
+    RoundRobin,
+}
+
+impl RoutePolicy {
+    /// The three policies in ablation order.
+    pub const ALL: [RoutePolicy; 3] = [
+        RoutePolicy::ResidencyFirst,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::RoundRobin,
+    ];
+}
+
+impl fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutePolicy::ResidencyFirst => write!(f, "residency-first"),
+            RoutePolicy::LeastLoaded => write!(f, "least-loaded"),
+            RoutePolicy::RoundRobin => write!(f, "round-robin"),
+        }
+    }
+}
+
+/// What the dispatcher needs to know about one node to estimate load.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeLoadModel<'a> {
+    /// The node's offline measurements (prediction source, §4.2).
+    pub perf: &'a PerfMatrix,
+    /// Total executors on the node (work drains this much faster).
+    pub executors: usize,
+    /// Whether the node has GPU executors (predictions use the GPU
+    /// entry when available, the CPU entry otherwise).
+    pub has_gpu: bool,
+}
+
+/// The routing decision for every job of a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// Jobs per node, in dispatch order, with arrivals already shifted
+    /// by their fabric delays. Ids are *not* yet node-dense.
+    pub per_node: Vec<Vec<Job>>,
+    /// Stages whose expert lived off the routed node.
+    pub cross_node_hops: u64,
+    /// Total fabric time charged across all hops.
+    pub fabric_time_total: SimSpan,
+}
+
+/// Routes every job of `stream` to a node.
+///
+/// Fully deterministic: a pure function of its inputs, so two identical
+/// dispatches produce identical per-node schedules.
+///
+/// # Panics
+///
+/// Panics when the plan, fabric and `nodes` disagree on the node count,
+/// or a perf matrix lacks an entry the prediction needs.
+#[must_use]
+pub fn dispatch(
+    stream: &RequestStream,
+    model: &CoeModel,
+    plan: &PlacementPlan,
+    fabric: &Fabric,
+    nodes: &[NodeLoadModel<'_>],
+    route: RoutePolicy,
+    activation_bytes: Bytes,
+) -> DispatchOutcome {
+    let n = nodes.len();
+    assert!(n > 0, "dispatch needs at least one node");
+    assert_eq!(plan.num_nodes(), n, "plan/node count mismatch");
+    assert_eq!(fabric.len(), n, "fabric/node count mismatch");
+
+    let mut per_node: Vec<Vec<Job>> = vec![Vec::new(); n];
+    // Work-left estimate: when each node's backlog is predicted to
+    // drain, from PerfMatrix predictions only.
+    let mut busy_until = vec![SimTime::ZERO; n];
+    let mut cross_node_hops = 0u64;
+    let mut fabric_time_total = SimSpan::ZERO;
+    // Hoisted out of the routing loop: the holders of every expert,
+    // indexed by expert id (the per-job loop would otherwise rescan
+    // every node's placement set per off-node stage).
+    let holders_of: Vec<Vec<usize>> = (0..model.num_experts() as u32)
+        .map(|e| plan.holders(ExpertId(e)))
+        .collect();
+
+    for (seq, job) in stream.jobs().iter().enumerate() {
+        let residency: Vec<usize> = (0..n)
+            .map(|node| {
+                job.stages
+                    .iter()
+                    .filter(|&&e| plan.is_placed(node, e))
+                    .count()
+            })
+            .collect();
+        // Candidates are scanned in an order rotated by the dispatch
+        // sequence number, so fully tied nodes (hot-only chains on
+        // replicated placement, idle fleets) round-robin instead of
+        // piling onto node 0.
+        let start = seq % n;
+        let rotated = (0..n).map(|k| (start + k) % n);
+        let target = match route {
+            RoutePolicy::RoundRobin => start,
+            RoutePolicy::ResidencyFirst => rotated
+                .min_by_key(|&node| {
+                    (
+                        std::cmp::Reverse(residency[node]),
+                        busy_until[node].saturating_since(job.arrival),
+                    )
+                })
+                .expect("at least one node"),
+            RoutePolicy::LeastLoaded => rotated
+                .min_by_key(|&node| {
+                    (
+                        busy_until[node].saturating_since(job.arrival),
+                        std::cmp::Reverse(residency[node]),
+                    )
+                })
+                .expect("at least one node"),
+        };
+
+        // Fabric charge: every chain stage whose expert lives elsewhere
+        // ships its activations from the nearest holder.
+        let mut delay = SimSpan::ZERO;
+        for &expert in &job.stages {
+            if plan.is_placed(target, expert) {
+                continue;
+            }
+            let nearest = holders_of[expert.index()]
+                .iter()
+                .map(|&h| fabric.transfer_duration(activation_bytes, NodeId(h), NodeId(target)))
+                .min();
+            if let Some(hop) = nearest {
+                cross_node_hops += 1;
+                fabric_time_total += hop;
+                delay += hop;
+            }
+        }
+
+        let arrival = job.arrival + delay;
+        let service = predicted_service(model, &nodes[target], &job.stages);
+        busy_until[target] = busy_until[target].max(arrival) + service;
+        per_node[target].push(Job {
+            id: job.id, // re-densified by the caller after sorting
+            class: job.class,
+            arrival,
+            stages: job.stages.clone(),
+        });
+    }
+
+    DispatchOutcome {
+        per_node,
+        cross_node_hops,
+        fabric_time_total,
+    }
+}
+
+/// Predicted service time of one request chain on a node: the measured
+/// `K + B` per stage, divided by the executors draining in parallel.
+fn predicted_service(model: &CoeModel, node: &NodeLoadModel<'_>, stages: &[ExpertId]) -> SimSpan {
+    let proc = if node.has_gpu {
+        ProcessorKind::Gpu
+    } else {
+        ProcessorKind::Cpu
+    };
+    let total: SimSpan = stages
+        .iter()
+        .map(|&e| {
+            let arch = model.expert(e).arch();
+            node.perf.expect_entry(arch, proc).predicted_latency(1)
+        })
+        .sum();
+    SimSpan::from_millis_f64(total.as_millis_f64() / node.executors.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{plan_placement, PlacementStrategy};
+    use coserve_core::profiler::{Profiler, UsageSource};
+    use coserve_model::devices;
+    use coserve_sim::network::LinkProfile;
+    use coserve_workload::board::BoardSpec;
+    use coserve_workload::stream::StreamOrder;
+
+    fn setup(nodes: usize) -> (CoeModel, PerfMatrix, RequestStream, Fabric) {
+        let board = BoardSpec::synthetic("disp", 30, 3, 1.2, 40.0, 0.5);
+        let model = board.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+        let stream = RequestStream::generate(
+            "disp",
+            &board,
+            &model,
+            300,
+            SimSpan::from_millis(4),
+            StreamOrder::Iid,
+            11,
+        );
+        let fabric = Fabric::fully_connected(nodes, LinkProfile::ethernet_10g());
+        (model, perf, stream, fabric)
+    }
+
+    fn load_models(perf: &PerfMatrix, n: usize) -> Vec<NodeLoadModel<'_>> {
+        vec![
+            NodeLoadModel {
+                perf,
+                executors: 4,
+                has_gpu: true,
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn every_job_is_routed_exactly_once() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        for route in RoutePolicy::ALL {
+            let out = dispatch(
+                &stream,
+                &model,
+                &plan,
+                &fabric,
+                &load_models(&perf, 4),
+                route,
+                Bytes::mib(8),
+            );
+            let total: usize = out.per_node.iter().map(Vec::len).sum();
+            assert_eq!(total, stream.len(), "{route} lost or duplicated jobs");
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_evenly() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        let out = dispatch(
+            &stream,
+            &model,
+            &plan,
+            &fabric,
+            &load_models(&perf, 4),
+            RoutePolicy::RoundRobin,
+            Bytes::mib(8),
+        );
+        for node in &out.per_node {
+            assert_eq!(node.len(), stream.len() / 4);
+        }
+    }
+
+    #[test]
+    fn residency_first_avoids_hops_round_robin_pays_them() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        let nodes = load_models(&perf, 4);
+        let rf = dispatch(
+            &stream,
+            &model,
+            &plan,
+            &fabric,
+            &nodes,
+            RoutePolicy::ResidencyFirst,
+            Bytes::mib(8),
+        );
+        let rr = dispatch(
+            &stream,
+            &model,
+            &plan,
+            &fabric,
+            &nodes,
+            RoutePolicy::RoundRobin,
+            Bytes::mib(8),
+        );
+        assert!(
+            rf.cross_node_hops < rr.cross_node_hops,
+            "residency-first {} vs round-robin {}",
+            rf.cross_node_hops,
+            rr.cross_node_hops
+        );
+        assert!(rr.cross_node_hops > 0, "sharded tail must cause hops");
+        assert!(rr.fabric_time_total > SimSpan::ZERO);
+    }
+
+    #[test]
+    fn replicated_placement_never_crosses_nodes() {
+        let (model, perf, stream, fabric) = setup(3);
+        let plan = plan_placement(&model, &perf, 3, PlacementStrategy::Replicated, 7);
+        let out = dispatch(
+            &stream,
+            &model,
+            &plan,
+            &fabric,
+            &load_models(&perf, 3),
+            RoutePolicy::LeastLoaded,
+            Bytes::mib(8),
+        );
+        assert_eq!(out.cross_node_hops, 0);
+        assert_eq!(out.fabric_time_total, SimSpan::ZERO);
+        // Arrivals are then untouched.
+        for (node, jobs) in out.per_node.iter().enumerate() {
+            for j in jobs {
+                assert_eq!(
+                    j.arrival,
+                    stream.jobs()[j.id.index()].arrival,
+                    "node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_delay_shifts_arrivals_forward() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::Sharded, 7);
+        let out = dispatch(
+            &stream,
+            &model,
+            &plan,
+            &fabric,
+            &load_models(&perf, 4),
+            RoutePolicy::RoundRobin,
+            Bytes::mib(8),
+        );
+        assert!(out.cross_node_hops > 0);
+        let mut delayed = 0usize;
+        for jobs in &out.per_node {
+            for j in jobs {
+                let original = stream.jobs()[j.id.index()].arrival;
+                assert!(j.arrival >= original, "fabric can only delay");
+                if j.arrival > original {
+                    delayed += 1;
+                }
+            }
+        }
+        assert!(delayed > 0, "sharded + round-robin must delay some jobs");
+    }
+
+    #[test]
+    fn least_loaded_balances_work_left() {
+        let (model, perf, stream, fabric) = setup(2);
+        let plan = plan_placement(&model, &perf, 2, PlacementStrategy::Replicated, 7);
+        let out = dispatch(
+            &stream,
+            &model,
+            &plan,
+            &fabric,
+            &load_models(&perf, 2),
+            RoutePolicy::LeastLoaded,
+            Bytes::mib(8),
+        );
+        let (a, b) = (out.per_node[0].len(), out.per_node[1].len());
+        assert!(
+            a.abs_diff(b) <= stream.len() / 10,
+            "least-loaded badly skewed: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn dispatch_is_deterministic() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::Random, 3);
+        let nodes = load_models(&perf, 4);
+        let a = dispatch(
+            &stream,
+            &model,
+            &plan,
+            &fabric,
+            &nodes,
+            RoutePolicy::ResidencyFirst,
+            Bytes::mib(8),
+        );
+        let b = dispatch(
+            &stream,
+            &model,
+            &plan,
+            &fabric,
+            &nodes,
+            RoutePolicy::ResidencyFirst,
+            Bytes::mib(8),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn route_policy_displays() {
+        assert_eq!(RoutePolicy::ResidencyFirst.to_string(), "residency-first");
+        assert_eq!(RoutePolicy::LeastLoaded.to_string(), "least-loaded");
+        assert_eq!(RoutePolicy::RoundRobin.to_string(), "round-robin");
+    }
+}

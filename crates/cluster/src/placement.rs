@@ -1,0 +1,410 @@
+//! Expert placement across a fleet of nodes.
+//!
+//! On one device CoServe decides which experts stay *resident*; across
+//! a fleet the equivalent decision is which node each expert *lives*
+//! on. The planner reuses the offline artifacts the paper already
+//! produces: the [`PerfMatrix`] usage CDF (Figure 11) says which
+//! experts are hot, and the [`coserve_model::graph::DependencyGraph`]
+//! says which experts feed each other.
+//!
+//! [`PlacementStrategy::UsageAware`] — the default — replicates the hot
+//! head of the CDF on every node (those experts dominate traffic, so
+//! every node must serve them locally) and shards the cold tail,
+//! placing each cold expert on the node already holding the most of its
+//! dependency-graph neighbours so preliminary → subsequent chains stay
+//! on one node. [`PlacementStrategy::Replicated`],
+//! [`PlacementStrategy::Sharded`] and [`PlacementStrategy::Random`]
+//! are the ablation corners: full replication (no cross-node hops,
+//! minimal effective pool capacity), pure sharding (maximal capacity,
+//! maximal hops) and seeded random assignment.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use coserve_core::autotune::UsageCdf;
+use coserve_core::perf::PerfMatrix;
+use coserve_model::coe::CoeModel;
+use coserve_model::expert::ExpertId;
+use coserve_sim::memory::Bytes;
+use coserve_sim::rng::SimRng;
+
+/// Fraction of traffic the replicated hot set must cover under
+/// [`PlacementStrategy::UsageAware`] (the usage-CDF knee the paper's
+/// window search also targets).
+pub const HOT_COVERAGE: f64 = 0.5;
+
+/// How experts are distributed across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Replicate the hot head of the usage CDF everywhere; shard the
+    /// cold tail, co-locating dependency-graph neighbours.
+    UsageAware,
+    /// Every expert on every node (no hops, smallest effective pool).
+    Replicated,
+    /// Every expert on exactly one node, round-robin by descending
+    /// usage (largest effective pool, most hops).
+    Sharded,
+    /// Every expert on one seeded-uniformly-random node.
+    Random,
+}
+
+impl PlacementStrategy {
+    /// The four strategies in ablation order.
+    pub const ALL: [PlacementStrategy; 4] = [
+        PlacementStrategy::UsageAware,
+        PlacementStrategy::Replicated,
+        PlacementStrategy::Sharded,
+        PlacementStrategy::Random,
+    ];
+}
+
+impl fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementStrategy::UsageAware => write!(f, "usage-aware"),
+            PlacementStrategy::Replicated => write!(f, "replicated"),
+            PlacementStrategy::Sharded => write!(f, "sharded"),
+            PlacementStrategy::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// The planner's output: which experts live on which node.
+///
+/// Each node also gets a *preload order*: its placed experts first (by
+/// descending usage), then every remaining expert (same order) so spare
+/// pool capacity is never wasted — placement decides priority, not an
+/// artificial capacity cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    strategy: PlacementStrategy,
+    placed: Vec<BTreeSet<ExpertId>>,
+    preload: Vec<Vec<ExpertId>>,
+    placed_bytes: Vec<Bytes>,
+}
+
+impl PlacementPlan {
+    /// Number of nodes the plan covers.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// Whether `expert` lives on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    #[must_use]
+    pub fn is_placed(&self, node: usize, expert: ExpertId) -> bool {
+        self.placed[node].contains(&expert)
+    }
+
+    /// The experts placed on `node` (sorted by id).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    #[must_use]
+    pub fn placed_on(&self, node: usize) -> &BTreeSet<ExpertId> {
+        &self.placed[node]
+    }
+
+    /// The nodes holding `expert`, ascending.
+    #[must_use]
+    pub fn holders(&self, expert: ExpertId) -> Vec<usize> {
+        (0..self.placed.len())
+            .filter(|&n| self.placed[n].contains(&expert))
+            .collect()
+    }
+
+    /// The node's preload priority order (placed experts first, then
+    /// the rest, both by descending usage).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    #[must_use]
+    pub fn preload_order(&self, node: usize) -> &[ExpertId] {
+        &self.preload[node]
+    }
+
+    /// Total checkpoint bytes placed on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    #[must_use]
+    pub fn placed_bytes(&self, node: usize) -> Bytes {
+        self.placed_bytes[node]
+    }
+
+    /// Mean number of copies per expert (1 = pure sharding, `n` = full
+    /// replication). Zero for an expert-less model.
+    #[must_use]
+    pub fn replication_factor(&self) -> f64 {
+        let experts: BTreeSet<ExpertId> = self.placed.iter().flatten().copied().collect();
+        if experts.is_empty() {
+            return 0.0;
+        }
+        let copies: usize = self.placed.iter().map(BTreeSet::len).sum();
+        copies as f64 / experts.len() as f64
+    }
+
+    /// The strategy that produced the plan (its `Display` is the label
+    /// the reports and figure tables print).
+    #[must_use]
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+}
+
+/// Plans expert placement for `nodes` nodes.
+///
+/// Deterministic: the same model, matrix, node count, strategy and seed
+/// produce the same plan ([`PlacementStrategy::Random`] is the only
+/// consumer of `seed`).
+///
+/// # Panics
+///
+/// Panics when `nodes` is zero or the matrix does not cover the model.
+#[must_use]
+pub fn plan_placement(
+    model: &CoeModel,
+    perf: &PerfMatrix,
+    nodes: usize,
+    strategy: PlacementStrategy,
+    seed: u64,
+) -> PlacementPlan {
+    assert!(nodes > 0, "placement needs at least one node");
+    assert_eq!(
+        perf.num_experts(),
+        model.num_experts(),
+        "perf matrix must cover the model"
+    );
+    let by_usage = perf.experts_by_usage();
+    let mut placed: Vec<BTreeSet<ExpertId>> = vec![BTreeSet::new(); nodes];
+
+    match strategy {
+        PlacementStrategy::Replicated => {
+            for node in &mut placed {
+                node.extend(by_usage.iter().copied());
+            }
+        }
+        PlacementStrategy::Sharded => {
+            for (i, &e) in by_usage.iter().enumerate() {
+                placed[i % nodes].insert(e);
+            }
+        }
+        PlacementStrategy::Random => {
+            let mut rng = SimRng::seed_from(seed);
+            for &e in &by_usage {
+                placed[rng.next_below(nodes as u64) as usize].insert(e);
+            }
+        }
+        PlacementStrategy::UsageAware => {
+            // Hot head: the smallest usage-CDF prefix covering
+            // HOT_COVERAGE of the traffic, replicated everywhere.
+            let cdf = UsageCdf::from_perf(perf);
+            let hot_count = (1..=by_usage.len())
+                .find(|&k| cdf.coverage(k) >= HOT_COVERAGE)
+                .unwrap_or(by_usage.len());
+            let (hot, cold) = by_usage.split_at(hot_count);
+            for node in &mut placed {
+                node.extend(hot.iter().copied());
+            }
+            // Cold tail: walk in descending usage; prefer the node
+            // already holding the most dependency-graph neighbours
+            // (preliminaries and subsequents), so expert chains stay
+            // local; tie-break by fewest placed bytes, then index.
+            let graph = model.graph();
+            let mut cold_bytes = vec![Bytes::ZERO; nodes];
+            for &e in cold {
+                let neighbours: BTreeSet<ExpertId> = graph
+                    .preliminaries_of(e)
+                    .iter()
+                    .chain(graph.subsequents_of(e))
+                    .copied()
+                    .collect();
+                let best = (0..nodes)
+                    .map(|n| {
+                        let local = neighbours.iter().filter(|x| placed[n].contains(x)).count();
+                        // Max locality, then min bytes, then min index.
+                        (std::cmp::Reverse(local), cold_bytes[n], n)
+                    })
+                    .min()
+                    .expect("at least one node")
+                    .2;
+                placed[best].insert(e);
+                cold_bytes[best] += model.weight_bytes(e);
+            }
+        }
+    }
+
+    let preload: Vec<Vec<ExpertId>> = placed
+        .iter()
+        .map(|mine| {
+            let mut order: Vec<ExpertId> = by_usage
+                .iter()
+                .copied()
+                .filter(|e| mine.contains(e))
+                .collect();
+            order.extend(by_usage.iter().copied().filter(|e| !mine.contains(e)));
+            order
+        })
+        .collect();
+    let placed_bytes = placed
+        .iter()
+        .map(|mine| mine.iter().map(|&e| model.weight_bytes(e)).sum())
+        .collect();
+
+    PlacementPlan {
+        strategy,
+        placed,
+        preload,
+        placed_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coserve_core::profiler::{Profiler, UsageSource};
+    use coserve_model::devices;
+    use coserve_workload::board::BoardSpec;
+
+    fn setup() -> (CoeModel, PerfMatrix) {
+        let board = BoardSpec::synthetic("place", 40, 4, 1.2, 40.0, 0.5);
+        let model = board.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+        (model, perf)
+    }
+
+    #[test]
+    fn every_strategy_covers_every_expert() {
+        let (model, perf) = setup();
+        for strategy in PlacementStrategy::ALL {
+            let plan = plan_placement(&model, &perf, 4, strategy, 7);
+            assert_eq!(plan.num_nodes(), 4);
+            for i in 0..model.num_experts() as u32 {
+                assert!(
+                    !plan.holders(ExpertId(i)).is_empty(),
+                    "{strategy}: expert {i} placed nowhere"
+                );
+            }
+            // Preload orders are full permutations of the model.
+            for n in 0..4 {
+                let mut order = plan.preload_order(n).to_vec();
+                assert_eq!(order.len(), model.num_experts());
+                order.sort();
+                order.dedup();
+                assert_eq!(order.len(), model.num_experts());
+            }
+        }
+    }
+
+    #[test]
+    fn replication_factors_order_as_expected() {
+        let (model, perf) = setup();
+        let nodes = 4;
+        let factor = |s| plan_placement(&model, &perf, nodes, s, 7).replication_factor();
+        assert!((factor(PlacementStrategy::Replicated) - nodes as f64).abs() < 1e-12);
+        assert!((factor(PlacementStrategy::Sharded) - 1.0).abs() < 1e-12);
+        assert!((factor(PlacementStrategy::Random) - 1.0).abs() < 1e-12);
+        let ua = factor(PlacementStrategy::UsageAware);
+        assert!(
+            ua > 1.0 && ua < nodes as f64,
+            "usage-aware replication factor {ua} not between sharded and replicated"
+        );
+    }
+
+    #[test]
+    fn usage_aware_replicates_the_hot_head() {
+        let (model, perf) = setup();
+        let plan = plan_placement(&model, &perf, 3, PlacementStrategy::UsageAware, 7);
+        let by_usage = perf.experts_by_usage();
+        // The hottest expert is on every node; the coldest on one.
+        assert_eq!(plan.holders(by_usage[0]).len(), 3);
+        assert_eq!(plan.holders(*by_usage.last().unwrap()).len(), 1);
+        // Each node's preload order starts with its placed experts.
+        for n in 0..3 {
+            let placed = plan.placed_on(n).len();
+            for &e in &plan.preload_order(n)[..placed] {
+                assert!(plan.is_placed(n, e));
+            }
+        }
+    }
+
+    #[test]
+    fn usage_aware_colocates_dependency_neighbours() {
+        let (model, perf) = setup();
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        let graph = model.graph();
+        // Count cold subsequents whose every holder also holds a
+        // preliminary: co-location must dominate.
+        let mut colocated = 0usize;
+        let mut total = 0usize;
+        for i in 0..model.num_experts() as u32 {
+            let e = ExpertId(i);
+            if graph.preliminaries_of(e).is_empty() {
+                continue;
+            }
+            total += 1;
+            let ok = plan.holders(e).iter().all(|&n| {
+                graph
+                    .preliminaries_of(e)
+                    .iter()
+                    .any(|&p| plan.is_placed(n, p))
+            });
+            if ok {
+                colocated += 1;
+            }
+        }
+        assert!(total > 0, "board has shared detectors");
+        assert!(
+            colocated * 2 >= total,
+            "only {colocated}/{total} subsequents co-located with a preliminary"
+        );
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let (model, perf) = setup();
+        let a = plan_placement(&model, &perf, 4, PlacementStrategy::Random, 7);
+        let b = plan_placement(&model, &perf, 4, PlacementStrategy::Random, 7);
+        assert_eq!(a, b);
+        let c = plan_placement(&model, &perf, 4, PlacementStrategy::Random, 8);
+        assert_ne!(a, c, "different seeds must shuffle the random plan");
+        // Non-random strategies ignore the seed entirely.
+        let d = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        let e = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 99);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn single_node_degenerates_to_everything_local() {
+        let (model, perf) = setup();
+        for strategy in PlacementStrategy::ALL {
+            let plan = plan_placement(&model, &perf, 1, strategy, 7);
+            assert_eq!(plan.placed_on(0).len(), model.num_experts());
+            assert!((plan.replication_factor() - 1.0).abs() < 1e-12);
+            assert!(plan.placed_bytes(0) > Bytes::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let (model, perf) = setup();
+        let _ = plan_placement(&model, &perf, 0, PlacementStrategy::Sharded, 7);
+    }
+
+    #[test]
+    fn strategy_displays() {
+        assert_eq!(PlacementStrategy::UsageAware.to_string(), "usage-aware");
+        assert_eq!(PlacementStrategy::Replicated.to_string(), "replicated");
+        assert_eq!(PlacementStrategy::Sharded.to_string(), "sharded");
+        assert_eq!(PlacementStrategy::Random.to_string(), "random");
+    }
+}

@@ -7,6 +7,7 @@
 //! and how many executors run on each processor (§4.5's
 //! "user-configurable parameters").
 
+use coserve_model::expert::ExpertId;
 use coserve_sim::device::ProcessorKind;
 use coserve_sim::time::SimSpan;
 
@@ -126,6 +127,12 @@ pub struct SystemConfig {
     /// Whether the expert initializer preloads pools by descending
     /// usage probability (§4.1).
     pub preload: bool,
+    /// Overrides the preload priority order. `None` — the default —
+    /// preloads by descending usage probability (§4.1); a cluster
+    /// placement planner supplies the node's placed experts first so
+    /// each node specializes in its shard of the model. Experts must
+    /// belong to the model (validated at engine construction).
+    pub preload_order: Option<Vec<ExpertId>>,
     /// Whether the batch splitter may batch same-expert requests; when
     /// false every batch has size 1.
     pub batching: bool,
@@ -164,6 +171,7 @@ impl SystemConfig {
                 arrange: ArrangePolicy::Grouped,
                 eviction: EvictionPolicy::DependencyAware,
                 preload: true,
+                preload_order: None,
                 batching: true,
                 scheduling_cost: SimSpan::from_micros(500),
                 scheduler_slots: 2,
@@ -270,6 +278,13 @@ impl SystemConfigBuilder {
     #[must_use]
     pub fn preload(mut self, on: bool) -> Self {
         self.config.preload = on;
+        self
+    }
+
+    /// Overrides the preload priority order (cluster placement plans).
+    #[must_use]
+    pub fn preload_order(mut self, order: Vec<ExpertId>) -> Self {
+        self.config.preload_order = Some(order);
         self
     }
 
@@ -430,6 +445,18 @@ mod tests {
         assert_eq!(c.admission.unwrap().queue_capacity, 32);
         assert_eq!(c.max_overtake, Some(8));
         assert_eq!(AdmissionControl::default().queue_capacity, 64);
+    }
+
+    #[test]
+    fn preload_order_round_trips() {
+        let c = SystemConfig::builder("placed").gpu_executors(1).build();
+        assert_eq!(c.preload_order, None, "default keeps §4.1 usage order");
+        let order = vec![ExpertId(3), ExpertId(0), ExpertId(1)];
+        let c = SystemConfig::builder("placed")
+            .gpu_executors(1)
+            .preload_order(order.clone())
+            .build();
+        assert_eq!(c.preload_order, Some(order));
     }
 
     #[test]

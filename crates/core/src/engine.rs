@@ -48,6 +48,8 @@ pub enum EngineError {
         /// Experts covered by the matrix.
         perf_experts: usize,
     },
+    /// The configured preload order names an expert outside the model.
+    UnknownExpert(ExpertId),
 }
 
 impl fmt::Display for EngineError {
@@ -63,6 +65,9 @@ impl fmt::Display for EngineError {
                 f,
                 "perf matrix covers {perf_experts} experts but model has {model_experts}"
             ),
+            EngineError::UnknownExpert(e) => {
+                write!(f, "preload order names {e}, which the model lacks")
+            }
         }
     }
 }
@@ -235,6 +240,11 @@ impl<'a> Engine<'a> {
                 {
                     return Err(EngineError::MissingKernel(arch.id(), proc));
                 }
+            }
+        }
+        if let Some(order) = &config.preload_order {
+            if let Some(&bad) = order.iter().find(|e| e.index() >= model.num_experts()) {
+                return Err(EngineError::UnknownExpert(bad));
             }
         }
         Ok(Engine {
@@ -444,9 +454,14 @@ impl<'a> Run<'a> {
 
     /// §4.1: "Experts are distributed into each executor in a
     /// round-robin manner, prioritized by descending usage
-    /// probabilities, until the memory is fully utilized."
+    /// probabilities, until the memory is fully utilized." A cluster
+    /// placement plan may override the priority order so the node
+    /// preloads its placed experts first.
     fn preload(&mut self) {
-        let order = self.engine.perf.experts_by_usage();
+        let order = match &self.engine.config.preload_order {
+            Some(order) => order.clone(),
+            None => self.engine.perf.experts_by_usage(),
+        };
         let model = self.engine.model;
         let mut pools: Vec<&mut ModelPool> = self.execs.iter_mut().map(|e| &mut e.pool).collect();
         preload_round_robin(&mut pools, &order, |e| model.weight_bytes(e));
@@ -1429,6 +1444,54 @@ mod tests {
         assert_eq!(big.len(), 4);
         // Empty pool list is a no-op, not a panic.
         preload_round_robin(&mut [], &order, |_| Bytes::mib(10));
+    }
+
+    #[test]
+    fn preload_order_override_changes_residency() {
+        // Enough experts that the pools cannot hold everyone: now the
+        // preload priority decides who starts resident.
+        let (device, model, perf, stream) = setup(80, 300);
+        let usage = perf.experts_by_usage();
+        // Preload the usage order *reversed*: cold experts first.
+        let reversed: Vec<ExpertId> = usage.iter().rev().copied().collect();
+        let default_cfg = SystemConfig::builder("same").gpu_executors(2).build();
+        let reversed_cfg = SystemConfig::builder("same")
+            .gpu_executors(2)
+            .preload_order(reversed)
+            .build();
+        let d = Engine::new(&device, &model, &perf, &default_cfg)
+            .unwrap()
+            .run(&stream);
+        let r = Engine::new(&device, &model, &perf, &reversed_cfg)
+            .unwrap()
+            .run(&stream);
+        assert!(
+            r.expert_switches() > d.expert_switches(),
+            "cold-first preload must switch more: {} vs {}",
+            r.expert_switches(),
+            d.expert_switches()
+        );
+        // An explicit usage order reproduces the default bit for bit.
+        let explicit_cfg = SystemConfig::builder("same")
+            .gpu_executors(2)
+            .preload_order(usage)
+            .build();
+        let e = Engine::new(&device, &model, &perf, &explicit_cfg)
+            .unwrap()
+            .run(&stream);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn preload_order_outside_model_is_a_construction_error() {
+        let (device, model, perf, _) = setup(10, 10);
+        let config = SystemConfig::builder("bad")
+            .gpu_executors(1)
+            .preload_order(vec![ExpertId(10_000)])
+            .build();
+        let err = Engine::new(&device, &model, &perf, &config).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownExpert(_)));
+        assert!(err.to_string().contains("preload order"));
     }
 
     #[test]

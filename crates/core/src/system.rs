@@ -131,6 +131,24 @@ impl ServingSystem {
         self.engine().run(stream)
     }
 
+    /// Serves `stream` through an engine built from `config` instead of
+    /// the system's own configuration — the one engine-construction
+    /// path shared by [`ServingSystem::serve`], the open-loop facade
+    /// (which overrides only the online knobs) and the cluster
+    /// dispatcher (which overrides the preload order per node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when `config` is not servable on this
+    /// system's device/model/matrix.
+    pub fn serve_configured(
+        &self,
+        stream: &RequestStream,
+        config: &SystemConfig,
+    ) -> Result<RunReport, EngineError> {
+        Ok(Engine::new(&self.device, &self.model, &self.perf, config)?.run(stream))
+    }
+
     fn engine(&self) -> Engine<'_> {
         Engine::new(&self.device, &self.model, &self.perf, &self.config)
             .expect("validated at construction")
@@ -173,6 +191,34 @@ mod tests {
         let new = presets::coserve(system.device()).renamed("renamed");
         system.reconfigure(new).unwrap();
         assert_eq!(system.config().name, "renamed");
+    }
+
+    #[test]
+    fn serve_configured_matches_serve_for_own_config() {
+        let device = devices::numa_rtx3080ti();
+        let task = TaskSpec::a1().scaled(0.02);
+        let model = task.build_model().unwrap();
+        let system =
+            ServingSystem::new(device, model, presets::coserve(&devices::numa_rtx3080ti()))
+                .unwrap();
+        let stream = task.stream(system.model());
+        let direct = system.serve(&stream);
+        let via_helper = system
+            .serve_configured(&stream, &system.config().clone())
+            .unwrap();
+        assert_eq!(direct, via_helper);
+        // A different-but-valid override (CPU-only executors) also
+        // serves through the helper.
+        let mut cpu_only = system.config().clone();
+        cpu_only.executors.clear();
+        cpu_only.executors.push(crate::config::ExecutorSpec {
+            processor: coserve_sim::device::ProcessorKind::Cpu,
+        });
+        assert!(system.serve_configured(&stream, &cpu_only).is_ok());
+        // Invalid overrides surface as errors, not panics.
+        let mut unknown = system.config().clone();
+        unknown.preload_order = Some(vec![coserve_model::expert::ExpertId(u32::MAX)]);
+        assert!(system.serve_configured(&stream, &unknown).is_err());
     }
 
     #[test]

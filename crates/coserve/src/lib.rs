@@ -15,12 +15,15 @@
 //! * [`core`] — the CoServe system (profiler, dependency-aware
 //!   scheduling and expert management, memory autotuning, engine);
 //! * [`baselines`] — the Samba-CoE baselines and evaluation suite;
+//! * [`cluster`] — cluster-scale serving: expert placement planning,
+//!   network-fabric costs and multi-node dispatch;
 //! * [`metrics`] — run reports, statistics and table rendering.
 //!
 //! [`serve`] adds what the paper's closed evaluation cannot express:
 //! open-loop online serving with Poisson/bursty arrivals, bounded
 //! queues, admission control and tail-latency (p50/p90/p95/p99)
-//! reporting — see [`serve::serve_open_loop`].
+//! reporting — see [`serve::serve_open_loop`] for one device and
+//! [`serve::serve_cluster`] for a fleet.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use coserve_baselines as baselines;
+pub use coserve_cluster as cluster;
 pub use coserve_core as core;
 pub use coserve_metrics as metrics;
 pub use coserve_model as model;
@@ -58,8 +62,9 @@ pub mod serve;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
-    pub use crate::serve::{open_loop_stream, serve_open_loop, OpenLoopOptions};
+    pub use crate::serve::{open_loop_stream, serve_cluster, serve_open_loop, OpenLoopOptions};
     pub use coserve_baselines::prelude::*;
+    pub use coserve_cluster::prelude::*;
     pub use coserve_core::prelude::*;
     pub use coserve_metrics::prelude::*;
     pub use coserve_model::prelude::*;

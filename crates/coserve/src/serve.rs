@@ -11,10 +11,11 @@
 //! seed produce a bit-identical [`RunReport`], so latency-vs-load
 //! sweeps across systems compare byte-identical arrival schedules.
 
+use coserve_cluster::ClusterSystem;
 use coserve_core::config::AdmissionControl;
-use coserve_core::engine::Engine;
 use coserve_core::presets::ONLINE_MAX_OVERTAKE;
 use coserve_core::system::ServingSystem;
+use coserve_metrics::cluster::ClusterReport;
 use coserve_metrics::report::RunReport;
 use coserve_workload::arrivals::ArrivalProcess;
 use coserve_workload::board::BoardSpec;
@@ -102,9 +103,38 @@ pub fn serve_open_loop(
     let mut config = system.config().clone();
     config.admission = Some(options.admission);
     config.max_overtake = Some(options.max_overtake);
-    Engine::new(system.device(), system.model(), system.perf(), &config)
+    system
+        .serve_configured(&stream, &config)
         .expect("online knobs do not affect engine validation")
-        .run(&stream)
+}
+
+/// Generates an open-loop request stream for the cluster's model and
+/// serves it across the fleet: the dispatcher routes every request by
+/// expert residency and queue depth, charges fabric transfer time for
+/// cross-node expert chains, and every node applies the same bounded
+/// queues and admission control [`serve_open_loop`] applies on one
+/// device. Deterministic: the same cluster, board, options and seed
+/// produce a bit-identical [`ClusterReport`].
+///
+/// # Panics
+///
+/// Panics if `options.requests` is zero (streams cannot be empty).
+#[must_use]
+pub fn serve_cluster(
+    cluster: &ClusterSystem,
+    board: &BoardSpec,
+    options: &OpenLoopOptions,
+) -> ClusterReport {
+    let stream = RequestStream::generate_open_loop(
+        format!("open-loop {}", options.process),
+        board,
+        cluster.model(),
+        options.requests,
+        options.process,
+        options.order,
+        options.seed,
+    );
+    cluster.serve_with_online(&stream, options.admission, options.max_overtake)
 }
 
 /// The request stream [`serve_open_loop`] would serve — exposed so
@@ -166,6 +196,29 @@ mod tests {
         assert_eq!(a.completed + a.failed + a.dropped, a.submitted);
         let b = serve_open_loop(&system, &board, &options);
         assert_eq!(a, b, "open-loop runs must be bit-identical");
+    }
+
+    #[test]
+    fn cluster_facade_round_trip() {
+        let board = BoardSpec::synthetic("cluster-open-loop", 24, 3, 1.2, 40.0, 0.5);
+        let model = board.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let cluster = ClusterSystem::homogeneous(
+            2,
+            &device,
+            &presets::coserve(&device),
+            &model,
+            coserve_sim::network::LinkProfile::ethernet_10g(),
+            coserve_cluster::ClusterOptions::default(),
+        )
+        .unwrap();
+        let options = OpenLoopOptions::new(ArrivalProcess::poisson(100.0)).requests(120);
+        let a = serve_cluster(&cluster, &board, &options);
+        assert_eq!(a.submitted, 120);
+        assert_eq!(a.completed + a.failed + a.dropped, a.submitted);
+        assert_eq!(a.num_nodes(), 2);
+        let b = serve_cluster(&cluster, &board, &options);
+        assert_eq!(a, b, "cluster open-loop runs must be bit-identical");
     }
 
     #[test]

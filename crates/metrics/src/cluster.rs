@@ -1,0 +1,343 @@
+//! Cluster-level run reports.
+//!
+//! A multi-node serving run produces one [`crate::report::RunReport`]
+//! per node; [`ClusterReport`] merges them into fleet-level accounting:
+//! aggregate throughput and latency percentiles, per-node utilization,
+//! cross-node hop counts and the fabric time those hops cost, plus
+//! admission/drop totals. The merge is pure bookkeeping — the
+//! dispatcher that owns the fabric supplies the hop counters.
+
+use coserve_sim::time::SimSpan;
+
+use crate::report::{json_f64, json_str, json_summary, RunReport};
+use crate::stats::Summary;
+
+/// The outcome of one cluster serving run.
+///
+/// Per-node `job_latencies` measure the sojourn *at the node* (from
+/// arrival at the node's admission queue to completion); the fabric
+/// time a request spent in flight before reaching its node is accounted
+/// separately in [`ClusterReport::fabric_time_total`] and
+/// [`ClusterReport::cross_node_hops`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Cluster system name (e.g. "CoServe ×4 (usage-aware, residency-first)").
+    pub system: String,
+    /// Task name.
+    pub task: String,
+    /// Per-node reports, in node order.
+    pub nodes: Vec<RunReport>,
+    /// Primary requests submitted to the cluster.
+    pub submitted: usize,
+    /// Primary requests completed across all nodes.
+    pub completed: usize,
+    /// Primary requests failed across all nodes.
+    pub failed: usize,
+    /// Primary requests admitted across all nodes.
+    pub admitted: usize,
+    /// Primary requests dropped by per-node admission control.
+    pub dropped: usize,
+    /// Total stages executed across all nodes.
+    pub stages_executed: usize,
+    /// Cluster makespan: the latest node completion time (all nodes
+    /// share the global time origin).
+    pub makespan: SimSpan,
+    /// Stages whose expert lived on a different node than the one the
+    /// request was routed to — each paid one fabric transfer.
+    pub cross_node_hops: u64,
+    /// Total time requests spent on fabric links.
+    pub fabric_time_total: SimSpan,
+}
+
+impl ClusterReport {
+    /// Merges per-node reports into a cluster report. The dispatcher
+    /// supplies the fabric counters; everything else is summed from the
+    /// nodes (makespan is the maximum, since nodes share a time
+    /// origin).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty — a cluster has at least one node.
+    #[must_use]
+    pub fn merge(
+        system: impl Into<String>,
+        task: impl Into<String>,
+        nodes: Vec<RunReport>,
+        cross_node_hops: u64,
+        fabric_time_total: SimSpan,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        ClusterReport {
+            system: system.into(),
+            task: task.into(),
+            submitted: nodes.iter().map(|n| n.submitted).sum(),
+            completed: nodes.iter().map(|n| n.completed).sum(),
+            failed: nodes.iter().map(|n| n.failed).sum(),
+            admitted: nodes.iter().map(|n| n.admitted).sum(),
+            dropped: nodes.iter().map(|n| n.dropped).sum(),
+            stages_executed: nodes.iter().map(|n| n.stages_executed).sum(),
+            makespan: nodes
+                .iter()
+                .map(|n| n.makespan)
+                .fold(SimSpan::ZERO, SimSpan::max),
+            cross_node_hops,
+            fabric_time_total,
+            nodes,
+        }
+    }
+
+    /// Number of nodes in the fleet.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Aggregate throughput in primary requests per second.
+    #[must_use]
+    pub fn throughput_ips(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// Total expert switches across all nodes.
+    #[must_use]
+    pub fn expert_switches(&self) -> u64 {
+        self.nodes.iter().map(RunReport::expert_switches).sum()
+    }
+
+    /// Fraction of submitted requests dropped by admission control.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.submitted as f64
+    }
+
+    /// Mean cross-node hops per submitted request — the locality metric
+    /// placement/routing ablations compare.
+    #[must_use]
+    pub fn hops_per_request(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.cross_node_hops as f64 / self.submitted as f64
+    }
+
+    /// Aggregate node-sojourn latency summary over every completed job
+    /// in the fleet (see the type-level note on fabric accounting).
+    #[must_use]
+    pub fn latency_summary(&self) -> Option<Summary> {
+        let all: Vec<SimSpan> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.job_latencies.iter().copied())
+            .collect();
+        Summary::of_spans(&all)
+    }
+
+    /// Per-node busy fraction: executor time (execution + switching)
+    /// over `executors × cluster makespan`. Idle or workless nodes
+    /// report 0.
+    #[must_use]
+    pub fn node_utilization(&self) -> Vec<f64> {
+        let wall = self.makespan.as_secs_f64();
+        self.nodes
+            .iter()
+            .map(|n| {
+                let slots = n.executors.len() as f64 * wall;
+                if slots <= 0.0 {
+                    return 0.0;
+                }
+                let busy = (n.exec_time_total + n.switch_time_total).as_secs_f64();
+                (busy / slots).min(1.0)
+            })
+            .collect()
+    }
+
+    /// A one-line human-readable summary.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let drops = if self.dropped > 0 {
+            format!(
+                ", {} dropped ({:.1} %)",
+                self.dropped,
+                100.0 * self.drop_rate()
+            )
+        } else {
+            String::new()
+        };
+        format!(
+            "{} / {}: {} nodes, {:.1} img/s, {} switches, {} cross-node hops ({:.2}/req), makespan {}{}",
+            self.system,
+            self.task,
+            self.num_nodes(),
+            self.throughput_ips(),
+            self.expert_switches(),
+            self.cross_node_hops,
+            self.hops_per_request(),
+            self.makespan,
+            drops
+        )
+    }
+
+    /// The cluster report as a JSON object; per-node reports nest via
+    /// [`RunReport::to_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let utilization: Vec<String> = self.node_utilization().into_iter().map(json_f64).collect();
+        let nodes: Vec<String> = self.nodes.iter().map(RunReport::to_json).collect();
+        format!(
+            "{{\"system\":{},\"task\":{},\"num_nodes\":{},\
+             \"submitted\":{},\"completed\":{},\"failed\":{},\
+             \"admitted\":{},\"dropped\":{},\"stages_executed\":{},\
+             \"makespan_ms\":{},\"throughput_ips\":{},\"drop_rate\":{},\
+             \"expert_switches\":{},\"cross_node_hops\":{},\"hops_per_request\":{},\
+             \"fabric_time_total_ms\":{},\"latency\":{},\
+             \"node_utilization\":[{}],\"nodes\":[{}]}}",
+            json_str(&self.system),
+            json_str(&self.task),
+            self.num_nodes(),
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.admitted,
+            self.dropped,
+            self.stages_executed,
+            json_f64(self.makespan.as_millis_f64()),
+            json_f64(self.throughput_ips()),
+            json_f64(self.drop_rate()),
+            self.expert_switches(),
+            self.cross_node_hops,
+            json_f64(self.hops_per_request()),
+            json_f64(self.fabric_time_total.as_millis_f64()),
+            json_summary(self.latency_summary()),
+            utilization.join(","),
+            nodes.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coserve_sim::device::ProcessorKind;
+    use coserve_sim::memory::Bytes;
+    use coserve_sim::time::SimTime;
+    use std::collections::BTreeMap;
+
+    fn node_report(name: &str, completed: usize, makespan_secs: u64) -> RunReport {
+        RunReport {
+            system: name.into(),
+            device: "NUMA".into(),
+            task: "Task A1".into(),
+            submitted: completed + 10,
+            completed,
+            failed: 4,
+            admitted: completed + 6,
+            dropped: 6,
+            stages_executed: completed,
+            makespan: SimSpan::from_secs(makespan_secs),
+            switch_events: vec![
+                crate::report::SwitchEvent {
+                    at: SimTime::ZERO,
+                    executor: 0,
+                    expert: coserve_model::expert::ExpertId(1),
+                    source: coserve_sim::memory::MemoryTier::Ssd,
+                    duration: SimSpan::from_millis(800),
+                };
+                3
+            ],
+            switch_time_total: SimSpan::from_secs(1),
+            exec_time_total: SimSpan::from_secs(2),
+            job_latencies: vec![SimSpan::from_millis(40); completed],
+            stage_latencies: BTreeMap::new(),
+            sched_latencies: Vec::new(),
+            executors: vec![crate::report::ExecutorReport {
+                index: 0,
+                processor: ProcessorKind::Gpu,
+                batches: 10,
+                items: completed as u64,
+                exec_time: SimSpan::from_secs(2),
+                switch_time: SimSpan::from_secs(1),
+                switches: 3,
+                pool_capacity: Bytes::gib(3),
+                pool_peak: Bytes::gib(2),
+                finished_at: SimTime::ZERO + SimSpan::from_secs(makespan_secs),
+            }],
+            channels: Vec::new(),
+        }
+    }
+
+    fn sample_cluster() -> ClusterReport {
+        ClusterReport::merge(
+            "CoServe ×2",
+            "Task A1",
+            vec![node_report("n0", 90, 10), node_report("n1", 60, 8)],
+            42,
+            SimSpan::from_millis(300),
+        )
+    }
+
+    #[test]
+    fn merge_sums_and_takes_max_makespan() {
+        let c = sample_cluster();
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.submitted, 90 + 10 + 60 + 10);
+        assert_eq!(c.completed, 150);
+        assert_eq!(c.failed, 8);
+        assert_eq!(c.dropped, 12);
+        assert_eq!(c.makespan, SimSpan::from_secs(10));
+        assert!((c.throughput_ips() - 15.0).abs() < 1e-9);
+        assert_eq!(c.expert_switches(), 6);
+        assert_eq!(c.cross_node_hops, 42);
+        assert!((c.hops_per_request() - 42.0 / 170.0).abs() < 1e-12);
+        assert!((c.drop_rate() - 12.0 / 170.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_summary_merges_all_nodes() {
+        let c = sample_cluster();
+        let lat = c.latency_summary().unwrap();
+        assert_eq!(lat.count, 150);
+        assert!((lat.mean - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_cluster_wall_clock() {
+        let c = sample_cluster();
+        let u = c.node_utilization();
+        assert_eq!(u.len(), 2);
+        // Node 0: 3 s busy / (1 executor × 10 s wall).
+        assert!((u[0] - 0.3).abs() < 1e-12);
+        // Node 1 also measures against the *cluster* makespan.
+        assert!((u[1] - 0.3).abs() < 1e-12);
+        for v in u {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn summary_line_and_json_carry_fleet_metrics() {
+        let c = sample_cluster();
+        let line = c.summary_line();
+        assert!(line.contains("2 nodes"));
+        assert!(line.contains("42 cross-node hops"));
+        assert!(line.contains("12 dropped"));
+        let json = c.to_json();
+        assert!(json.contains("\"num_nodes\":2"));
+        assert!(json.contains("\"cross_node_hops\":42"));
+        assert!(json.contains("\"nodes\":[{"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_merge_panics() {
+        let _ = ClusterReport::merge("x", "t", Vec::new(), 0, SimSpan::ZERO);
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod report;
 pub mod series;
 pub mod stats;
@@ -17,6 +18,7 @@ pub mod timeline;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::cluster::ClusterReport;
     pub use crate::report::{ExecutorReport, RunReport, SwitchEvent};
     pub use crate::series::{FigureData, Series};
     pub use crate::stats::{linear_fit, percentile, LinFit, Summary};

@@ -118,6 +118,38 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// A zero report for a system that was handed no work: every
+    /// counter and ledger empty, makespan zero. Cluster merges use this
+    /// for nodes the dispatcher routed nothing to, keeping the
+    /// zero-semantics decision next to the type that owns it.
+    #[must_use]
+    pub fn empty(
+        system: impl Into<String>,
+        device: impl Into<String>,
+        task: impl Into<String>,
+    ) -> RunReport {
+        RunReport {
+            system: system.into(),
+            device: device.into(),
+            task: task.into(),
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            admitted: 0,
+            dropped: 0,
+            stages_executed: 0,
+            makespan: SimSpan::ZERO,
+            switch_events: Vec::new(),
+            switch_time_total: SimSpan::ZERO,
+            exec_time_total: SimSpan::ZERO,
+            job_latencies: Vec::new(),
+            stage_latencies: BTreeMap::new(),
+            sched_latencies: Vec::new(),
+            executors: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
     /// Throughput in images (primary requests) per second — the paper's
     /// headline metric.
     ///
@@ -215,6 +247,90 @@ impl RunReport {
         self.exec_time_total.as_millis_f64() / self.stages_executed as f64
     }
 
+    /// The report as a JSON object — headline metrics, latency
+    /// summaries and per-executor/channel accounting, machine-readable
+    /// without scraping [`RunReport::summary_line`]. Switch *events*
+    /// are summarized by count and source (the full ledger can run to
+    /// thousands of entries).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let executors: Vec<String> = self
+            .executors
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"index\":{},\"processor\":{},\"batches\":{},\"items\":{},\
+                     \"exec_ms\":{},\"switch_ms\":{},\"switches\":{},\
+                     \"pool_capacity_bytes\":{},\"pool_peak_bytes\":{}}}",
+                    e.index,
+                    json_str(&e.processor.to_string()),
+                    e.batches,
+                    e.items,
+                    json_f64(e.exec_time.as_millis_f64()),
+                    json_f64(e.switch_time.as_millis_f64()),
+                    e.switches,
+                    e.pool_capacity.get(),
+                    e.pool_peak.get(),
+                )
+            })
+            .collect();
+        let channels: Vec<String> = self
+            .channels
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"name\":{},\"busy_ms\":{},\"reservations\":{}}}",
+                    json_str(c.name),
+                    json_f64(c.busy.as_millis_f64()),
+                    c.reservations,
+                )
+            })
+            .collect();
+        let stages: Vec<String> = self
+            .stages()
+            .into_iter()
+            .map(|s| {
+                format!(
+                    "{{\"stage\":{},\"latency\":{}}}",
+                    s,
+                    json_summary(self.stage_summary(s))
+                )
+            })
+            .collect();
+        format!(
+            "{{\"system\":{},\"device\":{},\"task\":{},\
+             \"submitted\":{},\"completed\":{},\"failed\":{},\
+             \"admitted\":{},\"dropped\":{},\"stages_executed\":{},\
+             \"makespan_ms\":{},\"throughput_ips\":{},\"drop_rate\":{},\
+             \"expert_switches\":{},\"switches_from_ssd\":{},\"switches_from_cpu\":{},\
+             \"switch_time_total_ms\":{},\"exec_time_total_ms\":{},\
+             \"latency\":{},\"scheduling\":{},\"stage_latencies\":[{}],\
+             \"executors\":[{}],\"channels\":[{}]}}",
+            json_str(&self.system),
+            json_str(&self.device),
+            json_str(&self.task),
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.admitted,
+            self.dropped,
+            self.stages_executed,
+            json_f64(self.makespan.as_millis_f64()),
+            json_f64(self.throughput_ips()),
+            json_f64(self.drop_rate()),
+            self.expert_switches(),
+            self.switches_from_ssd(),
+            self.switches_from_cpu(),
+            json_f64(self.switch_time_total.as_millis_f64()),
+            json_f64(self.exec_time_total.as_millis_f64()),
+            json_summary(self.latency_summary()),
+            json_summary(self.sched_summary()),
+            stages.join(","),
+            executors.join(","),
+            channels.join(","),
+        )
+    }
+
     /// A one-line human-readable summary. Open-loop runs with drops
     /// append the drop count.
     #[must_use]
@@ -240,6 +356,56 @@ impl RunReport {
             self.makespan,
             drops
         )
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An `f64` as a JSON value; non-finite values become `null` (JSON has
+/// no NaN/Infinity literals).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A latency [`Summary`] as a JSON object, `null` when absent.
+pub(crate) fn json_summary(s: Option<Summary>) -> String {
+    match s {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{\"count\":{},\"mean_ms\":{},\"min_ms\":{},\"p50_ms\":{},\
+             \"p90_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{}}}",
+            s.count,
+            json_f64(s.mean),
+            json_f64(s.min),
+            json_f64(s.p50),
+            json_f64(s.p90),
+            json_f64(s.p95),
+            json_f64(s.p99),
+            json_f64(s.max),
+        ),
     }
 }
 
@@ -307,6 +473,18 @@ mod tests {
     }
 
     #[test]
+    fn empty_report_is_all_zeros() {
+        let r = RunReport::empty("sys", "dev", "task");
+        assert_eq!(r.submitted, 0);
+        assert_eq!(r.throughput_ips(), 0.0);
+        assert_eq!(r.expert_switches(), 0);
+        assert_eq!(r.drop_rate(), 0.0);
+        assert!(r.latency_summary().is_none());
+        assert_eq!(r.makespan, SimSpan::ZERO);
+        assert!(r.to_json().contains("\"system\":\"sys\""));
+    }
+
+    #[test]
     fn throughput_is_completed_over_makespan() {
         let r = sample_report();
         assert!((r.throughput_ips() - 10.0).abs() < 1e-9);
@@ -361,6 +539,42 @@ mod tests {
         assert!((s0.mean - 40.0).abs() < 1e-9);
         assert_eq!(r.stage_summary(1).unwrap().count, 1);
         assert!(r.stage_summary(7).is_none());
+    }
+
+    #[test]
+    fn to_json_is_machine_readable() {
+        let r = sample_report();
+        let json = r.to_json();
+        // Headline metrics appear as fields, not prose.
+        assert!(json.contains("\"system\":\"CoServe\""));
+        assert!(json.contains("\"completed\":100"));
+        assert!(json.contains("\"throughput_ips\":10"));
+        assert!(json.contains("\"expert_switches\":2"));
+        assert!(json.contains("\"p99_ms\":"));
+        assert!(json.contains("\"channels\":[{\"name\":\"gpu-compute\""));
+        // Balanced braces/brackets — the cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_helpers_escape_and_guard() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("tab\tend"), "\"tab\\tend\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_summary(None), "null");
+        // Empty-ledger reports still serialize (null summaries).
+        let mut r = sample_report();
+        r.job_latencies.clear();
+        r.sched_latencies.clear();
+        assert!(r.to_json().contains("\"latency\":null"));
     }
 
     #[test]

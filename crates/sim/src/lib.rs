@@ -31,6 +31,7 @@ pub mod compute;
 pub mod device;
 pub mod events;
 pub mod memory;
+pub mod network;
 pub mod resource;
 pub mod rng;
 pub mod time;
@@ -42,6 +43,7 @@ pub mod prelude {
     pub use crate::device::{ArchId, DeviceProfile, KernelProfile, MemoryArch, ProcessorKind};
     pub use crate::events::EventQueue;
     pub use crate::memory::{AllocError, Bytes, MemoryPool, MemoryTier};
+    pub use crate::network::{Fabric, LinkProfile, NodeId};
     pub use crate::resource::{FifoResource, Reservation};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimSpan, SimTime};

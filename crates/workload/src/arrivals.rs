@@ -198,6 +198,70 @@ fn exp_ms(mean_ms: f64, rng: &mut SimRng) -> f64 {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The empirical rate of a schedule: arrivals per second over its
+    /// span (`None` for a degenerate zero-length span).
+    fn empirical_rate(arrivals: &[SimTime]) -> Option<f64> {
+        let span = arrivals
+            .last()
+            .unwrap()
+            .saturating_since(arrivals[0])
+            .as_secs_f64();
+        (span > 0.0).then(|| (arrivals.len() - 1) as f64 / span)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Poisson schedules are non-decreasing from time zero and, over
+        /// a long horizon, deliver the configured mean rate within 10 %.
+        #[test]
+        fn poisson_is_monotone_and_rate_accurate(
+            seed in 0u64..10_000,
+            rate in 20.0f64..2_000.0,
+        ) {
+            let p = ArrivalProcess::poisson(rate);
+            let arrivals = p.sample_arrivals(4_000, &mut SimRng::seed_from(seed));
+            prop_assert_eq!(arrivals[0], SimTime::ZERO);
+            prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+            let measured = empirical_rate(&arrivals).expect("positive-rate span");
+            let err = (measured - rate).abs() / rate;
+            prop_assert!(
+                err < 0.10,
+                "poisson({rate}/s) measured {measured:.1}/s ({:.1} % off)",
+                100.0 * err
+            );
+        }
+
+        /// MMPP schedules are non-decreasing and their long-run rate
+        /// matches the dwell-weighted offered load within 10 %.
+        #[test]
+        fn mmpp_is_monotone_and_rate_accurate(
+            seed in 0u64..10_000,
+            base in 50.0f64..400.0,
+            burst_mult in 2.0f64..4.0,
+        ) {
+            // Short dwell times pack many phase cycles into the horizon,
+            // so the empirical phase occupancy converges.
+            let p = ArrivalProcess::bursty(base, base * burst_mult, 40.0, 20.0);
+            let arrivals = p.sample_arrivals(8_000, &mut SimRng::seed_from(seed));
+            prop_assert_eq!(arrivals[0], SimTime::ZERO);
+            prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+            let offered = p.offered_load_rps();
+            let measured = empirical_rate(&arrivals).expect("positive-rate span");
+            let err = (measured - offered).abs() / offered;
+            prop_assert!(
+                err < 0.10,
+                "mmpp offered {offered:.1}/s measured {measured:.1}/s ({:.1} % off)",
+                100.0 * err
+            );
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 

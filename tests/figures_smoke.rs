@@ -117,6 +117,56 @@ fn fig17_18_19_produce_rows() {
 }
 
 #[test]
+fn fig21_cluster_scaling_shows_speedup_and_locality() {
+    scale_down();
+    let (t, artifacts) = figures::fig21_cluster_scaling();
+    // 1 baseline + 4 placements at 2 nodes + 4×3 matrix at 4 nodes.
+    assert_eq!(t.len(), 17);
+    let csv = t.to_csv();
+    let mut speedup_4n_ua_rf = None;
+    let mut hops_rf = None;
+    let mut hops_rr = None;
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let speedup: f64 = cells[5].parse().unwrap();
+        let hops: u64 = cells[7].parse().unwrap();
+        assert!(speedup.is_finite() && speedup >= 0.0);
+        if cells[0] == "4" && cells[1] == "usage-aware" {
+            match cells[2] {
+                "residency-first" => {
+                    speedup_4n_ua_rf = Some(speedup);
+                    hops_rf = Some(hops);
+                }
+                "round-robin" => hops_rr = Some(hops),
+                _ => {}
+            }
+        }
+        // Replicated placement can never cross nodes.
+        if cells[1] == "replicated" {
+            assert_eq!(hops, 0, "replicated placement crossed nodes: {line}");
+        }
+    }
+    let speedup = speedup_4n_ua_rf.expect("4-node usage-aware residency-first row");
+    assert!(
+        speedup >= 2.0,
+        "4 nodes must at least double 1-node throughput at overload, got {speedup:.2}x:\n{csv}"
+    );
+    let (rf, rr) = (hops_rf.unwrap(), hops_rr.unwrap());
+    assert!(
+        rf < rr,
+        "residency-first must beat round-robin on hops: {rf} vs {rr}\n{csv}"
+    );
+    // The JSON artifacts are emitted and structurally sound.
+    assert_eq!(artifacts.len(), 2);
+    for (stem, json) in &artifacts {
+        assert!(stem.starts_with("fig21"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+    assert!(artifacts[1].1.contains("\"num_nodes\":4"));
+}
+
+#[test]
 fn fig20_latency_vs_load_has_finite_tails_and_overload_drops() {
     scale_down();
     let t = figures::fig20_latency_vs_load();
