@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 
-use coserve_core::evict::{select_victims, EvictionContext, EvictionPolicy};
+use coserve_core::evict::{
+    select_victims, select_victims_into, EvictionContext, EvictionPolicy, EvictionScratch,
+};
 use coserve_core::perf::PerfMatrix;
 use coserve_core::pool::ModelPool;
 use coserve_model::coe::CoeModel;
@@ -93,5 +95,67 @@ fn bench_orphan_heavy_pool(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_policies, bench_orphan_heavy_pool);
+/// The engine's steady-state path: a pool packed to the brim (every
+/// Board A expert resident) with the precomputed ascending-usage order
+/// and reusable scratch, vs the allocating wrapper.
+fn bench_full_pool_scratch_reuse(c: &mut Criterion) {
+    let board = BoardSpec::board_a();
+    let model = board.build_model().expect("board A validates");
+    let perf = PerfMatrix::from_model_with("bench", &model, |_, _| None);
+    let mut pool = ModelPool::new(Bytes::gib(128));
+    for i in 0..model.num_experts() as u32 {
+        let e = ExpertId(i);
+        pool.insert(
+            e,
+            model.weight_bytes(e),
+            SimTime::ZERO + SimSpan::from_millis(u64::from(i)),
+        )
+        .expect("fits");
+    }
+    let protected = BTreeSet::new();
+    let ctx = EvictionContext {
+        model: &model,
+        perf: &perf,
+        protected: &protected,
+    };
+    let need = Bytes::mib(400);
+    let residents = pool.len();
+    for policy in [EvictionPolicy::DependencyAware, EvictionPolicy::Lru] {
+        let mut scratch = EvictionScratch::new();
+        c.bench_function(
+            format!("eviction_full_pool/{policy}_scratch/{residents}_residents"),
+            |b| {
+                b.iter(|| {
+                    select_victims_into(
+                        policy,
+                        &pool,
+                        need,
+                        &ctx,
+                        perf.experts_by_usage_asc(),
+                        &mut scratch,
+                    )
+                    .expect("full pool covers the need");
+                    black_box(scratch.victims().len())
+                });
+            },
+        );
+        c.bench_function(
+            format!("eviction_full_pool/{policy}_alloc/{residents}_residents"),
+            |b| {
+                b.iter(|| {
+                    let victims =
+                        select_victims(policy, &pool, need, &ctx).expect("full pool covers");
+                    black_box(victims.len())
+                });
+            },
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_orphan_heavy_pool,
+    bench_full_pool_scratch_reuse
+);
 criterion_main!(benches);

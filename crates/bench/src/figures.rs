@@ -5,6 +5,12 @@
 //! Paper-reported reference bands are asserted in
 //! `tests/figures_smoke.rs`; `PAPER.md` at the workspace root
 //! summarizes the source paper.
+//!
+//! The sweep figures (fig13–fig21) fan their independent points out
+//! over [`crate::sweep::run_ordered`] worker threads and reassemble
+//! rows in canonical order, so the emitted artifacts are byte-identical
+//! to a serial run at any `COSERVE_JOBS` width (pinned by
+//! `tests/parallel_figures.rs`).
 
 use coserve_cluster::dispatch::RoutePolicy;
 use coserve_cluster::placement::PlacementStrategy;
@@ -257,40 +263,49 @@ pub fn fig13_14_throughput_and_switches() -> (Table, Table) {
             "reduction_vs_samba_pct",
         ],
     );
-    for device in paper_devices() {
-        for task in paper_tasks() {
-            let bench = Bench::prepare(device.clone(), task.clone());
-            let (reports, _) = bench.run_suite();
-            let samba_thr = reports[0].throughput_ips();
-            let samba_sw = reports[0].expert_switches();
-            for r in &reports {
-                let speedup = if samba_thr > 0.0 {
-                    r.throughput_ips() / samba_thr
-                } else {
-                    0.0
-                };
-                thr.row(vec![
-                    device.name().to_string(),
-                    task.name().to_string(),
-                    r.system.clone(),
-                    fmt_f64(r.throughput_ips(), 1),
-                    fmt_f64(speedup, 2),
-                ]);
-                let reduction = if samba_sw > 0 {
-                    100.0 * (1.0 - r.expert_switches() as f64 / samba_sw as f64)
-                } else {
-                    0.0
-                };
-                sw.row(vec![
-                    device.name().to_string(),
-                    task.name().to_string(),
-                    r.system.clone(),
-                    r.expert_switches().to_string(),
-                    r.switches_from_ssd().to_string(),
-                    r.switches_from_cpu().to_string(),
-                    fmt_f64(reduction, 1),
-                ]);
-            }
+    let cells: Vec<_> = paper_devices()
+        .into_iter()
+        .flat_map(|device| {
+            paper_tasks()
+                .into_iter()
+                .map(move |task| (device.clone(), task))
+        })
+        .collect();
+    let results = crate::sweep::run_ordered(cells, |(device, task)| {
+        let bench = Bench::prepare(device.clone(), task.clone());
+        let (reports, _) = bench.run_suite();
+        (device, task, reports)
+    });
+    for (device, task, reports) in results {
+        let samba_thr = reports[0].throughput_ips();
+        let samba_sw = reports[0].expert_switches();
+        for r in &reports {
+            let speedup = if samba_thr > 0.0 {
+                r.throughput_ips() / samba_thr
+            } else {
+                0.0
+            };
+            thr.row(vec![
+                device.name().to_string(),
+                task.name().to_string(),
+                r.system.clone(),
+                fmt_f64(r.throughput_ips(), 1),
+                fmt_f64(speedup, 2),
+            ]);
+            let reduction = if samba_sw > 0 {
+                100.0 * (1.0 - r.expert_switches() as f64 / samba_sw as f64)
+            } else {
+                0.0
+            };
+            sw.row(vec![
+                device.name().to_string(),
+                task.name().to_string(),
+                r.system.clone(),
+                r.expert_switches().to_string(),
+                r.switches_from_ssd().to_string(),
+                r.switches_from_cpu().to_string(),
+                fmt_f64(reduction, 1),
+            ]);
         }
     }
     (thr, sw)
@@ -308,24 +323,36 @@ pub fn fig15_16_ablation() -> (Table, Table) {
         "Figure 16: Expert switches per optimization",
         &["device", "task", "system", "switches"],
     );
-    for device in paper_devices() {
-        for task in paper_tasks() {
-            let bench = Bench::prepare(device.clone(), task.clone());
-            for config in presets::ablation_ladder(&device) {
-                let r = bench.run(&config);
-                thr.row(vec![
-                    device.name().to_string(),
-                    task.name().to_string(),
-                    r.system.clone(),
-                    fmt_f64(r.throughput_ips(), 1),
-                ]);
-                sw.row(vec![
-                    device.name().to_string(),
-                    task.name().to_string(),
-                    r.system.clone(),
-                    r.expert_switches().to_string(),
-                ]);
-            }
+    let cells: Vec<_> = paper_devices()
+        .into_iter()
+        .flat_map(|device| {
+            paper_tasks()
+                .into_iter()
+                .map(move |task| (device.clone(), task))
+        })
+        .collect();
+    let results = crate::sweep::run_ordered(cells, |(device, task)| {
+        let bench = Bench::prepare(device.clone(), task.clone());
+        let reports: Vec<_> = presets::ablation_ladder(&device)
+            .into_iter()
+            .map(|config| bench.run(&config))
+            .collect();
+        (device, task, reports)
+    });
+    for (device, task, reports) in results {
+        for r in reports {
+            thr.row(vec![
+                device.name().to_string(),
+                task.name().to_string(),
+                r.system.clone(),
+                fmt_f64(r.throughput_ips(), 1),
+            ]);
+            sw.row(vec![
+                device.name().to_string(),
+                task.name().to_string(),
+                r.system.clone(),
+                r.expert_switches().to_string(),
+            ]);
         }
     }
     (thr, sw)
@@ -341,29 +368,38 @@ pub fn fig17_executors() -> Table {
     );
     let candidates: Vec<(usize, usize)> =
         vec![(1, 1), (2, 1), (3, 1), (4, 1), (5, 1), (3, 2), (4, 2)];
-    for device in paper_devices() {
-        for task in [paper_tasks().remove(0), paper_tasks().remove(2)] {
-            let bench = Bench::prepare(device.clone(), task.clone());
-            let label = if task.name().contains('A') {
-                "Measurement A"
-            } else {
-                "Measurement B"
-            };
-            let trials = coserve_core::autotune::executor_search(
-                &device,
-                &bench.model,
-                &bench.perf,
-                &candidates,
-                &bench.sample,
-            );
-            for tr in &trials {
-                t.row(vec![
-                    device.name().to_string(),
-                    label.to_string(),
-                    format!("{}G+{}C", tr.gpus, tr.cpus),
-                    fmt_f64(tr.throughput, 1),
-                ]);
-            }
+    let cells: Vec<_> = paper_devices()
+        .into_iter()
+        .flat_map(|device| {
+            [paper_tasks().remove(0), paper_tasks().remove(2)]
+                .into_iter()
+                .map(move |task| (device.clone(), task))
+        })
+        .collect();
+    let results = crate::sweep::run_ordered(cells, |(device, task)| {
+        let bench = Bench::prepare(device.clone(), task.clone());
+        let trials = coserve_core::autotune::executor_search(
+            &device,
+            &bench.model,
+            &bench.perf,
+            &candidates,
+            &bench.sample,
+        );
+        (device, task, trials)
+    });
+    for (device, task, trials) in results {
+        let label = if task.name().contains('A') {
+            "Measurement A"
+        } else {
+            "Measurement B"
+        };
+        for tr in &trials {
+            t.row(vec![
+                device.name().to_string(),
+                label.to_string(),
+                format!("{}G+{}C", tr.gpus, tr.cpus),
+                fmt_f64(tr.throughput, 1),
+            ]);
         }
     }
     t
@@ -378,13 +414,9 @@ pub fn fig18_window_search() -> Table {
         &["measurement", "trial", "residents", "throughput", "note"],
     );
     let device = paper_devices().remove(0);
-    for task in [paper_tasks().remove(0), paper_tasks().remove(2)] {
+    let tasks = vec![paper_tasks().remove(0), paper_tasks().remove(2)];
+    let results = crate::sweep::run_ordered(tasks, |task| {
         let bench = Bench::prepare(device.clone(), task.clone());
-        let label = if task.name().contains('A') {
-            "Measurement A"
-        } else {
-            "Measurement B"
-        };
         let base = presets::coserve(&device);
         let result = window_search(
             &device,
@@ -394,6 +426,14 @@ pub fn fig18_window_search() -> Table {
             &bench.sample,
             WindowSearchOptions::default(),
         );
+        (task, result)
+    });
+    for (task, result) in results {
+        let label = if task.name().contains('A') {
+            "Measurement A"
+        } else {
+            "Measurement B"
+        };
         for (i, trial) in result.trials.iter().enumerate() {
             t.row(vec![
                 label.to_string(),
@@ -451,8 +491,14 @@ pub fn fig20_latency_vs_load() -> Table {
         coserve_baselines::samba::samba_coe(&device),
         coserve_baselines::samba::samba_coe_parallel(&device),
     ];
-    for rps in [100.0, 250.0, 500.0, 1_000.0] {
-        // One arrival schedule per load level, shared by every system.
+    // Every (load level, system) point is an independent run: the
+    // arrival schedule depends only on the load level and the seed, so
+    // regenerating it per point changes nothing.
+    let points: Vec<(f64, usize)> = [100.0, 250.0, 500.0, 1_000.0]
+        .into_iter()
+        .flat_map(|rps| (0..systems.len()).map(move |s| (rps, s)))
+        .collect();
+    let rows = crate::sweep::run_ordered(points, |(rps, sys_idx)| {
         let stream = RequestStream::generate_open_loop(
             format!("open-loop poisson {rps}/s"),
             task.board(),
@@ -462,29 +508,30 @@ pub fn fig20_latency_vs_load() -> Table {
             StreamOrder::Iid,
             7,
         );
-        for base in &systems {
-            let mut config = base.clone();
-            config.admission = Some(AdmissionControl::default());
-            config.max_overtake = Some(presets::ONLINE_MAX_OVERTAKE);
-            let report = Engine::new(&device, &model, &perf, &config)
-                .expect("harness configs are valid")
-                .run(&stream);
-            let lat = report.latency_summary();
-            let fmt_lat = |f: fn(&coserve_metrics::stats::Summary) -> f64| {
-                lat.as_ref()
-                    .map_or_else(|| "-".into(), |s| fmt_f64(f(s), 1))
-            };
-            t.row(vec![
-                config.name.clone(),
-                fmt_f64(rps, 0),
-                fmt_lat(|s| s.p50),
-                fmt_lat(|s| s.p90),
-                fmt_lat(|s| s.p95),
-                fmt_lat(|s| s.p99),
-                fmt_f64(100.0 * report.drop_rate(), 1),
-                fmt_f64(report.throughput_ips(), 1),
-            ]);
-        }
+        let mut config = systems[sys_idx].clone();
+        config.admission = Some(AdmissionControl::default());
+        config.max_overtake = Some(presets::ONLINE_MAX_OVERTAKE);
+        let report = Engine::new(&device, &model, &perf, &config)
+            .expect("harness configs are valid")
+            .run(&stream);
+        let lat = report.latency_summary();
+        let fmt_lat = |f: fn(&coserve_metrics::stats::Summary) -> f64| {
+            lat.as_ref()
+                .map_or_else(|| "-".into(), |s| fmt_f64(f(s), 1))
+        };
+        vec![
+            config.name,
+            fmt_f64(rps, 0),
+            fmt_lat(|s| s.p50),
+            fmt_lat(|s| s.p90),
+            fmt_lat(|s| s.p95),
+            fmt_lat(|s| s.p99),
+            fmt_f64(100.0 * report.drop_rate(), 1),
+            fmt_f64(report.throughput_ips(), 1),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -572,36 +619,39 @@ pub fn fig21_cluster_scaling() -> (Table, Vec<(String, String)>) {
         };
 
     let mut artifacts = Vec::new();
-    let baseline = run(
+    // Canonical cell order: the 1-node baseline, the 2-node placement
+    // sweep under default routing, then the full 4-node placement ×
+    // routing matrix. Every cell is an independent deterministic run,
+    // fanned out over the sweep workers and reassembled in this order.
+    let mut cells: Vec<(usize, PlacementStrategy, RoutePolicy)> = vec![(
         1,
         PlacementStrategy::UsageAware,
         RoutePolicy::ResidencyFirst,
-    );
-    let base_thr = baseline.throughput_ips();
-    row(
-        &baseline,
-        PlacementStrategy::UsageAware,
-        RoutePolicy::ResidencyFirst,
-        base_thr,
-    );
-    artifacts.push((
-        "fig21_single_node_report".to_string(),
-        baseline.nodes[0].to_json(),
-    ));
-    // 2 nodes: placement sweep under the default routing.
+    )];
     for placement in PlacementStrategy::ALL {
-        let r = run(2, placement, RoutePolicy::ResidencyFirst);
-        row(&r, placement, RoutePolicy::ResidencyFirst, base_thr);
+        cells.push((2, placement, RoutePolicy::ResidencyFirst));
     }
-    // 4 nodes: the full placement × routing matrix.
     for placement in PlacementStrategy::ALL {
         for route in RoutePolicy::ALL {
-            let r = run(4, placement, route);
-            if placement == PlacementStrategy::UsageAware && route == RoutePolicy::ResidencyFirst {
-                artifacts.push(("fig21_cluster_report".to_string(), r.to_json()));
-            }
-            row(&r, placement, route, base_thr);
+            cells.push((4, placement, route));
         }
+    }
+    let reports = crate::sweep::run_ordered(cells.clone(), |(nodes, placement, route)| {
+        run(nodes, placement, route)
+    });
+    let base_thr = reports[0].throughput_ips();
+    artifacts.push((
+        "fig21_single_node_report".to_string(),
+        reports[0].nodes[0].to_json(),
+    ));
+    for ((nodes, placement, route), r) in cells.into_iter().zip(&reports) {
+        if nodes == 4
+            && placement == PlacementStrategy::UsageAware
+            && route == RoutePolicy::ResidencyFirst
+        {
+            artifacts.push(("fig21_cluster_report".to_string(), r.to_json()));
+        }
+        row(r, placement, route, base_thr);
     }
     (t, artifacts)
 }
@@ -621,29 +671,38 @@ pub fn fig19_overhead() -> Table {
             "throughput_gap_pct",
         ],
     );
-    for device in paper_devices() {
-        // The paper reports tasks A2 and B2.
-        for task in [paper_tasks().remove(1), paper_tasks().remove(3)] {
-            let bench = Bench::prepare(device.clone(), task.clone());
-            let config = presets::coserve(&device);
-            let with_sched = bench.run(&config);
-            let pre = bench.run(&config.pre_scheduled());
-            let sched_ms = with_sched.sched_summary().map_or(0.0, |s| s.mean);
-            let gap = if pre.throughput_ips() > 0.0 {
-                100.0 * (pre.throughput_ips() - with_sched.throughput_ips()).abs()
-                    / pre.throughput_ips()
-            } else {
-                0.0
-            };
-            t.row(vec![
-                device.name().to_string(),
-                task.name().to_string(),
-                fmt_f64(sched_ms, 1),
-                fmt_f64(with_sched.mean_exec_latency_ms(), 1),
-                fmt_f64(pre.mean_exec_latency_ms(), 1),
-                fmt_f64(gap, 1),
-            ]);
-        }
+    // The paper reports tasks A2 and B2.
+    let cells: Vec<_> = paper_devices()
+        .into_iter()
+        .flat_map(|device| {
+            [paper_tasks().remove(1), paper_tasks().remove(3)]
+                .into_iter()
+                .map(move |task| (device.clone(), task))
+        })
+        .collect();
+    let results = crate::sweep::run_ordered(cells, |(device, task)| {
+        let bench = Bench::prepare(device.clone(), task.clone());
+        let config = presets::coserve(&device);
+        let with_sched = bench.run(&config);
+        let pre = bench.run(&config.pre_scheduled());
+        (device, task, with_sched, pre)
+    });
+    for (device, task, with_sched, pre) in results {
+        let sched_ms = with_sched.sched_summary().map_or(0.0, |s| s.mean);
+        let gap = if pre.throughput_ips() > 0.0 {
+            100.0 * (pre.throughput_ips() - with_sched.throughput_ips()).abs()
+                / pre.throughput_ips()
+        } else {
+            0.0
+        };
+        t.row(vec![
+            device.name().to_string(),
+            task.name().to_string(),
+            fmt_f64(sched_ms, 1),
+            fmt_f64(with_sched.mean_exec_latency_ms(), 1),
+            fmt_f64(pre.mean_exec_latency_ms(), 1),
+            fmt_f64(gap, 1),
+        ]);
     }
     t
 }

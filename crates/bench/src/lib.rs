@@ -224,3 +224,5 @@ mod tests {
     }
 }
 pub mod figures;
+pub mod perf_report;
+pub mod sweep;

@@ -1,0 +1,363 @@
+//! The tracked perf baseline: `BENCH_core.json`.
+//!
+//! [`collect`] regenerates every paper figure (like the `all_figures`
+//! binary) while timing each one, then times the serving engine end to
+//! end (wall-clock requests/sec of simulated work), and packages the
+//! measurements as a machine-readable JSON report. The `bench_report`
+//! binary writes it next to the figure CSVs as `BENCH_core.json`; a
+//! copy committed at the workspace root seeds the perf trajectory each
+//! PR is held against.
+//!
+//! Timings are wall-clock and therefore machine-dependent; the report
+//! records the sweep width (`COSERVE_JOBS`) and workload scale
+//! (`COSERVE_SCALE`) alongside so runs are comparable.
+
+use std::time::Instant;
+
+use coserve_core::presets;
+use coserve_metrics::report::{json_f64, json_str};
+
+use crate::{emit, emit_json, figures, paper_devices, paper_tasks, scale, sweep, Bench};
+
+/// Schema version of `BENCH_core.json`; bump on breaking layout
+/// changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wall-clock timing of one regenerated figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTiming {
+    /// The artifact stem (e.g. `fig13_throughput`).
+    pub name: String,
+    /// Wall-clock milliseconds to compute the figure (excluding
+    /// printing/CSV writes).
+    pub wall_ms: f64,
+    /// Data rows produced across the figure's tables.
+    pub rows: usize,
+}
+
+/// Wall-clock throughput of the serving engine itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineTiming {
+    /// Device the run simulated.
+    pub device: String,
+    /// Task the run served.
+    pub task: String,
+    /// Requests submitted.
+    pub requests: usize,
+    /// Stages executed (each is one scheduled batch slot).
+    pub stages: usize,
+    /// Wall-clock milliseconds for the whole run.
+    pub wall_ms: f64,
+    /// Requests of simulated work processed per wall-clock second.
+    pub requests_per_sec: f64,
+}
+
+/// The complete perf baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Workload scale factor the run used.
+    pub scale: f64,
+    /// Sweep width the run used.
+    pub jobs: usize,
+    /// Per-figure wall-clock timings, in emission order.
+    pub figures: Vec<FigureTiming>,
+    /// Wall-clock milliseconds for the full figure suite.
+    pub all_figures_wall_ms: f64,
+    /// End-to-end engine throughput measurement.
+    pub engine: EngineTiming,
+}
+
+impl PerfReport {
+    /// Renders the report as JSON (hand-rolled like the metrics crate's
+    /// serializers; no dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let figures: Vec<String> = self
+            .figures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"name\":{},\"wall_ms\":{},\"rows\":{}}}",
+                    json_str(&f.name),
+                    json_f64(f.wall_ms),
+                    f.rows,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema_version\":{},\"scale\":{},\"jobs\":{},\
+             \"all_figures_wall_ms\":{},\"figures\":[{}],\
+             \"engine\":{{\"device\":{},\"task\":{},\"requests\":{},\
+             \"stages\":{},\"wall_ms\":{},\"requests_per_sec\":{}}}}}",
+            SCHEMA_VERSION,
+            json_f64(self.scale),
+            self.jobs,
+            json_f64(self.all_figures_wall_ms),
+            figures.join(","),
+            json_str(&self.engine.device),
+            json_str(&self.engine.task),
+            self.engine.requests,
+            self.engine.stages,
+            json_f64(self.engine.wall_ms),
+            json_f64(self.engine.requests_per_sec),
+        )
+    }
+}
+
+/// Regenerates every figure (emitting tables, CSVs and JSON artifacts
+/// exactly like `all_figures` when `emit_artifacts` is set) while
+/// timing each, then times an end-to-end engine run, and returns the
+/// assembled [`PerfReport`].
+#[must_use]
+pub fn collect(emit_artifacts: bool) -> PerfReport {
+    let mut figures = Vec::new();
+    let suite_start = Instant::now();
+    let mut record =
+        |name: &str, started: Instant, tables: Vec<(String, coserve_metrics::table::Table)>| {
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let rows = tables.iter().map(|(_, t)| t.len()).sum();
+            if emit_artifacts {
+                for (stem, table) in &tables {
+                    emit(table, stem);
+                }
+            }
+            figures.push(FigureTiming {
+                name: name.to_string(),
+                wall_ms,
+                rows,
+            });
+        };
+
+    let one = |stem: &str, t: coserve_metrics::table::Table| vec![(stem.to_string(), t)];
+
+    let s = Instant::now();
+    record(
+        "table1_hardware",
+        s,
+        one("table1_hardware", figures::table1_hardware()),
+    );
+    let s = Instant::now();
+    record(
+        "fig01_switch_share",
+        s,
+        one("fig01_switch_share", figures::fig01_switch_share()),
+    );
+    let s = Instant::now();
+    record(
+        "fig05_avg_latency",
+        s,
+        one("fig05_avg_latency", figures::fig05_avg_latency()),
+    );
+    let s = Instant::now();
+    record(
+        "fig06_mem_footprint",
+        s,
+        one("fig06_mem_footprint", figures::fig06_mem_footprint()),
+    );
+    let s = Instant::now();
+    let t11 = figures::fig11_usage_cdf();
+    record(
+        "fig11_usage_cdf",
+        s,
+        t11.into_iter()
+            .enumerate()
+            .map(|(i, t)| (format!("fig11_usage_cdf_{i}"), t))
+            .collect(),
+    );
+    let s = Instant::now();
+    let t12 = figures::fig12_exec_latency();
+    record(
+        "fig12_exec_latency",
+        s,
+        t12.into_iter()
+            .enumerate()
+            .map(|(i, t)| (format!("fig12_exec_latency_{i}"), t))
+            .collect(),
+    );
+    let s = Instant::now();
+    let (thr, sw) = figures::fig13_14_throughput_and_switches();
+    record(
+        "fig13_14_throughput_and_switches",
+        s,
+        vec![
+            ("fig13_throughput".to_string(), thr),
+            ("fig14_switches".to_string(), sw),
+        ],
+    );
+    let s = Instant::now();
+    let (athr, asw) = figures::fig15_16_ablation();
+    record(
+        "fig15_16_ablation",
+        s,
+        vec![
+            ("fig15_ablation_throughput".to_string(), athr),
+            ("fig16_ablation_switches".to_string(), asw),
+        ],
+    );
+    let s = Instant::now();
+    record(
+        "fig17_executors",
+        s,
+        one("fig17_executors", figures::fig17_executors()),
+    );
+    let s = Instant::now();
+    record(
+        "fig18_window_search",
+        s,
+        one("fig18_window_search", figures::fig18_window_search()),
+    );
+    let s = Instant::now();
+    record(
+        "fig19_overhead",
+        s,
+        one("fig19_overhead", figures::fig19_overhead()),
+    );
+    let s = Instant::now();
+    record(
+        "fig20_latency_vs_load",
+        s,
+        one("fig20_latency_vs_load", figures::fig20_latency_vs_load()),
+    );
+    let s = Instant::now();
+    let (cluster, artifacts) = figures::fig21_cluster_scaling();
+    record(
+        "fig21_cluster_scaling",
+        s,
+        one("fig21_cluster_scaling", cluster),
+    );
+    if emit_artifacts {
+        for (stem, json) in &artifacts {
+            emit_json(json, stem);
+        }
+    }
+    let all_figures_wall_ms = suite_start.elapsed().as_secs_f64() * 1e3;
+
+    // End-to-end engine throughput: the CoServe preset serving the
+    // paper's first task on the NUMA device, timed wall-clock.
+    let device = paper_devices().remove(0);
+    let task = paper_tasks().remove(0);
+    let bench = Bench::prepare(device.clone(), task.clone());
+    let config = presets::coserve(&device);
+    let started = Instant::now();
+    let report = bench.run(&config);
+    let wall = started.elapsed().as_secs_f64();
+    let engine = EngineTiming {
+        device: device.name().to_string(),
+        task: task.name().to_string(),
+        requests: report.submitted,
+        stages: report.stages_executed,
+        wall_ms: wall * 1e3,
+        requests_per_sec: if wall > 0.0 {
+            report.submitted as f64 / wall
+        } else {
+            0.0
+        },
+    };
+
+    PerfReport {
+        scale: scale(),
+        jobs: sweep::jobs(),
+        figures,
+        all_figures_wall_ms,
+        engine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        PerfReport {
+            scale: 1.0,
+            jobs: 4,
+            figures: vec![
+                FigureTiming {
+                    name: "fig13_14_throughput_and_switches".into(),
+                    wall_ms: 123.45,
+                    rows: 80,
+                },
+                FigureTiming {
+                    name: "fig21_cluster_scaling".into(),
+                    wall_ms: 67.8,
+                    rows: 17,
+                },
+            ],
+            all_figures_wall_ms: 191.25,
+            engine: EngineTiming {
+                device: "NUMA \"quoted\"".into(),
+                task: "Task A1".into(),
+                requests: 2500,
+                stages: 3400,
+                wall_ms: 42.0,
+                requests_per_sec: 59523.8,
+            },
+        }
+    }
+
+    /// A minimal JSON well-formedness check: balanced braces/brackets
+    /// outside strings, and no trailing garbage.
+    fn assert_well_formed(json: &str) {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close in {json}");
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_str, "unterminated string in {json}");
+        assert_eq!(depth, 0, "unbalanced braces in {json}");
+    }
+
+    #[test]
+    fn schema_has_required_keys() {
+        let json = sample().to_json();
+        assert_well_formed(&json);
+        for key in [
+            "\"schema_version\":1",
+            "\"scale\":",
+            "\"jobs\":4",
+            "\"all_figures_wall_ms\":",
+            "\"figures\":[",
+            "\"engine\":{",
+            "\"requests_per_sec\":",
+            "\"wall_ms\":",
+            "\"rows\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let json = sample().to_json();
+        assert!(json.contains("NUMA \\\"quoted\\\""));
+        assert_well_formed(&json);
+    }
+
+    #[test]
+    fn non_finite_timings_become_null() {
+        let mut r = sample();
+        r.engine.requests_per_sec = f64::NAN;
+        let json = r.to_json();
+        assert!(json.contains("\"requests_per_sec\":null"));
+        assert_well_formed(&json);
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic parallel sweep runner for the figure harness.
+//!
+//! Every point in the fig13–fig21 sweeps is an independent,
+//! deterministic simulation: the same inputs produce the same rows no
+//! matter when or where they run. [`run_ordered`] exploits that by
+//! fanning points out over scoped worker threads (`std::thread::scope`,
+//! no external dependencies) and reassembling the results **in input
+//! order**, so the emitted CSV/JSON artifacts are byte-identical to a
+//! serial run — pinned by `tests/parallel_figures.rs`.
+//!
+//! Width comes from the `COSERVE_JOBS` environment variable (default:
+//! the machine's available parallelism). `COSERVE_JOBS=1` forces the
+//! serial path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The sweep width: `COSERVE_JOBS` when set to a positive integer,
+/// otherwise the machine's available parallelism (1 when unknown).
+///
+/// Read per call (not cached) so tests can flip the variable between
+/// sweeps within one process.
+#[must_use]
+pub fn jobs() -> usize {
+    if let Ok(v) = std::env::var("COSERVE_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `work` over every item, fanning out over [`jobs`] scoped worker
+/// threads, and returns the results **in item order** regardless of
+/// completion order — the determinism guarantee the figure artifacts
+/// rely on.
+///
+/// Workers claim items from a shared atomic cursor, so uneven point
+/// costs balance automatically. A panic in any worker propagates after
+/// the scope joins.
+pub fn run_ordered<T, R, F>(items: Vec<T>, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let width = jobs().min(items.len()).max(1);
+    if width <= 1 {
+        return items.into_iter().map(work).collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..width {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each slot is claimed once");
+                let out = work(item);
+                *results[i].lock().expect("result lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("every item produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Uneven per-item cost: later items finish first under any
+        // honest parallel schedule, yet the output order must match the
+        // input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = run_ordered(items.clone(), |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 10
+        });
+        let want: Vec<u64> = items.iter().map(|i| i * 10).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_ordered(empty, |x: u32| x).is_empty());
+        assert_eq!(run_ordered(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn jobs_floor_is_one() {
+        assert!(jobs() >= 1);
+    }
+}

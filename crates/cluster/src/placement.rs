@@ -198,7 +198,7 @@ pub fn plan_placement(
         }
         PlacementStrategy::Random => {
             let mut rng = SimRng::seed_from(seed);
-            for &e in &by_usage {
+            for &e in by_usage {
                 placed[rng.next_below(nodes as u64) as usize].insert(e);
             }
         }

@@ -30,10 +30,10 @@ use coserve_sim::transfer::TransferRoute;
 use coserve_workload::stream::RequestStream;
 
 use crate::config::{ArrangePolicy, AssignPolicy, SystemConfig};
-use crate::evict::{select_victims, EvictionContext};
+use crate::evict::{select_victims_into, EvictionContext, EvictionScratch};
 use crate::perf::PerfMatrix;
 use crate::pool::ModelPool;
-use crate::queue::{ExecutorQueue, PendingRequest};
+use crate::queue::{ExecutorQueue, PendingRequest, RunDelta};
 
 /// Error detected when constructing an engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,9 +153,9 @@ pub fn plan_memory(
     let gpu_pool_target = config.memory.gpu_resident_experts.map(|n| {
         let total: Bytes = perf
             .experts_by_usage()
-            .into_iter()
+            .iter()
             .take(n)
-            .map(|e| model.weight_bytes(e))
+            .map(|&e| model.weight_bytes(e))
             .sum();
         let per_exec = total.get() / gpus.max(1);
         Bytes::new((per_exec as f64 * 1.02) as u64)
@@ -358,6 +358,21 @@ struct ExecState {
     switch_time: SimSpan,
     switches: u64,
     finished_at: SimTime,
+    /// Cached Σ over queued runs of the predicted execution span —
+    /// maintained incrementally from [`RunDelta`]s so the assigner
+    /// never rescans the queue. Exact: spans are integer nanoseconds,
+    /// so incremental add/subtract reproduces a fresh sum bit for bit.
+    work_exec: SimSpan,
+    /// Cached predicted switch span per distinct queued expert, sorted
+    /// by expert id (a reusable sorted vec, not a map, so steady state
+    /// allocates nothing).
+    switch_spans: Vec<(ExpertId, SimSpan)>,
+    /// Σ of `switch_spans` values.
+    switch_total: SimSpan,
+    /// Set whenever residency changes (this pool, or the shared staging
+    /// cache) could invalidate `switch_spans`; the next prediction
+    /// rebuilds the cache from the queue's distinct-expert index.
+    switch_dirty: bool,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -391,6 +406,17 @@ struct Run<'a> {
     job_latencies: Vec<SimSpan>,
     stage_latencies: BTreeMap<u8, Vec<SimSpan>>,
     sched_latencies: Vec<SimSpan>,
+    /// Assignment scratch: per-executor predicted totals, reused across
+    /// requests.
+    totals_scratch: Vec<SimSpan>,
+    /// Recycled batch buffers: popped groups move into `InFlight` and
+    /// come back here when the batch finishes, so steady state pops
+    /// allocate nothing.
+    batch_pool: Vec<Vec<PendingRequest>>,
+    /// Reusable victim-selection buffers.
+    evict_scratch: EvictionScratch,
+    /// Reusable protected-expert set for eviction calls.
+    protected_scratch: BTreeSet<ExpertId>,
 }
 
 impl<'a> Run<'a> {
@@ -414,6 +440,10 @@ impl<'a> Run<'a> {
                 switch_time: SimSpan::ZERO,
                 switches: 0,
                 finished_at: SimTime::ZERO,
+                work_exec: SimSpan::ZERO,
+                switch_spans: Vec::new(),
+                switch_total: SimSpan::ZERO,
+                switch_dirty: false,
             })
             .collect();
         let cache = if engine.device.has_staging_cache() {
@@ -445,6 +475,10 @@ impl<'a> Run<'a> {
             job_latencies: Vec::new(),
             stage_latencies: BTreeMap::new(),
             sched_latencies: Vec::new(),
+            totals_scratch: Vec::new(),
+            batch_pool: Vec::new(),
+            evict_scratch: EvictionScratch::new(),
+            protected_scratch: BTreeSet::new(),
         };
         if engine.config.preload {
             run.preload();
@@ -458,13 +492,17 @@ impl<'a> Run<'a> {
     /// placement plan may override the priority order so the node
     /// preloads its placed experts first.
     fn preload(&mut self) {
-        let order = match &self.engine.config.preload_order {
-            Some(order) => order.clone(),
-            None => self.engine.perf.experts_by_usage(),
+        let engine = self.engine;
+        // Borrow the order: either the configured override or the perf
+        // matrix's memoized descending-usage slice — no clone on the
+        // construction path.
+        let order: &[ExpertId] = match &engine.config.preload_order {
+            Some(order) => order,
+            None => engine.perf.experts_by_usage(),
         };
-        let model = self.engine.model;
+        let model = engine.model;
         let mut pools: Vec<&mut ModelPool> = self.execs.iter_mut().map(|e| &mut e.pool).collect();
-        preload_round_robin(&mut pools, &order, |e| model.weight_bytes(e));
+        preload_round_robin(&mut pools, order, |e| model.weight_bytes(e));
     }
 
     fn execute(mut self) -> RunReport {
@@ -525,13 +563,14 @@ impl<'a> Run<'a> {
             expert,
             ready_at: now,
         };
-        match (self.engine.config.arrange, self.engine.config.max_overtake) {
+        let delta = match (self.engine.config.arrange, self.engine.config.max_overtake) {
             (ArrangePolicy::Grouped, Some(bound)) => self.execs[exec_idx]
                 .queue
                 .insert_grouped_bounded(req, bound),
             (ArrangePolicy::Grouped, None) => self.execs[exec_idx].queue.insert_grouped(req),
             (ArrangePolicy::Fcfs, _) => self.execs[exec_idx].queue.push_back(req),
-        }
+        };
+        self.apply_insert_delta(exec_idx, delta);
         self.try_start(exec_idx, now);
     }
 
@@ -584,7 +623,7 @@ impl<'a> Run<'a> {
     }
 
     fn finish_batch(&mut self, exec_idx: usize, now: SimTime) {
-        let batch = self.execs[exec_idx]
+        let mut batch = self.execs[exec_idx]
             .in_flight
             .take()
             .expect("finish without in-flight batch")
@@ -593,7 +632,7 @@ impl<'a> Run<'a> {
         self.execs[exec_idx].busy_until = now;
         self.stages_executed += batch.len();
         self.last_done = self.last_done.max(now);
-        for req in batch {
+        for req in batch.drain(..) {
             self.stage_latencies
                 .entry(req.stage)
                 .or_default()
@@ -617,7 +656,14 @@ impl<'a> Run<'a> {
                 }
             }
         }
+        self.recycle_batch(batch);
         self.try_start(exec_idx, now);
+    }
+
+    /// Returns a drained batch buffer to the pool for reuse.
+    fn recycle_batch(&mut self, mut batch: Vec<PendingRequest>) {
+        batch.clear();
+        self.batch_pool.push(batch);
     }
 
     /// The current maximum executable batch size for `expert` on
@@ -653,26 +699,14 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Predicted total remaining inference time of an executor queue
-    /// (§4.2): in-flight remainder plus, per same-expert run, the linear
-    /// execution estimate and at most one expert switch.
-    fn predict_total(&self, exec_idx: usize, now: SimTime) -> SimSpan {
-        let exec = &self.execs[exec_idx];
-        let mut total = exec.busy_until.saturating_since(now);
-        let mut seen: BTreeSet<ExpertId> = BTreeSet::new();
-        for (expert, count) in exec.queue.runs() {
-            total += self.predict_group(exec_idx, expert, count, &mut seen);
+    /// The predicted execution span of one same-expert run of `count`
+    /// requests (§4.2's linear estimate, batched by the executable
+    /// batch size). The unit the incremental `work_exec` aggregate is
+    /// built from.
+    fn run_exec_span(&self, exec_idx: usize, expert: ExpertId, count: u32) -> SimSpan {
+        if count == 0 {
+            return SimSpan::ZERO;
         }
-        total
-    }
-
-    fn predict_group(
-        &self,
-        exec_idx: usize,
-        expert: ExpertId,
-        count: u32,
-        seen: &mut BTreeSet<ExpertId>,
-    ) -> SimSpan {
         let arch = self.engine.model.expert(expert).arch();
         let entry = self
             .engine
@@ -680,12 +714,116 @@ impl<'a> Run<'a> {
             .expect_entry(arch, self.execs[exec_idx].processor);
         let max_batch = self.executable_batch(exec_idx, expert).max(1);
         let batches = count.div_ceil(max_batch);
-        let exec_ms = entry.k_ms * f64::from(count) + entry.b_ms * f64::from(batches);
-        let mut total = SimSpan::from_millis_f64(exec_ms);
-        if seen.insert(expert) {
-            total += self.predicted_switch(exec_idx, expert);
+        SimSpan::from_millis_f64(entry.k_ms * f64::from(count) + entry.b_ms * f64::from(batches))
+    }
+
+    /// Folds a queue-insert [`RunDelta`] into the executor's cached
+    /// work-left aggregates.
+    fn apply_insert_delta(&mut self, exec_idx: usize, delta: RunDelta) {
+        let before = self.run_exec_span(exec_idx, delta.expert, delta.len_before);
+        let after = self.run_exec_span(exec_idx, delta.expert, delta.len_after);
+        let newly_queued = delta.membership_changed && !self.execs[exec_idx].switch_dirty;
+        let switch = if newly_queued {
+            self.predicted_switch(exec_idx, delta.expert)
+        } else {
+            SimSpan::ZERO
+        };
+        let exec = &mut self.execs[exec_idx];
+        exec.work_exec = exec.work_exec + after - before;
+        if newly_queued {
+            match exec
+                .switch_spans
+                .binary_search_by_key(&delta.expert, |&(e, _)| e)
+            {
+                Err(pos) => {
+                    exec.switch_spans.insert(pos, (delta.expert, switch));
+                    exec.switch_total += switch;
+                }
+                Ok(_) => debug_assert!(false, "membership_changed for an indexed expert"),
+            }
         }
-        total
+    }
+
+    /// Folds a batch-pop [`RunDelta`] into the executor's cached
+    /// work-left aggregates.
+    fn apply_pop_delta(&mut self, exec_idx: usize, delta: RunDelta) {
+        let before = self.run_exec_span(exec_idx, delta.expert, delta.len_before);
+        let after = self.run_exec_span(exec_idx, delta.expert, delta.len_after);
+        let exec = &mut self.execs[exec_idx];
+        exec.work_exec = exec.work_exec + after - before;
+        if delta.membership_changed && !exec.switch_dirty {
+            if let Ok(pos) = exec
+                .switch_spans
+                .binary_search_by_key(&delta.expert, |&(e, _)| e)
+            {
+                let (_, span) = exec.switch_spans.remove(pos);
+                exec.switch_total -= span;
+            }
+        }
+    }
+
+    /// Rebuilds an executor's cached switch spans from the queue's
+    /// distinct-expert index — called lazily after residency changed.
+    fn refresh_switch_cache(&mut self, exec_idx: usize) {
+        let mut spans = std::mem::take(&mut self.execs[exec_idx].switch_spans);
+        spans.clear();
+        let mut total = SimSpan::ZERO;
+        for expert in self.execs[exec_idx].queue.queued_experts() {
+            let span = self.predicted_switch(exec_idx, expert);
+            // `queued_experts` yields in ascending id order, so pushing
+            // keeps the vec sorted for binary search.
+            spans.push((expert, span));
+            total += span;
+        }
+        let exec = &mut self.execs[exec_idx];
+        exec.switch_spans = spans;
+        exec.switch_total = total;
+        exec.switch_dirty = false;
+    }
+
+    /// Marks every executor's switch cache stale — the shared staging
+    /// cache changed, which can retier any queued expert's load.
+    fn mark_all_switch_dirty(&mut self) {
+        for exec in &mut self.execs {
+            exec.switch_dirty = true;
+        }
+    }
+
+    /// Predicted total remaining inference time of an executor queue
+    /// (§4.2): in-flight remainder plus, per same-expert run, the linear
+    /// execution estimate and at most one expert switch. Served from
+    /// the incrementally maintained aggregates in O(1) (amortized);
+    /// debug builds verify them against a from-scratch recomputation.
+    fn predict_total(&mut self, exec_idx: usize, now: SimTime) -> SimSpan {
+        if self.execs[exec_idx].switch_dirty {
+            self.refresh_switch_cache(exec_idx);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_verify_aggregates(exec_idx);
+        let exec = &self.execs[exec_idx];
+        exec.busy_until.saturating_since(now) + exec.work_exec + exec.switch_total
+    }
+
+    /// Debug-only: the cached aggregates must equal what the
+    /// pre-refactor per-probe rescan computed, bit for bit.
+    #[cfg(debug_assertions)]
+    fn debug_verify_aggregates(&self, exec_idx: usize) {
+        let exec = &self.execs[exec_idx];
+        let mut seen: BTreeSet<ExpertId> = BTreeSet::new();
+        let mut fresh_exec = SimSpan::ZERO;
+        let mut fresh_switch = SimSpan::ZERO;
+        for (expert, count) in exec.queue.runs_iter() {
+            fresh_exec += self.run_exec_span(exec_idx, expert, count);
+            if seen.insert(expert) {
+                fresh_switch += self.predicted_switch(exec_idx, expert);
+            }
+        }
+        debug_assert_eq!(exec.work_exec, fresh_exec, "work_exec aggregate drifted");
+        debug_assert_eq!(
+            exec.switch_total, fresh_switch,
+            "switch aggregate drifted (dirty={})",
+            exec.switch_dirty
+        );
     }
 
     /// Predicted additional latency of appending a request for `expert`
@@ -700,12 +838,7 @@ impl<'a> Run<'a> {
             .expect_entry(arch, self.execs[exec_idx].processor);
         let max_batch = self.executable_batch(exec_idx, expert).max(1);
         let queue = &self.execs[exec_idx].queue;
-        let last_run_len = queue
-            .runs()
-            .into_iter()
-            .rev()
-            .find(|&(e, _)| e == expert)
-            .map_or(0, |(_, n)| n);
+        let last_run_len = queue.last_run_len(expert);
         let joins_open_batch = last_run_len > 0 && last_run_len % max_batch != 0;
         let mut ms = entry.k_ms;
         if !joins_open_batch {
@@ -727,26 +860,42 @@ impl<'a> Run<'a> {
                 idx
             }
             AssignPolicy::DependencyAware => {
-                let totals: Vec<SimSpan> = (0..self.execs.len())
-                    .map(|i| self.predict_total(i, now))
-                    .collect();
+                let n = self.execs.len();
+                let mut totals = std::mem::take(&mut self.totals_scratch);
+                totals.clear();
+                for i in 0..n {
+                    let t = self.predict_total(i, now);
+                    totals.push(t);
+                }
+                // The max of "all queues except q" is the global max
+                // unless q *is* the (unique) argmax, in which case it is
+                // the runner-up — O(executors) total instead of
+                // O(executors²) refolds.
+                let mut max1 = totals[0];
+                let mut max1_idx = 0usize;
+                let mut max2 = SimSpan::ZERO;
+                for (i, &t) in totals.iter().enumerate().skip(1) {
+                    if t > max1 {
+                        max2 = max1;
+                        max1 = t;
+                        max1_idx = i;
+                    } else if t > max2 {
+                        max2 = t;
+                    }
+                }
                 let mut best: Option<(SimSpan, SimSpan, usize)> = None;
-                for q in 0..self.execs.len() {
+                for (q, &total) in totals.iter().enumerate() {
                     let delta = self.predict_delta(q, expert, now);
                     // Makespan if the request goes to q: q's new total
                     // vs the max of the other queues.
-                    let others = totals
-                        .iter()
-                        .enumerate()
-                        .filter(|&(p, _)| p != q)
-                        .map(|(_, &t)| t)
-                        .fold(SimSpan::ZERO, SimSpan::max);
-                    let makespan = others.max(totals[q] + delta);
+                    let others = if q == max1_idx { max2 } else { max1 };
+                    let makespan = others.max(total + delta);
                     let key = (makespan, delta, q);
                     if best.is_none_or(|b| key < b) {
                         best = Some(key);
                     }
                 }
+                self.totals_scratch = totals;
                 best.expect("at least one executor").2
             }
         }
@@ -764,7 +913,13 @@ impl<'a> Run<'a> {
                 return;
             };
             let max_batch = self.executable_batch(exec_idx, expert);
-            let batch = self.execs[exec_idx].queue.pop_front_group(max_batch);
+            let mut batch = self.batch_pool.pop().unwrap_or_default();
+            let delta = self.execs[exec_idx]
+                .queue
+                .pop_front_group_into(max_batch, &mut batch);
+            if let Some(delta) = delta {
+                self.apply_pop_delta(exec_idx, delta);
+            }
             debug_assert!(!batch.is_empty());
             if self.start_batch(exec_idx, expert, batch, now) {
                 return; // executor is now busy
@@ -804,29 +959,36 @@ impl<'a> Run<'a> {
         if !self.execs[exec_idx].pool.contains(expert) {
             if weights > self.execs[exec_idx].pool.capacity() {
                 self.fail_batch(&batch);
+                self.recycle_batch(batch);
                 return false;
             }
-            // Free space via the configured eviction policy.
+            // Free space via the configured eviction policy. The
+            // protected set, candidate ordering and victim list all
+            // live in buffers reused across evictions.
             let need = weights.saturating_sub(self.execs[exec_idx].pool.available());
-            let protected: BTreeSet<ExpertId> = [expert].into_iter().collect();
+            self.protected_scratch.clear();
+            self.protected_scratch.insert(expert);
             let ctx = EvictionContext {
                 model,
                 perf: self.engine.perf,
-                protected: &protected,
+                protected: &self.protected_scratch,
             };
-            let victims = match select_victims(
+            if select_victims_into(
                 self.engine.config.eviction,
                 &self.execs[exec_idx].pool,
                 need,
                 &ctx,
-            ) {
-                Ok(v) => v,
-                Err(_) => {
-                    self.fail_batch(&batch);
-                    return false;
-                }
-            };
-            for victim in victims {
+                self.engine.perf.experts_by_usage_asc(),
+                &mut self.evict_scratch,
+            )
+            .is_err()
+            {
+                self.fail_batch(&batch);
+                self.recycle_batch(batch);
+                return false;
+            }
+            for vi in 0..self.evict_scratch.victims().len() {
+                let victim = self.evict_scratch.victims()[vi];
                 let meta = self.execs[exec_idx]
                     .pool
                     .remove(victim)
@@ -885,6 +1047,9 @@ impl<'a> Run<'a> {
                 .pool
                 .insert(expert, weights, now)
                 .expect("eviction freed enough space");
+            // This pool's residency changed (evictions + the load):
+            // cached switch predictions for its queue are stale.
+            self.execs[exec_idx].switch_dirty = true;
             self.execs[exec_idx].switches += 1;
             self.execs[exec_idx].switch_time += switch_busy;
             pending_switch = Some(PendingSwitch {
@@ -955,6 +1120,9 @@ impl<'a> Run<'a> {
         cache
             .insert(expert, bytes, now)
             .expect("fits after eviction");
+        // Staging-cache membership changed: any executor's queued
+        // experts may now load from a different tier.
+        self.mark_all_switch_dirty();
     }
 
     fn report(self) -> RunReport {
@@ -1451,7 +1619,7 @@ mod tests {
         // Enough experts that the pools cannot hold everyone: now the
         // preload priority decides who starts resident.
         let (device, model, perf, stream) = setup(80, 300);
-        let usage = perf.experts_by_usage();
+        let usage = perf.experts_by_usage().to_vec();
         // Preload the usage order *reversed*: cold experts first.
         let reversed: Vec<ExpertId> = usage.iter().rev().copied().collect();
         let default_cfg = SystemConfig::builder("same").gpu_executors(2).build();

@@ -79,11 +79,42 @@ pub struct EvictionContext<'a> {
     pub protected: &'a BTreeSet<ExpertId>,
 }
 
+/// Reusable scratch buffers for victim selection, so the eviction hot
+/// path allocates nothing in steady state: the candidate ordering and
+/// the victim list both live in buffers the caller keeps across
+/// evictions.
+#[derive(Debug, Clone, Default)]
+pub struct EvictionScratch {
+    /// Candidate ordering buffer (stage-1 orphans, or the LRU/FIFO/LFU
+    /// sort).
+    order: Vec<ExpertId>,
+    /// The victims selected by the last call, in eviction order.
+    victims: Vec<ExpertId>,
+}
+
+impl EvictionScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        EvictionScratch::default()
+    }
+
+    /// The victims selected by the last successful
+    /// [`select_victims_into`] call, in eviction order.
+    #[must_use]
+    pub fn victims(&self) -> &[ExpertId] {
+        &self.victims
+    }
+}
+
 /// Selects victims from `pool` so that at least `need` additional bytes
 /// become free, according to `policy`.
 ///
 /// The returned experts are in eviction order. The pool itself is not
 /// modified.
+///
+/// This convenience wrapper allocates; hot paths should use
+/// [`select_victims_into`] with a long-lived [`EvictionScratch`].
 ///
 /// # Errors
 ///
@@ -96,22 +127,49 @@ pub fn select_victims(
     need: Bytes,
     ctx: &EvictionContext<'_>,
 ) -> Result<Vec<ExpertId>, EvictError> {
-    if need.is_zero() {
-        return Ok(Vec::new());
-    }
-    let mut victims = Vec::new();
-    let mut freed = Bytes::ZERO;
+    let mut scratch = EvictionScratch::new();
+    select_victims_into(
+        policy,
+        pool,
+        need,
+        ctx,
+        ctx.perf.experts_by_usage_asc(),
+        &mut scratch,
+    )?;
+    Ok(std::mem::take(&mut scratch.victims))
+}
 
-    let take = |order: Vec<ExpertId>, victims: &mut Vec<ExpertId>, freed: &mut Bytes| {
-        for e in order {
-            if *freed >= need {
-                break;
-            }
-            let meta = pool.resident(e).expect("ordered ids are resident");
-            victims.push(e);
-            *freed += meta.bytes;
-        }
-    };
+/// Allocation-free victim selection: fills `scratch.victims` with the
+/// same eviction order [`select_victims`] would return.
+///
+/// `usage_asc` is the order-maintained residency priority: every expert
+/// id sorted by ascending pre-assessed usage probability (ties by id),
+/// exactly [`crate::perf::PerfMatrix::experts_by_usage_asc`], which the
+/// matrix memoizes at construction. Stage 2 of the dependency-aware
+/// policy walks this precomputed order and filters for residency
+/// instead of re-sorting the resident set on every eviction. Residents
+/// outside `usage_asc` are never selected, so the order must cover the
+/// model.
+///
+/// # Errors
+///
+/// Returns [`EvictError`] when even evicting every unprotected resident
+/// would not free `need` bytes; `scratch.victims` is cleared in that
+/// case.
+pub fn select_victims_into(
+    policy: EvictionPolicy,
+    pool: &ModelPool,
+    need: Bytes,
+    ctx: &EvictionContext<'_>,
+    usage_asc: &[ExpertId],
+    scratch: &mut EvictionScratch,
+) -> Result<(), EvictError> {
+    scratch.victims.clear();
+    if need.is_zero() {
+        return Ok(());
+    }
+    let victims = &mut scratch.victims;
+    let mut freed = Bytes::ZERO;
 
     match policy {
         EvictionPolicy::DependencyAware => {
@@ -123,64 +181,72 @@ pub fn select_victims(
             // still needed, take the biggest (fewest evictions);
             // once one does, take the *smallest* single orphan that
             // covers the remainder and stop.
-            let mut stage1: Vec<ExpertId> = pool
-                .residents()
-                .map(|(e, _)| e)
-                .filter(|&e| {
+            scratch.order.clear();
+            scratch
+                .order
+                .extend(pool.residents().map(|(e, _)| e).filter(|&e| {
                     !ctx.protected.contains(&e)
                         && ctx
                             .model
                             .graph()
                             .is_orphaned_subsequent(e, |p| pool.contains(p))
-                })
-                .collect();
-            stage1.sort_by(|&a, &b| {
+                }));
+            scratch.order.sort_unstable_by(|&a, &b| {
                 let ba = pool.resident(a).expect("resident").bytes;
                 let bb = pool.resident(b).expect("resident").bytes;
                 bb.cmp(&ba).then(a.cmp(&b))
             });
-            let stage1_set: BTreeSet<ExpertId> = stage1.iter().copied().collect();
-            let mut remaining: std::collections::VecDeque<ExpertId> = stage1.into();
-            while freed < need && !remaining.is_empty() {
+            // `lo` is the deque head: popping the biggest remaining
+            // orphan advances it without shifting the buffer.
+            let mut lo = 0usize;
+            while freed < need && lo < scratch.order.len() {
                 let still_needed = need - freed;
                 // The list is sorted descending, so the last element
                 // that covers `still_needed` is the smallest sufficient
                 // one.
-                let sufficient = remaining
+                let sufficient = scratch.order[lo..]
                     .iter()
                     .rposition(|&e| pool.resident(e).expect("resident").bytes >= still_needed);
                 let chosen = match sufficient {
-                    Some(idx) => remaining.remove(idx).expect("index in range"),
-                    None => remaining.pop_front().expect("non-empty"),
+                    Some(off) => scratch.order.remove(lo + off),
+                    None => {
+                        let c = scratch.order[lo];
+                        lo += 1;
+                        c
+                    }
                 };
                 freed += pool.resident(chosen).expect("resident").bytes;
                 victims.push(chosen);
             }
 
-            // Stage 2: everything else, least-probable first.
+            // Stage 2: everything else, least-probable first — walked
+            // from the precomputed ascending-usage order. When stage 2
+            // runs, stage 1 exhausted every orphan, so the victim list
+            // so far is exactly the orphan set to exclude.
             if freed < need {
-                let mut stage2: Vec<ExpertId> = pool
-                    .residents()
-                    .map(|(e, _)| e)
-                    .filter(|e| !ctx.protected.contains(e) && !stage1_set.contains(e))
-                    .collect();
-                stage2.sort_by(|&a, &b| {
-                    ctx.perf
-                        .usage_prob(a)
-                        .partial_cmp(&ctx.perf.usage_prob(b))
-                        .expect("probabilities are finite")
-                        .then(a.cmp(&b))
-                });
-                take(stage2, &mut victims, &mut freed);
+                for &e in usage_asc {
+                    if freed >= need {
+                        break;
+                    }
+                    let Some(meta) = pool.resident(e) else {
+                        continue;
+                    };
+                    if ctx.protected.contains(&e) || victims.contains(&e) {
+                        continue;
+                    }
+                    victims.push(e);
+                    freed += meta.bytes;
+                }
             }
         }
         EvictionPolicy::Lru | EvictionPolicy::Fifo | EvictionPolicy::Lfu => {
-            let mut order: Vec<ExpertId> = pool
-                .residents()
-                .map(|(e, _)| e)
-                .filter(|e| !ctx.protected.contains(e))
-                .collect();
-            order.sort_by(|&a, &b| {
+            scratch.order.clear();
+            scratch.order.extend(
+                pool.residents()
+                    .map(|(e, _)| e)
+                    .filter(|e| !ctx.protected.contains(e)),
+            );
+            scratch.order.sort_unstable_by(|&a, &b| {
                 let ra = pool.resident(a).expect("resident");
                 let rb = pool.resident(b).expect("resident");
                 match policy {
@@ -196,16 +262,23 @@ pub fn select_victims(
                     EvictionPolicy::DependencyAware => unreachable!(),
                 }
             });
-            take(order, &mut victims, &mut freed);
+            for &e in &scratch.order {
+                if freed >= need {
+                    break;
+                }
+                victims.push(e);
+                freed += pool.resident(e).expect("resident").bytes;
+            }
         }
     }
 
     if freed < need {
+        victims.clear();
         return Err(EvictError {
             missing: need - freed,
         });
     }
-    Ok(victims)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -581,7 +654,170 @@ mod proptests {
         b.build().unwrap()
     }
 
+    /// The pre-refactor victim selection, verbatim: per-call sorts of
+    /// the resident set. The allocation-free path is pinned against it.
+    fn reference_select(
+        policy: EvictionPolicy,
+        pool: &ModelPool,
+        need: Bytes,
+        ctx: &EvictionContext<'_>,
+    ) -> Result<Vec<ExpertId>, EvictError> {
+        if need.is_zero() {
+            return Ok(Vec::new());
+        }
+        let mut victims = Vec::new();
+        let mut freed = Bytes::ZERO;
+        match policy {
+            EvictionPolicy::DependencyAware => {
+                let mut stage1: Vec<ExpertId> = pool
+                    .residents()
+                    .map(|(e, _)| e)
+                    .filter(|&e| {
+                        !ctx.protected.contains(&e)
+                            && ctx
+                                .model
+                                .graph()
+                                .is_orphaned_subsequent(e, |p| pool.contains(p))
+                    })
+                    .collect();
+                stage1.sort_by(|&a, &b| {
+                    let ba = pool.resident(a).expect("resident").bytes;
+                    let bb = pool.resident(b).expect("resident").bytes;
+                    bb.cmp(&ba).then(a.cmp(&b))
+                });
+                let stage1_set: BTreeSet<ExpertId> = stage1.iter().copied().collect();
+                let mut remaining: std::collections::VecDeque<ExpertId> = stage1.into();
+                while freed < need && !remaining.is_empty() {
+                    let still_needed = need - freed;
+                    let sufficient = remaining
+                        .iter()
+                        .rposition(|&e| pool.resident(e).expect("resident").bytes >= still_needed);
+                    let chosen = match sufficient {
+                        Some(idx) => remaining.remove(idx).expect("index in range"),
+                        None => remaining.pop_front().expect("non-empty"),
+                    };
+                    freed += pool.resident(chosen).expect("resident").bytes;
+                    victims.push(chosen);
+                }
+                if freed < need {
+                    let mut stage2: Vec<ExpertId> = pool
+                        .residents()
+                        .map(|(e, _)| e)
+                        .filter(|e| !ctx.protected.contains(e) && !stage1_set.contains(e))
+                        .collect();
+                    stage2.sort_by(|&a, &b| {
+                        ctx.perf
+                            .usage_prob(a)
+                            .partial_cmp(&ctx.perf.usage_prob(b))
+                            .expect("probabilities are finite")
+                            .then(a.cmp(&b))
+                    });
+                    for e in stage2 {
+                        if freed >= need {
+                            break;
+                        }
+                        victims.push(e);
+                        freed += pool.resident(e).expect("resident").bytes;
+                    }
+                }
+            }
+            EvictionPolicy::Lru | EvictionPolicy::Fifo | EvictionPolicy::Lfu => {
+                let mut order: Vec<ExpertId> = pool
+                    .residents()
+                    .map(|(e, _)| e)
+                    .filter(|e| !ctx.protected.contains(e))
+                    .collect();
+                order.sort_by(|&a, &b| {
+                    let ra = pool.resident(a).expect("resident");
+                    let rb = pool.resident(b).expect("resident");
+                    match policy {
+                        EvictionPolicy::Lru => {
+                            ra.last_used.cmp(&rb.last_used).then(ra.seq.cmp(&rb.seq))
+                        }
+                        EvictionPolicy::Fifo => ra.seq.cmp(&rb.seq),
+                        EvictionPolicy::Lfu => ra
+                            .uses
+                            .cmp(&rb.uses)
+                            .then(ra.last_used.cmp(&rb.last_used))
+                            .then(ra.seq.cmp(&rb.seq)),
+                        EvictionPolicy::DependencyAware => unreachable!(),
+                    }
+                });
+                for e in order {
+                    if freed >= need {
+                        break;
+                    }
+                    victims.push(e);
+                    freed += pool.resident(e).expect("resident").bytes;
+                }
+            }
+        }
+        if freed < need {
+            return Err(EvictError {
+                missing: need - freed,
+            });
+        }
+        Ok(victims)
+    }
+
     proptest! {
+        /// The allocation-free selection (precomputed ascending-usage
+        /// order + reusable scratch) returns exactly what the
+        /// pre-refactor per-call-sort implementation returned, for every
+        /// policy, over arbitrary pools, needs, touch histories and
+        /// protected sets — including reusing one scratch across calls.
+        #[test]
+        fn scratch_path_matches_reference(
+            resident_mask in 0u32..64,
+            touches in proptest::collection::vec((0u32..6, 1u64..50), 0..12),
+            need_mib in 1u64..600,
+            protect_sel in 0u32..7,
+            policy_sel in 0u8..4,
+        ) {
+            let model = chain_model(5);
+            let perf = PerfMatrix::from_model_with("dev", &model, |_, _| None);
+            let mut pool = ModelPool::new(Bytes::gib(4));
+            for i in 0..6u32 {
+                if resident_mask & (1 << i) != 0 {
+                    let bytes = Bytes::mib(60 + 40 * u64::from(i));
+                    pool.insert(ExpertId(i), bytes, SimTime::ZERO).unwrap();
+                }
+            }
+            for &(e, ms) in &touches {
+                if pool.contains(ExpertId(e)) {
+                    pool.touch(ExpertId(e), SimTime::ZERO + coserve_sim::time::SimSpan::from_millis(ms));
+                }
+            }
+            let mut protected = BTreeSet::new();
+            if protect_sel < 6 && pool.contains(ExpertId(protect_sel)) {
+                protected.insert(ExpertId(protect_sel));
+            }
+            let ctx = EvictionContext { model: &model, perf: &perf, protected: &protected };
+            let policy = match policy_sel {
+                0 => EvictionPolicy::DependencyAware,
+                1 => EvictionPolicy::Lru,
+                2 => EvictionPolicy::Fifo,
+                _ => EvictionPolicy::Lfu,
+            };
+            let mut scratch = EvictionScratch::new();
+            for need_scale in [1u64, 2, 3] {
+                let need = Bytes::mib(need_mib * need_scale / 2);
+                let want = reference_select(policy, &pool, need, &ctx);
+                let got = select_victims_into(
+                    policy, &pool, need, &ctx,
+                    perf.experts_by_usage_asc(), &mut scratch,
+                );
+                match (want, got) {
+                    (Ok(w), Ok(())) => prop_assert_eq!(w.as_slice(), scratch.victims()),
+                    (Err(we), Err(ge)) => {
+                        prop_assert_eq!(we, ge);
+                        prop_assert!(scratch.victims().is_empty());
+                    }
+                    (w, g) => prop_assert!(false, "outcome mismatch: {:?} vs {:?}", w, g),
+                }
+            }
+        }
+
         /// The dependency-aware policy never evicts a preliminary expert
         /// while an orphaned subsequent expert remains in the pool, and
         /// selected victims always free at least `need`.

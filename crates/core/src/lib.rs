@@ -47,12 +47,15 @@ pub mod prelude {
         SystemConfigBuilder,
     };
     pub use crate::engine::{plan_memory, Engine, EngineError, MemoryLayout};
-    pub use crate::evict::{select_victims, EvictError, EvictionContext, EvictionPolicy};
+    pub use crate::evict::{
+        select_victims, select_victims_into, EvictError, EvictionContext, EvictionPolicy,
+        EvictionScratch,
+    };
     pub use crate::perf::{PerfEntry, PerfMatrix};
     pub use crate::pool::{ModelPool, PoolError, Resident};
     pub use crate::presets;
     pub use crate::profiler::{Profiler, ProfilerOptions, UsageSource};
-    pub use crate::queue::{ExecutorQueue, PendingRequest};
+    pub use crate::queue::{ExecutorQueue, PendingRequest, RunDelta};
     pub use crate::system::ServingSystem;
 }
 

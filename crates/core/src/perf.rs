@@ -89,6 +89,12 @@ pub struct PerfMatrix {
     entries: BTreeMap<(ArchId, ProcessorKind), PerfEntry>,
     usage_probs: Vec<f64>,
     memory_scores: Vec<f64>,
+    /// Expert ids by descending usage probability — memoized at
+    /// construction so hot paths (preload, eviction, placement) get a
+    /// slice instead of re-sorting per call.
+    by_usage_desc: Vec<ExpertId>,
+    /// The ascending counterpart: the §4.3 stage-2 eviction order.
+    by_usage_asc: Vec<ExpertId>,
 }
 
 impl PerfMatrix {
@@ -109,11 +115,28 @@ impl PerfMatrix {
             memory_scores.len(),
             "per-expert tables must have equal length"
         );
+        let mut by_usage_desc: Vec<ExpertId> =
+            (0..usage_probs.len() as u32).map(ExpertId).collect();
+        by_usage_desc.sort_by(|&a, &b| {
+            usage_probs[b.index()]
+                .partial_cmp(&usage_probs[a.index()])
+                .expect("probabilities are finite")
+                .then(a.cmp(&b))
+        });
+        let mut by_usage_asc: Vec<ExpertId> = (0..usage_probs.len() as u32).map(ExpertId).collect();
+        by_usage_asc.sort_by(|&a, &b| {
+            usage_probs[a.index()]
+                .partial_cmp(&usage_probs[b.index()])
+                .expect("probabilities are finite")
+                .then(a.cmp(&b))
+        });
         PerfMatrix {
             device_name: device_name.into(),
             entries,
             usage_probs,
             memory_scores,
+            by_usage_desc,
+            by_usage_asc,
         }
     }
 
@@ -173,18 +196,21 @@ impl PerfMatrix {
         self.usage_probs.len()
     }
 
-    /// Expert ids ordered by descending usage probability (stable ties),
-    /// the initializer's loading order (§4.1).
+    /// Expert ids ordered by descending usage probability (ties broken
+    /// by ascending id), the initializer's loading order (§4.1).
+    /// Memoized at construction: callers get a slice, never a fresh
+    /// sort.
     #[must_use]
-    pub fn experts_by_usage(&self) -> Vec<ExpertId> {
-        let mut ids: Vec<ExpertId> = (0..self.usage_probs.len() as u32).map(ExpertId).collect();
-        ids.sort_by(|&a, &b| {
-            self.usage_probs[b.index()]
-                .partial_cmp(&self.usage_probs[a.index()])
-                .expect("probabilities are finite")
-                .then(a.cmp(&b))
-        });
-        ids
+    pub fn experts_by_usage(&self) -> &[ExpertId] {
+        &self.by_usage_desc
+    }
+
+    /// Expert ids ordered by *ascending* usage probability (ties broken
+    /// by ascending id) — the order CoServe's stage-2 eviction walks
+    /// (§4.3). Memoized at construction.
+    #[must_use]
+    pub fn experts_by_usage_asc(&self) -> &[ExpertId] {
+        &self.by_usage_asc
     }
 
     /// Builds a matrix directly from a model's declared probabilities

@@ -14,8 +14,22 @@
 //! request hits the bound, later arrivals append at the tail instead of
 //! jumping past it — grouping becomes best-effort, latency stays
 //! bounded.
+//!
+//! ## Incremental run index
+//!
+//! The scheduler's request-assigning step (§4.2) consults the queue's
+//! contiguous same-expert runs once per candidate executor per request.
+//! Rebuilding that structure by scanning the queue made assignment
+//! O(executors × queue) with an allocation per probe, so the queue now
+//! maintains it incrementally: a deque of `(expert, len)` runs, plus a
+//! per-expert index holding the total count, the *virtual* position of
+//! the expert's last occurrence (stable across pops — physical position
+//! is `tail - popped`), and the expert's last run. Grouped insertion,
+//! batch peeling, membership tests and last-run lookups are all served
+//! from the index without scanning the queue; [`ExecutorQueue::runs_iter`]
+//! walks the maintained runs with zero allocation.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use coserve_model::expert::ExpertId;
 use coserve_sim::time::SimTime;
@@ -37,17 +51,85 @@ pub struct PendingRequest {
 
 /// A queued request plus the number of times later arrivals have been
 /// inserted ahead of it — the bookkeeping behind the starvation bound.
+///
+/// Overtake counts are only maintained by bounded insertions (finite
+/// `max_overtake`); unbounded grouping skips the bookkeeping because no
+/// bound can ever trip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
     req: PendingRequest,
     overtaken: u32,
 }
 
+/// One contiguous same-expert run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    expert: ExpertId,
+    len: u32,
+}
+
+/// Per-expert bookkeeping: where the expert's requests sit without
+/// scanning the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ExpertIndex {
+    /// Total queued requests for the expert (across all its runs).
+    count: u32,
+    /// How many runs currently hold the expert.
+    runs: u32,
+    /// Virtual position of the expert's last occurrence: physical
+    /// position plus the number of requests ever popped from the front,
+    /// so pops never invalidate it.
+    tail: u64,
+    /// Virtual index of the expert's last run (physical run index plus
+    /// the number of runs ever retired at the front).
+    last_run: u64,
+    /// Length of the expert's last run.
+    last_run_len: u32,
+}
+
+/// What a mutation did to the queue's run structure — the delta the
+/// engine needs to keep its per-executor work-left aggregates current
+/// without rescanning the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDelta {
+    /// The expert whose run changed.
+    pub expert: ExpertId,
+    /// The run's length before the mutation (0: a run was created).
+    pub len_before: u32,
+    /// The run's length after the mutation (0: the run was retired).
+    pub len_after: u32,
+    /// Whether the expert entered (insert) or left (pop) the queue
+    /// entirely.
+    pub membership_changed: bool,
+}
+
 /// An ordered queue of pending requests with grouped insertion.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecutorQueue {
     items: VecDeque<Slot>,
+    runs: VecDeque<Run>,
+    index: BTreeMap<ExpertId, ExpertIndex>,
+    /// Requests ever popped from the front (virtual-position base).
+    popped: u64,
+    /// Runs ever retired at the front (virtual-run-index base).
+    runs_retired: u64,
 }
+
+/// Queues are equal when they hold the same requests in the same order;
+/// the derived run index, virtual-position bases and overtake counters
+/// are maintained state, not identity.
+impl PartialEq for ExecutorQueue {
+    fn eq(&self, other: &Self) -> bool {
+        self.items.len() == other.items.len()
+            && self
+                .items
+                .iter()
+                .map(|s| &s.req)
+                .eq(other.items.iter().map(|s| &s.req))
+    }
+}
+
+impl Eq for ExecutorQueue {}
 
 impl ExecutorQueue {
     /// Creates an empty queue.
@@ -68,17 +150,56 @@ impl ExecutorQueue {
         self.items.is_empty()
     }
 
-    /// Appends at the tail (FCFS order — the baselines' behaviour).
-    pub fn push_back(&mut self, req: PendingRequest) {
+    /// Appends a request at the very end, extending the tail run or
+    /// opening a new one, and updates the index.
+    fn append_tail(&mut self, req: PendingRequest) -> RunDelta {
+        let expert = req.expert;
+        let tail = self.popped + self.items.len() as u64;
         self.items.push_back(Slot { req, overtaken: 0 });
+        let extends = self.runs.back().is_some_and(|r| r.expert == expert);
+        let (len_before, len_after) = if extends {
+            let run = self.runs.back_mut().expect("tail run exists");
+            run.len += 1;
+            (run.len - 1, run.len)
+        } else {
+            self.runs.push_back(Run { expert, len: 1 });
+            (0, 1)
+        };
+        let last_run = self.runs_retired + self.runs.len() as u64 - 1;
+        let entry = self.index.entry(expert).or_insert(ExpertIndex {
+            count: 0,
+            runs: 0,
+            tail,
+            last_run,
+            last_run_len: 0,
+        });
+        let membership_changed = entry.count == 0;
+        entry.count += 1;
+        entry.tail = tail;
+        entry.last_run = last_run;
+        entry.last_run_len = len_after;
+        if !extends {
+            entry.runs += 1;
+        }
+        RunDelta {
+            expert,
+            len_before,
+            len_after,
+            membership_changed,
+        }
+    }
+
+    /// Appends at the tail (FCFS order — the baselines' behaviour).
+    pub fn push_back(&mut self, req: PendingRequest) -> RunDelta {
+        self.append_tail(req)
     }
 
     /// Inserts `req` directly after the last queued request using the
     /// same expert, or at the tail if none exists — CoServe's request
     /// arranging (§4.2), with no starvation bound (the paper's
     /// behaviour).
-    pub fn insert_grouped(&mut self, req: PendingRequest) {
-        self.insert_grouped_bounded(req, u32::MAX);
+    pub fn insert_grouped(&mut self, req: PendingRequest) -> RunDelta {
+        self.insert_grouped_bounded(req, u32::MAX)
     }
 
     /// Grouped insertion with a starvation bound: `req` joins the last
@@ -91,47 +212,121 @@ impl ExecutorQueue {
     /// at most `max_overtake` times, so its start time is at most the
     /// service time of the requests ahead of it at enqueue plus
     /// `max_overtake` extra requests.
-    pub fn insert_grouped_bounded(&mut self, req: PendingRequest, max_overtake: u32) {
-        let Some(idx) = self.items.iter().rposition(|s| s.req.expert == req.expert) else {
-            self.items.push_back(Slot { req, overtaken: 0 });
-            return;
+    pub fn insert_grouped_bounded(&mut self, req: PendingRequest, max_overtake: u32) -> RunDelta {
+        let expert = req.expert;
+        let Some(entry) = self.index.get(&expert) else {
+            return self.append_tail(req);
         };
-        let pos = idx + 1;
-        if self.items.range(pos..).any(|s| s.overtaken >= max_overtake) {
-            self.items.push_back(Slot { req, overtaken: 0 });
-            return;
+        let pos = (entry.tail - self.popped) as usize + 1;
+        if pos == self.items.len() {
+            // The expert's last occurrence is the queue tail: a plain
+            // append that extends its run, overtaking nobody.
+            return self.append_tail(req);
         }
-        for s in self.items.range_mut(pos..) {
-            s.overtaken += 1;
+        if max_overtake != u32::MAX {
+            if self.items.range(pos..).any(|s| s.overtaken >= max_overtake) {
+                // Bound hit: best-effort grouping falls back to the
+                // tail. The tail run cannot be this expert's (its last
+                // occurrence is mid-queue), so this opens a new run.
+                return self.append_tail(req);
+            }
+            for s in self.items.range_mut(pos..) {
+                s.overtaken += 1;
+            }
         }
+        let joined = self.index.get(&expert).copied().expect("checked above");
         self.items.insert(pos, Slot { req, overtaken: 0 });
+        let run_idx = (joined.last_run - self.runs_retired) as usize;
+        let run = &mut self.runs[run_idx];
+        debug_assert_eq!(run.expert, expert, "index points at a foreign run");
+        run.len += 1;
+        let len_after = run.len;
+        // Shift the tail positions of experts whose last occurrence sat
+        // at or after the insertion point — O(distinct experts), never
+        // O(queue).
+        let inserted_tail = joined.tail + 1;
+        for (&e, idx) in self.index.iter_mut() {
+            if e != expert && idx.tail >= inserted_tail {
+                idx.tail += 1;
+            }
+        }
+        let entry = self.index.get_mut(&expert).expect("present");
+        entry.count += 1;
+        entry.tail = inserted_tail;
+        entry.last_run_len = len_after;
+        RunDelta {
+            expert,
+            len_before: len_after - 1,
+            len_after,
+            membership_changed: false,
+        }
     }
 
     /// The expert needed by the queue head, if any.
     #[must_use]
     pub fn front_expert(&self) -> Option<ExpertId> {
-        self.items.front().map(|s| s.req.expert)
+        self.runs.front().map(|r| r.expert)
     }
 
     /// Removes and returns the maximal same-expert prefix, capped at
     /// `max_batch` requests — the batch splitter's unit of work.
     ///
     /// Returns an empty vector when the queue is empty or `max_batch`
-    /// is zero.
+    /// is zero. Hot paths should prefer
+    /// [`ExecutorQueue::pop_front_group_into`], which reuses a caller
+    /// buffer instead of allocating.
     pub fn pop_front_group(&mut self, max_batch: u32) -> Vec<PendingRequest> {
-        let Some(expert) = self.front_expert() else {
-            return Vec::new();
-        };
         let mut batch = Vec::new();
-        while batch.len() < max_batch as usize {
-            match self.items.front() {
-                Some(s) if s.req.expert == expert => {
-                    batch.push(self.items.pop_front().expect("front exists").req);
-                }
-                _ => break,
+        self.pop_front_group_into(max_batch, &mut batch);
+        batch
+    }
+
+    /// Like [`ExecutorQueue::pop_front_group`], but appends the batch to
+    /// `out` (which is cleared first) so the caller can recycle the
+    /// buffer across pops. Returns what happened to the front run, or
+    /// `None` when nothing was popped.
+    pub fn pop_front_group_into(
+        &mut self,
+        max_batch: u32,
+        out: &mut Vec<PendingRequest>,
+    ) -> Option<RunDelta> {
+        out.clear();
+        if max_batch == 0 {
+            return None;
+        }
+        let front = *self.runs.front()?;
+        let take = front.len.min(max_batch);
+        out.reserve(take as usize);
+        for _ in 0..take {
+            out.push(self.items.pop_front().expect("run accounts items").req);
+        }
+        self.popped += u64::from(take);
+        let len_after = front.len - take;
+        if len_after == 0 {
+            self.runs.pop_front();
+            self.runs_retired += 1;
+        } else {
+            self.runs.front_mut().expect("still present").len = len_after;
+        }
+        let entry = self.index.get_mut(&front.expert).expect("queued expert");
+        entry.count -= take;
+        let membership_changed = entry.count == 0;
+        if membership_changed {
+            self.index.remove(&front.expert);
+        } else {
+            if len_after == 0 {
+                entry.runs -= 1;
+            } else if entry.runs == 1 {
+                // The front run is also the expert's last run.
+                entry.last_run_len = len_after;
             }
         }
-        batch
+        Some(RunDelta {
+            expert: front.expert,
+            len_before: front.len,
+            len_after,
+            membership_changed,
+        })
     }
 
     /// Iterates queued requests front to back.
@@ -140,9 +335,50 @@ impl ExecutorQueue {
     }
 
     /// Iterates the queue as contiguous same-expert runs:
-    /// `(expert, run length)` — the unit of latency prediction.
+    /// `(expert, run length)` — the unit of latency prediction. Served
+    /// from the incrementally maintained run index: zero allocation,
+    /// zero queue scan.
+    pub fn runs_iter(&self) -> impl Iterator<Item = (ExpertId, u32)> + '_ {
+        self.runs.iter().map(|r| (r.expert, r.len))
+    }
+
+    /// The maintained runs as a fresh vector (convenience for tests and
+    /// diagnostics; hot paths use [`ExecutorQueue::runs_iter`]).
     #[must_use]
     pub fn runs(&self) -> Vec<(ExpertId, u32)> {
+        self.runs_iter().collect()
+    }
+
+    /// Iterates the distinct experts currently queued, in id order.
+    pub fn queued_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Number of distinct experts currently queued.
+    #[must_use]
+    pub fn distinct_experts(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether any queued request uses `expert` — O(log experts) via the
+    /// index, never a queue scan.
+    #[must_use]
+    pub fn contains_expert(&self, expert: ExpertId) -> bool {
+        self.index.contains_key(&expert)
+    }
+
+    /// Length of the *last* run of `expert` (0 when absent) — what the
+    /// scheduler's delta prediction needs to decide whether a new
+    /// request joins an open batch.
+    #[must_use]
+    pub fn last_run_len(&self, expert: ExpertId) -> u32 {
+        self.index.get(&expert).map_or(0, |e| e.last_run_len)
+    }
+
+    /// Recomputes the run structure from scratch by scanning the queue —
+    /// the reference the incremental index is pinned against in tests.
+    #[must_use]
+    pub fn recompute_runs(&self) -> Vec<(ExpertId, u32)> {
         let mut out: Vec<(ExpertId, u32)> = Vec::new();
         for s in &self.items {
             match out.last_mut() {
@@ -153,10 +389,40 @@ impl ExecutorQueue {
         out
     }
 
-    /// Whether any queued request uses `expert`.
-    #[must_use]
-    pub fn contains_expert(&self, expert: ExpertId) -> bool {
-        self.items.iter().any(|s| s.req.expert == expert)
+    /// Panics unless the incremental index exactly matches a from-
+    /// scratch recomputation. Test/debug aid.
+    #[doc(hidden)]
+    pub fn assert_index_consistent(&self) {
+        let fresh = self.recompute_runs();
+        assert_eq!(self.runs(), fresh, "run deque diverged from queue");
+        let mut counts: BTreeMap<ExpertId, (u32, u32, u64, u32)> = BTreeMap::new();
+        let mut prev: Option<ExpertId> = None;
+        for (pos, s) in self.items.iter().enumerate() {
+            let e = s.req.expert;
+            let entry = counts.entry(e).or_insert((0, 0, 0, 0));
+            entry.0 += 1;
+            entry.2 = self.popped + pos as u64;
+            if prev != Some(e) {
+                entry.1 += 1;
+                entry.3 = 0;
+            }
+            entry.3 += 1;
+            prev = Some(e);
+        }
+        assert_eq!(
+            self.index.len(),
+            counts.len(),
+            "index covers the wrong expert set"
+        );
+        for (e, (count, runs, tail, last_run_len)) in counts {
+            let idx = self.index.get(&e).expect("expert indexed");
+            assert_eq!(idx.count, count, "{e} count");
+            assert_eq!(idx.runs, runs, "{e} runs");
+            assert_eq!(idx.tail, tail, "{e} tail");
+            assert_eq!(idx.last_run_len, last_run_len, "{e} last_run_len");
+            let run_idx = (idx.last_run - self.runs_retired) as usize;
+            assert_eq!(self.runs[run_idx].expert, e, "{e} last_run points home");
+        }
     }
 }
 
@@ -182,6 +448,7 @@ mod tests {
         let order: Vec<u32> = q.iter().map(|r| r.job.0).collect();
         assert_eq!(order, vec![0, 1, 2]);
         assert_eq!(q.front_expert(), Some(ExpertId(5)));
+        q.assert_index_consistent();
     }
 
     #[test]
@@ -189,11 +456,15 @@ mod tests {
         let mut q = ExecutorQueue::new();
         q.push_back(req(0, 5));
         q.push_back(req(1, 7));
-        q.insert_grouped(req(2, 5)); // joins job 0's run
+        let delta = q.insert_grouped(req(2, 5)); // joins job 0's run
+        assert_eq!(delta.len_before, 1);
+        assert_eq!(delta.len_after, 2);
+        assert!(!delta.membership_changed);
         let experts: Vec<u32> = q.iter().map(|r| r.expert.0).collect();
         assert_eq!(experts, vec![5, 5, 7]);
         let jobs: Vec<u32> = q.iter().map(|r| r.job.0).collect();
         assert_eq!(jobs, vec![0, 2, 1]);
+        q.assert_index_consistent();
     }
 
     #[test]
@@ -206,15 +477,19 @@ mod tests {
         let jobs: Vec<u32> = q.iter().map(|r| r.job.0).collect();
         // Joins the LAST run of expert 5.
         assert_eq!(jobs, vec![0, 1, 2, 3]);
+        assert_eq!(q.last_run_len(ExpertId(5)), 2);
+        q.assert_index_consistent();
     }
 
     #[test]
     fn grouped_insert_without_match_appends() {
         let mut q = ExecutorQueue::new();
         q.push_back(req(0, 5));
-        q.insert_grouped(req(1, 9));
+        let delta = q.insert_grouped(req(1, 9));
+        assert!(delta.membership_changed);
         let experts: Vec<u32> = q.iter().map(|r| r.expert.0).collect();
         assert_eq!(experts, vec![5, 9]);
+        q.assert_index_consistent();
     }
 
     /// Regression for the grouping-starvation bug: a steady arrival of
@@ -237,6 +512,7 @@ mod tests {
             "victim starved at position {victim_pos} of {}",
             q.len()
         );
+        q.assert_index_consistent();
         // Unbounded grouping DOES starve in the same scenario — the bug
         // this pins.
         let mut unbounded = ExecutorQueue::new();
@@ -247,6 +523,7 @@ mod tests {
         }
         let starved_pos = unbounded.iter().position(|r| r.job == JobId(1)).unwrap();
         assert_eq!(starved_pos, unbounded.len() - 1, "expected tail starvation");
+        unbounded.assert_index_consistent();
     }
 
     #[test]
@@ -257,6 +534,7 @@ mod tests {
         q.insert_grouped_bounded(req(2, 5), 0);
         let jobs: Vec<u32> = q.iter().map(|r| r.job.0).collect();
         assert_eq!(jobs, vec![0, 1, 2], "bound 0 must never overtake");
+        q.assert_index_consistent();
     }
 
     #[test]
@@ -267,6 +545,7 @@ mod tests {
         q.insert_grouped_bounded(req(2, 5), 8);
         let experts: Vec<u32> = q.iter().map(|r| r.expert.0).collect();
         assert_eq!(experts, vec![5, 5, 7], "grouping works below the bound");
+        q.assert_index_consistent();
     }
 
     #[test]
@@ -280,6 +559,7 @@ mod tests {
         assert!(batch.iter().all(|r| r.expert == ExpertId(5)));
         assert_eq!(q.len(), 1);
         assert_eq!(q.front_expert(), Some(ExpertId(7)));
+        q.assert_index_consistent();
     }
 
     #[test]
@@ -291,9 +571,11 @@ mod tests {
         let batch = q.pop_front_group(4);
         assert_eq!(batch.len(), 4);
         assert_eq!(q.len(), 2);
+        q.assert_index_consistent();
         // Zero max batch yields nothing and removes nothing.
         assert!(q.pop_front_group(0).is_empty());
         assert_eq!(q.len(), 2);
+        q.assert_index_consistent();
     }
 
     #[test]
@@ -302,6 +584,28 @@ mod tests {
         assert!(q.pop_front_group(8).is_empty());
         assert_eq!(q.front_expert(), None);
         assert!(q.is_empty());
+        let mut out = vec![req(9, 9)];
+        assert_eq!(q.pop_front_group_into(8, &mut out), None);
+        assert!(out.is_empty(), "buffer is cleared even when nothing pops");
+    }
+
+    #[test]
+    fn pop_into_reports_run_delta() {
+        let mut q = ExecutorQueue::new();
+        for (j, e) in [(0, 5), (1, 5), (2, 5), (3, 7)] {
+            q.push_back(req(j, e));
+        }
+        let mut out = Vec::new();
+        let delta = q.pop_front_group_into(2, &mut out).unwrap();
+        assert_eq!(delta.expert, ExpertId(5));
+        assert_eq!(delta.len_before, 3);
+        assert_eq!(delta.len_after, 1);
+        assert!(!delta.membership_changed);
+        q.assert_index_consistent();
+        let delta = q.pop_front_group_into(2, &mut out).unwrap();
+        assert_eq!(delta.len_after, 0);
+        assert!(delta.membership_changed, "expert 5 fully drained");
+        q.assert_index_consistent();
     }
 
     #[test]
@@ -314,8 +618,29 @@ mod tests {
             q.runs(),
             vec![(ExpertId(5), 2), (ExpertId(7), 1), (ExpertId(5), 1)]
         );
+        assert_eq!(q.runs(), q.recompute_runs());
         assert!(q.contains_expert(ExpertId(7)));
         assert!(!q.contains_expert(ExpertId(9)));
+        assert_eq!(q.distinct_experts(), 2);
+        let queued: Vec<ExpertId> = q.queued_experts().collect();
+        assert_eq!(queued, vec![ExpertId(5), ExpertId(7)]);
+        assert_eq!(q.last_run_len(ExpertId(5)), 1);
+        assert_eq!(q.last_run_len(ExpertId(7)), 1);
+        assert_eq!(q.last_run_len(ExpertId(9)), 0);
+    }
+
+    #[test]
+    fn equality_ignores_bookkeeping_history() {
+        // Same final order, different mutation history: still equal.
+        let mut a = ExecutorQueue::new();
+        a.push_back(req(9, 1));
+        a.pop_front_group(4);
+        a.push_back(req(0, 5));
+        a.push_back(req(1, 7));
+        let mut b = ExecutorQueue::new();
+        b.push_back(req(0, 5));
+        b.push_back(req(1, 7));
+        assert_eq!(a, b);
     }
 }
 
@@ -324,7 +649,111 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// The pre-refactor queue algorithm — a plain request list with
+    /// scan-based grouped insertion — under the current overtake
+    /// semantics: counters are maintained only by finite-bound inserts
+    /// (see [`Slot`]). This is the one intentional divergence from the
+    /// historical code, which also counted unbounded inserts as
+    /// overtakes; it is observable only when unbounded and bounded
+    /// insertions are mixed on one queue, which the engine never does
+    /// (the arrange policy is fixed per run). The incremental queue is
+    /// pinned against this reference model.
+    #[derive(Default)]
+    struct ReferenceQueue {
+        items: Vec<(PendingRequest, u32)>,
+    }
+
+    impl ReferenceQueue {
+        fn push_back(&mut self, req: PendingRequest) {
+            self.items.push((req, 0));
+        }
+
+        fn insert_grouped_bounded(&mut self, req: PendingRequest, max_overtake: u32) {
+            let Some(idx) = self.items.iter().rposition(|(s, _)| s.expert == req.expert) else {
+                self.items.push((req, 0));
+                return;
+            };
+            let pos = idx + 1;
+            if max_overtake != u32::MAX {
+                if self.items[pos..].iter().any(|&(_, o)| o >= max_overtake) {
+                    self.items.push((req, 0));
+                    return;
+                }
+                for s in &mut self.items[pos..] {
+                    s.1 += 1;
+                }
+            }
+            self.items.insert(pos, (req, 0));
+        }
+
+        fn pop_front_group(&mut self, max_batch: u32) -> Vec<PendingRequest> {
+            let Some(&(first, _)) = self.items.first() else {
+                return Vec::new();
+            };
+            let mut take = 0usize;
+            while take < max_batch as usize
+                && take < self.items.len()
+                && self.items[take].0.expert == first.expert
+            {
+                take += 1;
+            }
+            self.items.drain(..take).map(|(r, _)| r).collect()
+        }
+
+        fn order(&self) -> Vec<PendingRequest> {
+            self.items.iter().map(|&(r, _)| r).collect()
+        }
+    }
+
     proptest! {
+        /// Under arbitrary interleavings of every mutation, the
+        /// incremental queue matches the pre-refactor reference model
+        /// request for request, and its maintained run index matches a
+        /// from-scratch recomputation.
+        ///
+        /// Op encoding (the vendored proptest has no `prop_oneof`):
+        /// selector 0 = FCFS push, 1 = unbounded grouped insert,
+        /// 2 = bounded grouped insert, 3 = pop a group.
+        #[test]
+        fn incremental_index_matches_reference_model(
+            ops in proptest::collection::vec(((0u8..4), (0u32..8), (0u32..5)), 1..120),
+        ) {
+            let mut q = ExecutorQueue::new();
+            let mut reference = ReferenceQueue::default();
+            for (j, &(sel, e, b)) in ops.iter().enumerate() {
+                let r = |e: u32| PendingRequest {
+                    job: JobId(j as u32),
+                    stage: 0,
+                    expert: ExpertId(e),
+                    ready_at: SimTime::ZERO,
+                };
+                match sel {
+                    0 => {
+                        q.push_back(r(e));
+                        reference.push_back(r(e));
+                    }
+                    1 => {
+                        q.insert_grouped(r(e));
+                        reference.insert_grouped_bounded(r(e), u32::MAX);
+                    }
+                    2 => {
+                        q.insert_grouped_bounded(r(e), b);
+                        reference.insert_grouped_bounded(r(e), b);
+                    }
+                    _ => {
+                        let max_batch = b + 1;
+                        let got = q.pop_front_group(max_batch);
+                        let want = reference.pop_front_group(max_batch);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                let order: Vec<PendingRequest> = q.iter().copied().collect();
+                prop_assert_eq!(order, reference.order());
+                prop_assert_eq!(q.runs(), q.recompute_runs());
+                q.assert_index_consistent();
+            }
+        }
+
         /// After arbitrary grouped insertions into an empty queue,
         /// same-expert requests are contiguous (single run per expert).
         #[test]

@@ -360,7 +360,7 @@ impl RunReport {
 }
 
 /// Escapes `s` as a JSON string literal (quotes included).
-pub(crate) fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -382,7 +382,7 @@ pub(crate) fn json_str(s: &str) -> String {
 
 /// An `f64` as a JSON value; non-finite values become `null` (JSON has
 /// no NaN/Infinity literals).
-pub(crate) fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -1,0 +1,62 @@
+//! The parallel figure harness's determinism guarantee: fanning sweep
+//! points out over `COSERVE_JOBS` worker threads must produce artifacts
+//! **byte-identical** to a serial run. fig20 and fig21 are the heaviest
+//! sweeps (open-loop load curve, cluster scaling matrix), so they pin
+//! the guarantee for both CSV tables and JSON artifacts.
+//!
+//! Each integration-test binary is its own process, so setting
+//! `COSERVE_SCALE`/`COSERVE_JOBS` here cannot leak into other test
+//! binaries. All width flips happen inside a single test function, so
+//! there is no intra-process race either.
+
+use coserve_bench::{figures, sweep};
+
+fn scale_down() {
+    // Safe pre-2024 edition; this binary owns its process environment.
+    std::env::set_var("COSERVE_SCALE", "0.05");
+    std::env::set_var(
+        "COSERVE_OUT_DIR",
+        std::env::temp_dir().join("coserve-parfig"),
+    );
+}
+
+#[test]
+fn parallel_sweeps_are_byte_identical_to_serial() {
+    scale_down();
+
+    std::env::set_var("COSERVE_JOBS", "1");
+    assert_eq!(sweep::jobs(), 1);
+    let fig20_serial = figures::fig20_latency_vs_load().to_csv();
+    let (t21, artifacts) = figures::fig21_cluster_scaling();
+    let fig21_serial = t21.to_csv();
+    let artifacts_serial = artifacts;
+
+    std::env::set_var("COSERVE_JOBS", "4");
+    assert_eq!(sweep::jobs(), 4);
+    let fig20_wide = figures::fig20_latency_vs_load().to_csv();
+    let (t21w, artifacts_wide) = figures::fig21_cluster_scaling();
+    let fig21_wide = t21w.to_csv();
+
+    std::env::remove_var("COSERVE_JOBS");
+
+    assert_eq!(
+        fig20_serial, fig20_wide,
+        "fig20 CSV must not depend on sweep width"
+    );
+    assert_eq!(
+        fig21_serial, fig21_wide,
+        "fig21 CSV must not depend on sweep width"
+    );
+    assert_eq!(
+        artifacts_serial.len(),
+        artifacts_wide.len(),
+        "fig21 must emit the same JSON artifact set at any width"
+    );
+    for ((stem_s, json_s), (stem_w, json_w)) in artifacts_serial.iter().zip(artifacts_wide.iter()) {
+        assert_eq!(stem_s, stem_w, "artifact order must be canonical");
+        assert_eq!(json_s, json_w, "{stem_s} JSON must be byte-identical");
+    }
+    // Sanity: the sweeps produced real content.
+    assert!(fig20_serial.lines().count() > 1);
+    assert_eq!(artifacts_serial.len(), 2);
+}

@@ -42,7 +42,7 @@ fn empirical_usage_matches_declared_on_large_sample() {
     let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Empirical(&sample));
     // Compare the top-10 ranking: the heavy hitters must agree.
     let declared: Vec<ExpertId> = model.experts_by_usage().into_iter().take(10).collect();
-    let estimated: Vec<ExpertId> = perf.experts_by_usage().into_iter().take(10).collect();
+    let estimated: Vec<ExpertId> = perf.experts_by_usage().iter().copied().take(10).collect();
     let overlap = declared.iter().filter(|e| estimated.contains(e)).count();
     assert!(
         overlap >= 7,
