@@ -27,4 +27,9 @@ fn main() {
     for (stem, json) in &artifacts {
         emit_json(json, stem);
     }
+    let (recovery, artifacts) = figures::fig22_failure_recovery();
+    emit(&recovery, "fig22_failure_recovery");
+    for (stem, json) in &artifacts {
+        emit_json(json, stem);
+    }
 }

@@ -1,0 +1,9 @@
+//! Dynamic-runtime extension: failure recovery, re-placement and
+//! dispatcher feedback under drifted usage.
+fn main() {
+    let (table, artifacts) = coserve_bench::figures::fig22_failure_recovery();
+    coserve_bench::emit(&table, "fig22_failure_recovery");
+    for (stem, json) in &artifacts {
+        coserve_bench::emit_json(json, stem);
+    }
+}

@@ -6,14 +6,15 @@
 //! `tests/figures_smoke.rs`; `PAPER.md` at the workspace root
 //! summarizes the source paper.
 //!
-//! The sweep figures (fig13–fig21) fan their independent points out
+//! The sweep figures (fig13–fig22) fan their independent points out
 //! over [`crate::sweep::run_ordered`] worker threads and reassemble
 //! rows in canonical order, so the emitted artifacts are byte-identical
 //! to a serial run at any `COSERVE_JOBS` width (pinned by
 //! `tests/parallel_figures.rs`).
 
-use coserve_cluster::dispatch::RoutePolicy;
+use coserve_cluster::dispatch::{FeedbackMode, RoutePolicy};
 use coserve_cluster::placement::PlacementStrategy;
+use coserve_cluster::runtime::{FailureSchedule, ReplacementPolicy, RuntimeOptions};
 use coserve_cluster::{ClusterOptions, ClusterSystem};
 use coserve_core::autotune::{window_search, UsageCdf, WindowSearchOptions};
 use coserve_core::config::AdmissionControl;
@@ -25,6 +26,7 @@ use coserve_metrics::table::{fmt_f64, Table};
 use coserve_model::arch::{ArchSpec, RESNET101};
 use coserve_sim::device::ProcessorKind;
 use coserve_sim::network::LinkProfile;
+use coserve_sim::time::{SimSpan, SimTime};
 use coserve_sim::transfer::TransferRoute;
 use coserve_workload::arrivals::ArrivalProcess;
 use coserve_workload::stream::{RequestStream, StreamOrder};
@@ -652,6 +654,184 @@ pub fn fig21_cluster_scaling() -> (Table, Vec<(String, String)>) {
             artifacts.push(("fig21_cluster_report".to_string(), r.to_json()));
         }
         row(r, placement, route, base_thr);
+    }
+    (t, artifacts)
+}
+
+/// Failure-recovery extension figure: the dynamic cluster runtime under
+/// injected node failures and usage drift. Sweeps failure timing ×
+/// re-placement policy × dispatcher feedback on a 4-node fleet serving
+/// a *drifted* stream (the observed class mix is the declared one
+/// rotated by half the components, so the offline plan's usage basis is
+/// wrong from the first request). Two claims the smoke tests pin:
+///
+/// 1. re-replication bounds recovery (finite `recovery_ms`, migration
+///    traffic charged to the fabric, zero orphan rejections) while a
+///    static placement rejects orphaned chains for the rest of the run
+///    — its orphan-drop rate never recovers;
+/// 2. under the drifted workload, feedback-corrected dispatch beats the
+///    open-loop estimates on p95 latency in the post-failure regime
+///    (the re-replicate rows): migration receivers are genuinely
+///    slower than the offline predictions claim, and only the
+///    corrected estimates stop overloading them. The failure-free
+///    drift-only rows show the flip side — with no structural
+///    asymmetry to learn, open-loop's optimistic estimates happen to
+///    preserve batching locality and feedback buys estimate accuracy
+///    instead of tail latency.
+///
+/// Returns the table plus a machine-readable `ClusterReport` JSON
+/// artifact of the recovered (re-replicating, feedback-on) mid-run-kill
+/// cell.
+#[must_use]
+pub fn fig22_failure_recovery() -> (Table, Vec<(String, String)>) {
+    let mut t = Table::new(
+        "Figure 22 (extension): Failure recovery and feedback under drifted usage (A1, 4 nodes)",
+        &[
+            "scenario",
+            "replacement",
+            "feedback",
+            "throughput_ips",
+            "drop_pct",
+            "orphan_drop_pct",
+            "recovery_ms",
+            "migration_mib",
+            "p95_ms",
+            "est_err_ms",
+            "slo_attain_pct",
+        ],
+    );
+    let device = paper_devices().remove(0);
+    let task = paper_tasks().remove(0);
+    let model = task.build_model().expect("built-in boards validate");
+    let config = presets::coserve(&device);
+    // The drift: classes are drawn from the board with its quantity
+    // profile rotated by half the component types, against the model
+    // (and placement plan) built from the declared profile.
+    let drifted = task.board().drifted(task.board().num_components() / 2);
+    let requests = ((900.0 * scale()).round() as usize).max(300);
+    // Near-capacity load (not deep saturation): routing quality, not
+    // raw capacity, decides the tail — the regime where corrected
+    // estimates can beat open-loop ones.
+    let rps = 200.0;
+    let stream = RequestStream::generate_open_loop(
+        format!("{} drifted poisson {rps}/s", task.name()),
+        &drifted,
+        &model,
+        requests,
+        ArrivalProcess::poisson(rps),
+        StreamOrder::Iid,
+        7,
+    );
+    let horizon = stream.last_arrival().saturating_since(SimTime::ZERO);
+    let tick = SimSpan::from_millis_f64((horizon.as_millis_f64() / 12.0).max(1.0));
+    let at = |pct: u32| {
+        SimTime::ZERO + SimSpan::from_millis_f64(horizon.as_millis_f64() * f64::from(pct) / 100.0)
+    };
+    let admission = AdmissionControl::with_queue_capacity(16);
+
+    // Canonical cell order: the failure matrix (kill node 1 at 25 % or
+    // 50 % of the horizon × static/re-replicate × open-loop/feedback),
+    // then the failure-free drift-only feedback comparison.
+    #[derive(Clone, Copy)]
+    struct Cell {
+        kill_pct: Option<u32>,
+        replacement: ReplacementPolicy,
+        feedback: FeedbackMode,
+    }
+    let mut cells = Vec::new();
+    for kill_pct in [25u32, 50] {
+        for replacement in [ReplacementPolicy::Static, ReplacementPolicy::OnFailure] {
+            for feedback in [FeedbackMode::OpenLoop, FeedbackMode::Corrected] {
+                cells.push(Cell {
+                    kill_pct: Some(kill_pct),
+                    replacement,
+                    feedback,
+                });
+            }
+        }
+    }
+    for feedback in [FeedbackMode::OpenLoop, FeedbackMode::Corrected] {
+        cells.push(Cell {
+            kill_pct: None,
+            replacement: ReplacementPolicy::OnFailure,
+            feedback,
+        });
+    }
+
+    let slo = SimSpan::from_millis(250);
+    let reports = crate::sweep::run_ordered(cells.clone(), |cell| {
+        // Least-loaded routing: the work-left estimate *is* the routing
+        // signal, so estimate quality (open-loop vs corrected) shows up
+        // directly in the tail.
+        let cluster = ClusterSystem::homogeneous(
+            4,
+            &device,
+            &config,
+            &model,
+            LinkProfile::ethernet_10g(),
+            ClusterOptions::default().route(RoutePolicy::LeastLoaded),
+        )
+        .expect("harness clusters are valid");
+        let failures = match cell.kill_pct {
+            Some(pct) => FailureSchedule::new().kill(1, at(pct)),
+            None => FailureSchedule::new(),
+        };
+        let options = RuntimeOptions::default()
+            .tick(tick)
+            .failures(failures)
+            .replacement(cell.replacement)
+            .feedback(cell.feedback)
+            .slo(slo)
+            .online(admission, presets::ONLINE_MAX_OVERTAKE);
+        cluster.serve_runtime(&stream, &options)
+    });
+
+    let mut artifacts = Vec::new();
+    for (cell, r) in cells.iter().zip(&reports) {
+        let scenario = match cell.kill_pct {
+            Some(pct) => format!("kill@{pct}%"),
+            None => "drift-only".to_string(),
+        };
+        if cell.kill_pct == Some(50)
+            && cell.replacement == ReplacementPolicy::OnFailure
+            && cell.feedback == FeedbackMode::Corrected
+        {
+            artifacts.push(("fig22_failure_recovery_report".to_string(), r.to_json()));
+        }
+        let recovery = if r.has_unrecovered_failure() {
+            "inf".to_string()
+        } else {
+            r.recovery_time()
+                .map_or_else(|| "-".into(), |s| fmt_f64(s.as_millis_f64(), 1))
+        };
+        let p95 = r
+            .latency_summary()
+            .map_or_else(|| "-".into(), |s| fmt_f64(s.p95, 1));
+        let est_err = r
+            .dynamics
+            .estimate_error_ms
+            .map_or_else(|| "-".into(), |e| fmt_f64(e, 1));
+        let attain = r
+            .slo_attainment(slo)
+            .map_or_else(|| "-".into(), |a| fmt_f64(100.0 * a, 1));
+        let orphan_pct = if r.submitted > 0 {
+            100.0 * r.dynamics.routing_dropped as f64 / r.submitted as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            scenario,
+            cell.replacement.to_string(),
+            cell.feedback.to_string(),
+            fmt_f64(r.throughput_ips(), 1),
+            fmt_f64(100.0 * r.drop_rate(), 1),
+            fmt_f64(orphan_pct, 1),
+            recovery,
+            fmt_f64(r.dynamics.migration_bytes.as_mib_f64(), 1),
+            p95,
+            est_err,
+            attain,
+        ]);
     }
     (t, artifacts)
 }

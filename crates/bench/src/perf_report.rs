@@ -230,6 +230,18 @@ pub fn collect(emit_artifacts: bool) -> PerfReport {
             emit_json(json, stem);
         }
     }
+    let s = Instant::now();
+    let (recovery, artifacts) = figures::fig22_failure_recovery();
+    record(
+        "fig22_failure_recovery",
+        s,
+        one("fig22_failure_recovery", recovery),
+    );
+    if emit_artifacts {
+        for (stem, json) in &artifacts {
+            emit_json(json, stem);
+        }
+    }
     let all_figures_wall_ms = suite_start.elapsed().as_secs_f64() * 1e3;
 
     // End-to-end engine throughput: the CoServe preset serving the

@@ -11,11 +11,22 @@
 //!   the [`PerfMatrix`] predictions the paper's scheduler already uses
 //!   (§4.2): never the simulator's ground truth.
 //!
+//! The estimate is *open-loop* by default, exactly as the paper's
+//! front-end is. A [`Dispatcher`] running under the cluster runtime can
+//! instead close the loop ([`FeedbackMode::Corrected`]): at every
+//! control tick the nodes report what they actually did (finish time,
+//! busy time — the per-node telemetry the engine's `RunReport`
+//! carries), and the dispatcher maintains a per-node service-time
+//! correction factor (EWMA of observed over predicted busy time) so
+//! systematic, node-asymmetric prediction error (unmodelled expert
+//! switches on a migration receiver, a slower device than profiled)
+//! stops accumulating.
+//!
 //! When a request's chain includes experts the routed node does not
 //! hold, each such stage pays one **cross-node hop**: an activation
-//! transfer over the [`Fabric`] link from the nearest holder, charged
-//! by delaying the request's arrival at the node. Hop counts and total
-//! fabric time flow into the
+//! transfer over the [`Fabric`] link from the nearest live holder,
+//! charged by delaying the request's arrival at the node. Hop counts
+//! and total fabric time flow into the
 //! [`coserve_metrics::cluster::ClusterReport`].
 
 use std::fmt;
@@ -66,6 +77,29 @@ impl fmt::Display for RoutePolicy {
     }
 }
 
+/// Whether the dispatcher's work-left estimates stay open-loop or are
+/// corrected from per-node telemetry at every control tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackMode {
+    /// Estimates come from offline predictions only (the paper's §4.2
+    /// front-end): error accumulates over the run.
+    OpenLoop,
+    /// Predicted service is scaled per node by an EWMA of the
+    /// observed/predicted busy-time ratio reported at each control
+    /// tick, steering traffic away from nodes that are systematically
+    /// slower than their offline predictions claim.
+    Corrected,
+}
+
+impl fmt::Display for FeedbackMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedbackMode::OpenLoop => write!(f, "open-loop"),
+            FeedbackMode::Corrected => write!(f, "feedback"),
+        }
+    }
+}
+
 /// What the dispatcher needs to know about one node to estimate load.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeLoadModel<'a> {
@@ -78,7 +112,28 @@ pub struct NodeLoadModel<'a> {
     pub has_gpu: bool,
 }
 
-/// The routing decision for every job of a stream.
+/// The routing decision for one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Routing {
+    /// The job goes to `node`, with its arrival already shifted by the
+    /// fabric delays its off-node chain stages paid.
+    Routed {
+        /// The chosen node.
+        node: usize,
+        /// The job as the node will see it.
+        job: Job,
+    },
+    /// Some chain stage's expert has no live holder: the front-end
+    /// cannot serve the request (only possible after node failures
+    /// under a static placement).
+    Unhosted {
+        /// The first unhosted expert in the chain.
+        expert: ExpertId,
+    },
+}
+
+/// The routing decision for every job of a stream (the one-shot
+/// [`dispatch`] API).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DispatchOutcome {
     /// Jobs per node, in dispatch order, with arrivals already shifted
@@ -90,7 +145,279 @@ pub struct DispatchOutcome {
     pub fabric_time_total: SimSpan,
 }
 
-/// Routes every job of `stream` to a node.
+/// The stateful cluster front-end: routes jobs one at a time against a
+/// (possibly re-versioned) placement plan and a live-node mask,
+/// maintaining work-left estimates across calls and — under
+/// [`FeedbackMode::Corrected`] — folding per-node telemetry back into
+/// them at every control tick.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    route: RoutePolicy,
+    activation_bytes: Bytes,
+    feedback: FeedbackMode,
+    /// When strict, a chain stage whose expert has no live holder makes
+    /// the job [`Routing::Unhosted`] (the runtime's failure semantics);
+    /// when lax, the stage simply pays no hop (the legacy one-shot
+    /// behaviour, where plans always cover every expert).
+    strict_hosting: bool,
+    seq: usize,
+    busy_until: Vec<SimTime>,
+    /// Per-node EWMA of observed/predicted busy time (1.0 = predictions
+    /// trusted verbatim); only updated under `Corrected`.
+    service_scale: Vec<f64>,
+    /// Predicted service routed to each node since its last
+    /// observation — the denominator of the correction ratio.
+    predicted_since_observe: Vec<SimSpan>,
+    cross_node_hops: u64,
+    fabric_time_total: SimSpan,
+    err_samples: u64,
+    err_sum_ms: f64,
+    residency: Vec<usize>,
+}
+
+impl Dispatcher {
+    /// A dispatcher over `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero.
+    #[must_use]
+    pub fn new(
+        nodes: usize,
+        route: RoutePolicy,
+        activation_bytes: Bytes,
+        feedback: FeedbackMode,
+        strict_hosting: bool,
+    ) -> Self {
+        assert!(nodes > 0, "dispatch needs at least one node");
+        Dispatcher {
+            route,
+            activation_bytes,
+            feedback,
+            strict_hosting,
+            seq: 0,
+            busy_until: vec![SimTime::ZERO; nodes],
+            service_scale: vec![1.0; nodes],
+            predicted_since_observe: vec![SimSpan::ZERO; nodes],
+            cross_node_hops: 0,
+            fabric_time_total: SimSpan::ZERO,
+            err_samples: 0,
+            err_sum_ms: 0.0,
+            residency: vec![0; nodes],
+        }
+    }
+
+    /// Number of nodes the dispatcher routes over.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Stages routed off-node so far.
+    #[must_use]
+    pub fn cross_node_hops(&self) -> u64 {
+        self.cross_node_hops
+    }
+
+    /// Total fabric time charged so far.
+    #[must_use]
+    pub fn fabric_time_total(&self) -> SimSpan {
+        self.fabric_time_total
+    }
+
+    /// Mean absolute error between the predicted and observed node
+    /// finish times across all observations, in milliseconds (`None`
+    /// before the first observation) — the open-loop-vs-feedback
+    /// estimate-quality metric the cluster report carries.
+    #[must_use]
+    pub fn estimate_error_ms(&self) -> Option<f64> {
+        (self.err_samples > 0).then(|| self.err_sum_ms / self.err_samples as f64)
+    }
+
+    /// Routes one job against the current plan and live mask: picks the
+    /// target by the routing policy over live nodes, charges one fabric
+    /// hop per off-node chain stage (from the nearest live holder), and
+    /// advances the target's work-left estimate by the predicted
+    /// (feedback-scaled) service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan/mask sizes disagree with the dispatcher, no
+    /// node is live, or a perf matrix lacks an entry the prediction
+    /// needs.
+    pub fn route_job(
+        &mut self,
+        job: &Job,
+        model: &CoeModel,
+        plan: &PlacementPlan,
+        fabric: &Fabric,
+        nodes: &[NodeLoadModel<'_>],
+        alive: &[bool],
+    ) -> Routing {
+        let n = self.num_nodes();
+        assert_eq!(plan.num_nodes(), n, "plan/node count mismatch");
+        assert_eq!(fabric.len(), n, "fabric/node count mismatch");
+        assert_eq!(nodes.len(), n, "load model/node count mismatch");
+        assert_eq!(alive.len(), n, "alive mask/node count mismatch");
+        assert!(alive.iter().any(|&a| a), "routing needs a live node");
+        let seq = self.seq;
+        self.seq += 1;
+
+        if self.strict_hosting {
+            for &expert in &job.stages {
+                if !plan.is_hosted(expert, alive) {
+                    return Routing::Unhosted { expert };
+                }
+            }
+        }
+
+        for (node, &live) in alive.iter().enumerate() {
+            self.residency[node] = if live {
+                job.stages
+                    .iter()
+                    .filter(|&&e| plan.is_placed(node, e))
+                    .count()
+            } else {
+                0
+            };
+        }
+        // Candidates are scanned in an order rotated by the dispatch
+        // sequence number, so fully tied nodes (hot-only chains on
+        // replicated placement, idle fleets) round-robin instead of
+        // piling onto node 0.
+        let start = seq % n;
+        let mut rotated = (0..n).map(|k| (start + k) % n).filter(|&node| alive[node]);
+        let residency = &self.residency;
+        let busy_until = &self.busy_until;
+        let target = match self.route {
+            RoutePolicy::RoundRobin => rotated.next(),
+            RoutePolicy::ResidencyFirst => rotated.min_by_key(|&node| {
+                (
+                    std::cmp::Reverse(residency[node]),
+                    busy_until[node].saturating_since(job.arrival),
+                )
+            }),
+            RoutePolicy::LeastLoaded => rotated.min_by_key(|&node| {
+                (
+                    busy_until[node].saturating_since(job.arrival),
+                    std::cmp::Reverse(residency[node]),
+                )
+            }),
+        }
+        .expect("at least one live node");
+
+        // Fabric charge: every chain stage whose expert lives elsewhere
+        // ships its activations from the nearest live holder.
+        let mut delay = SimSpan::ZERO;
+        for &expert in &job.stages {
+            if plan.is_placed(target, expert) {
+                continue;
+            }
+            let nearest = plan
+                .holders(expert)
+                .iter()
+                .filter(|&&h| alive[h])
+                .map(|&h| {
+                    fabric.transfer_duration(self.activation_bytes, NodeId(h), NodeId(target))
+                })
+                .min();
+            if let Some(hop) = nearest {
+                self.cross_node_hops += 1;
+                self.fabric_time_total += hop;
+                delay += hop;
+            }
+        }
+
+        let arrival = job.arrival + delay;
+        let raw = predicted_service(model, &nodes[target], &job.stages);
+        // The correction ratio compares observation against the *raw*
+        // prediction — dividing by the already-scaled value would make
+        // the EWMA converge to the square root of the true slowdown.
+        self.predicted_since_observe[target] += raw;
+        let service = if self.feedback == FeedbackMode::Corrected {
+            SimSpan::from_millis_f64(raw.as_millis_f64() * self.service_scale[target])
+        } else {
+            raw
+        };
+        self.busy_until[target] = self.busy_until[target].max(arrival) + service;
+        Routing::Routed {
+            node: target,
+            job: Job {
+                id: job.id, // re-densified by the caller after sorting
+                class: job.class,
+                arrival,
+                stages: job.stages.clone(),
+            },
+        }
+    }
+
+    /// Feeds one node's tick telemetry back: `finish` is when the node
+    /// actually drained the work routed to it (its report's makespan
+    /// against the shared time origin), `busy` the executor time it
+    /// actually spent. Always scores the estimate error; under
+    /// [`FeedbackMode::Corrected`] also updates the node's
+    /// service-scale EWMA from the observed/predicted busy-time ratio
+    /// (the work-left estimate itself is *not* snapped to the
+    /// observation — see the inline note).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn observe(&mut self, node: usize, finish: SimTime, busy: SimSpan) {
+        let predicted = self.predicted_since_observe[node];
+        if predicted > SimSpan::ZERO {
+            let err = self.busy_until[node]
+                .saturating_since(finish)
+                .max(finish.saturating_since(self.busy_until[node]));
+            self.err_sum_ms += err.as_millis_f64();
+            self.err_samples += 1;
+            if self.feedback == FeedbackMode::Corrected {
+                let predicted_ms = predicted.as_millis_f64();
+                if predicted_ms > 0.0 {
+                    // Scale-only correction: snapping `busy_until` to the
+                    // observation goes stale for nodes idle the next tick
+                    // and makes least-loaded routing herd; correcting the
+                    // per-node service magnitude diverts traffic from
+                    // genuinely slower nodes without that oscillation.
+                    let ratio = (busy.as_millis_f64() / predicted_ms).clamp(0.5, 4.0);
+                    self.service_scale[node] = 0.5 * self.service_scale[node] + 0.5 * ratio;
+                }
+            }
+        }
+        self.predicted_since_observe[node] = SimSpan::ZERO;
+    }
+
+    /// Forgets everything learned about `node`: the work it was
+    /// predicted to do died with it (re-routed jobs are re-charged to
+    /// their new targets), and a node revived later starts with fresh
+    /// hardware, an empty queue and no service history. Without this, a
+    /// killed node keeps phantom predicted work that biases its first
+    /// post-revival observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn forget_node(&mut self, node: usize) {
+        self.busy_until[node] = SimTime::ZERO;
+        self.predicted_since_observe[node] = SimSpan::ZERO;
+        self.service_scale[node] = 1.0;
+    }
+
+    /// Charges out-of-band work (an expert migration landing on `node`)
+    /// against the node's work-left estimate, so re-placement traffic
+    /// steers subsequent routing away from busy receivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn add_busy(&mut self, node: usize, at: SimTime, span: SimSpan) {
+        self.busy_until[node] = self.busy_until[node].max(at) + span;
+    }
+}
+
+/// Routes every job of `stream` to a node — the one-shot convenience
+/// over a [`Dispatcher`] with every node live and open-loop estimates
+/// (exactly the paper-style offline front-end).
 ///
 /// Fully deterministic: a pure function of its inputs, so two identical
 /// dispatches produce identical per-node schedules.
@@ -111,90 +438,21 @@ pub fn dispatch(
 ) -> DispatchOutcome {
     let n = nodes.len();
     assert!(n > 0, "dispatch needs at least one node");
-    assert_eq!(plan.num_nodes(), n, "plan/node count mismatch");
-    assert_eq!(fabric.len(), n, "fabric/node count mismatch");
-
+    let mut dispatcher = Dispatcher::new(n, route, activation_bytes, FeedbackMode::OpenLoop, false);
+    let alive = vec![true; n];
     let mut per_node: Vec<Vec<Job>> = vec![Vec::new(); n];
-    // Work-left estimate: when each node's backlog is predicted to
-    // drain, from PerfMatrix predictions only.
-    let mut busy_until = vec![SimTime::ZERO; n];
-    let mut cross_node_hops = 0u64;
-    let mut fabric_time_total = SimSpan::ZERO;
-    // Hoisted out of the routing loop: the holders of every expert,
-    // indexed by expert id (the per-job loop would otherwise rescan
-    // every node's placement set per off-node stage).
-    let holders_of: Vec<Vec<usize>> = (0..model.num_experts() as u32)
-        .map(|e| plan.holders(ExpertId(e)))
-        .collect();
-
-    for (seq, job) in stream.jobs().iter().enumerate() {
-        let residency: Vec<usize> = (0..n)
-            .map(|node| {
-                job.stages
-                    .iter()
-                    .filter(|&&e| plan.is_placed(node, e))
-                    .count()
-            })
-            .collect();
-        // Candidates are scanned in an order rotated by the dispatch
-        // sequence number, so fully tied nodes (hot-only chains on
-        // replicated placement, idle fleets) round-robin instead of
-        // piling onto node 0.
-        let start = seq % n;
-        let rotated = (0..n).map(|k| (start + k) % n);
-        let target = match route {
-            RoutePolicy::RoundRobin => start,
-            RoutePolicy::ResidencyFirst => rotated
-                .min_by_key(|&node| {
-                    (
-                        std::cmp::Reverse(residency[node]),
-                        busy_until[node].saturating_since(job.arrival),
-                    )
-                })
-                .expect("at least one node"),
-            RoutePolicy::LeastLoaded => rotated
-                .min_by_key(|&node| {
-                    (
-                        busy_until[node].saturating_since(job.arrival),
-                        std::cmp::Reverse(residency[node]),
-                    )
-                })
-                .expect("at least one node"),
-        };
-
-        // Fabric charge: every chain stage whose expert lives elsewhere
-        // ships its activations from the nearest holder.
-        let mut delay = SimSpan::ZERO;
-        for &expert in &job.stages {
-            if plan.is_placed(target, expert) {
-                continue;
-            }
-            let nearest = holders_of[expert.index()]
-                .iter()
-                .map(|&h| fabric.transfer_duration(activation_bytes, NodeId(h), NodeId(target)))
-                .min();
-            if let Some(hop) = nearest {
-                cross_node_hops += 1;
-                fabric_time_total += hop;
-                delay += hop;
+    for job in stream.jobs() {
+        match dispatcher.route_job(job, model, plan, fabric, nodes, &alive) {
+            Routing::Routed { node, job } => per_node[node].push(job),
+            Routing::Unhosted { expert } => {
+                unreachable!("lax dispatch never rejects (expert {expert})")
             }
         }
-
-        let arrival = job.arrival + delay;
-        let service = predicted_service(model, &nodes[target], &job.stages);
-        busy_until[target] = busy_until[target].max(arrival) + service;
-        per_node[target].push(Job {
-            id: job.id, // re-densified by the caller after sorting
-            class: job.class,
-            arrival,
-            stages: job.stages.clone(),
-        });
     }
-
     DispatchOutcome {
         per_node,
-        cross_node_hops,
-        fabric_time_total,
+        cross_node_hops: dispatcher.cross_node_hops(),
+        fabric_time_total: dispatcher.fabric_time_total(),
     }
 }
 
@@ -426,9 +684,95 @@ mod tests {
     }
 
     #[test]
+    fn dead_nodes_are_never_routed_to() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::Replicated, 7);
+        let nodes = load_models(&perf, 4);
+        let mut d = Dispatcher::new(
+            4,
+            RoutePolicy::LeastLoaded,
+            Bytes::mib(8),
+            FeedbackMode::OpenLoop,
+            true,
+        );
+        let alive = [true, false, true, false];
+        for job in stream.jobs() {
+            match d.route_job(job, &model, &plan, &fabric, &nodes, &alive) {
+                Routing::Routed { node, .. } => assert!(alive[node], "routed to dead node {node}"),
+                Routing::Unhosted { expert } => {
+                    panic!("replicated placement cannot orphan {expert}")
+                }
+            }
+        }
+        assert_eq!(d.cross_node_hops(), 0);
+    }
+
+    #[test]
+    fn strict_hosting_rejects_orphaned_chains() {
+        let (model, perf, stream, fabric) = setup(2);
+        let plan = plan_placement(&model, &perf, 2, PlacementStrategy::Sharded, 7);
+        let nodes = load_models(&perf, 2);
+        let mut d = Dispatcher::new(
+            2,
+            RoutePolicy::ResidencyFirst,
+            Bytes::mib(8),
+            FeedbackMode::OpenLoop,
+            true,
+        );
+        // Node 1 is dead: every expert sharded onto it is orphaned.
+        let alive = [true, false];
+        let mut rejected = 0usize;
+        for job in stream.jobs() {
+            if let Routing::Unhosted { expert } =
+                d.route_job(job, &model, &plan, &fabric, &nodes, &alive)
+            {
+                assert!(plan.is_placed(1, expert) && !plan.is_placed(0, expert));
+                rejected += 1;
+            }
+        }
+        assert!(
+            rejected > 0,
+            "half the shard is gone; some chains must fail"
+        );
+    }
+
+    #[test]
+    fn feedback_scales_predictions_and_scores_error() {
+        let (model, perf, stream, fabric) = setup(2);
+        let plan = plan_placement(&model, &perf, 2, PlacementStrategy::Replicated, 7);
+        let nodes = load_models(&perf, 2);
+        let alive = [true, true];
+        let mut d = Dispatcher::new(
+            2,
+            RoutePolicy::LeastLoaded,
+            Bytes::mib(8),
+            FeedbackMode::Corrected,
+            true,
+        );
+        assert_eq!(d.estimate_error_ms(), None);
+        for job in stream.jobs().iter().take(50) {
+            let _ = d.route_job(job, &model, &plan, &fabric, &nodes, &alive);
+        }
+        // Pretend both nodes took 3× the predicted busy time and
+        // finished late: the error ledger fills and, corrected, the
+        // scale rises above 1.
+        let observed_finish = SimTime::ZERO + SimSpan::from_secs(30);
+        d.observe(0, observed_finish, SimSpan::from_secs(20));
+        d.observe(1, observed_finish, SimSpan::from_secs(20));
+        let err = d.estimate_error_ms().expect("two observations");
+        assert!(err > 0.0);
+        assert!(d.service_scale[0] > 1.0 && d.service_scale[1] > 1.0);
+        // A second observation round with no new work is a no-op.
+        d.observe(0, SimTime::ZERO, SimSpan::ZERO);
+        assert_eq!(d.estimate_error_ms(), Some(err));
+    }
+
+    #[test]
     fn route_policy_displays() {
         assert_eq!(RoutePolicy::ResidencyFirst.to_string(), "residency-first");
         assert_eq!(RoutePolicy::LeastLoaded.to_string(), "least-loaded");
         assert_eq!(RoutePolicy::RoundRobin.to_string(), "round-robin");
+        assert_eq!(FeedbackMode::OpenLoop.to_string(), "open-loop");
+        assert_eq!(FeedbackMode::Corrected.to_string(), "feedback");
     }
 }

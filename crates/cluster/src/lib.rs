@@ -23,6 +23,12 @@
 //! [`coserve_metrics::cluster::ClusterReport`]. Everything stays
 //! deterministic bit for bit.
 //!
+//! The [`runtime`] module turns the one-shot serve into an event-driven
+//! **control loop**: tick-driven dispatch with per-node telemetry
+//! feedback, mid-run node failures (re-routing + shard re-replication
+//! over the fabric) and drift-triggered online re-placement — see
+//! [`ClusterSystem::serve_runtime`].
+//!
 //! ```
 //! use coserve_cluster::prelude::*;
 //! use coserve_core::presets;
@@ -59,18 +65,19 @@ use coserve_core::perf::PerfMatrix;
 use coserve_core::profiler::{Profiler, UsageSource};
 use coserve_core::system::ServingSystem;
 use coserve_metrics::cluster::ClusterReport;
-use coserve_metrics::report::RunReport;
 use coserve_model::coe::CoeModel;
 use coserve_sim::device::DeviceProfile;
 use coserve_sim::memory::Bytes;
 use coserve_sim::network::{Fabric, LinkProfile};
-use coserve_workload::stream::{JobId, RequestStream};
+use coserve_workload::stream::RequestStream;
 
 pub mod dispatch;
 pub mod placement;
+pub mod runtime;
 
-use dispatch::{dispatch, NodeLoadModel, RoutePolicy};
+use dispatch::RoutePolicy;
 use placement::{plan_placement, PlacementPlan, PlacementStrategy};
+use runtime::RuntimeOptions;
 
 /// One node of a cluster: a name, the hardware, and the per-node
 /// serving configuration (the fleet may be heterogeneous in both).
@@ -364,73 +371,11 @@ impl ClusterSystem {
         stream: &RequestStream,
         online: Option<(AdmissionControl, u32)>,
     ) -> ClusterReport {
-        let load_models: Vec<NodeLoadModel<'_>> = self
-            .nodes
-            .iter()
-            .map(|s| NodeLoadModel {
-                perf: s.perf(),
-                executors: s.config().executors.len(),
-                has_gpu: s.config().gpu_executor_count() > 0,
-            })
-            .collect();
-        let outcome = dispatch(
-            stream,
-            self.model(),
-            &self.plan,
-            &self.fabric,
-            &load_models,
-            self.options.route,
-            self.options.activation_bytes,
-        );
-
-        let reports: Vec<RunReport> = outcome
-            .per_node
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut jobs)| {
-                let system = &self.nodes[i];
-                let name = format!("{} @ {}", stream.name(), self.names[i]);
-                if jobs.is_empty() {
-                    // Routed nothing here (possible under residency-
-                    // first routing of a tiny stream): a zero report.
-                    return RunReport::empty(
-                        system.config().name.clone(),
-                        system.device().name(),
-                        name,
-                    );
-                }
-                // Fabric delays can reorder arrivals; restore the
-                // non-decreasing order per node and re-densify ids.
-                jobs.sort_by_key(|j| j.arrival);
-                for (k, job) in jobs.iter_mut().enumerate() {
-                    job.id = JobId(k as u32);
-                }
-                let node_stream = RequestStream::from_jobs(name, jobs);
-                let mut config = system.config().clone();
-                if let Some((admission, max_overtake)) = online {
-                    config.admission = Some(admission);
-                    config.max_overtake = Some(max_overtake);
-                }
-                system
-                    .serve_configured(&node_stream, &config)
-                    .expect("validated at cluster construction")
-            })
-            .collect();
-
-        let system_name = format!(
-            "{} ×{} ({}, {})",
-            self.nodes[0].config().name,
-            self.num_nodes(),
-            self.plan.strategy(),
-            self.options.route,
-        );
-        ClusterReport::merge(
-            system_name,
-            stream.name(),
-            reports,
-            outcome.cross_node_hops,
-            outcome.fabric_time_total,
-        )
+        let options = RuntimeOptions {
+            online,
+            ..RuntimeOptions::default()
+        };
+        self.serve_runtime(stream, &options)
     }
 }
 
@@ -444,8 +389,15 @@ fn spec_name_or_default(system: &ServingSystem, name: String, index: usize) -> S
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::dispatch::{dispatch, DispatchOutcome, NodeLoadModel, RoutePolicy};
-    pub use crate::placement::{plan_placement, PlacementPlan, PlacementStrategy};
+    pub use crate::dispatch::{
+        dispatch, DispatchOutcome, Dispatcher, FeedbackMode, NodeLoadModel, RoutePolicy, Routing,
+    };
+    pub use crate::placement::{
+        migration_plan, plan_placement, ExpertMove, MigrationPlan, PlacementPlan, PlacementStrategy,
+    };
+    pub use crate::runtime::{
+        FailureEvent, FailureKind, FailureSchedule, ReplacementPolicy, RuntimeOptions,
+    };
     pub use crate::{ClusterError, ClusterOptions, ClusterSystem, NodeSpec};
 }
 

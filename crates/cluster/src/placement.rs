@@ -17,11 +17,17 @@
 //! are the ablation corners: full replication (no cross-node hops,
 //! minimal effective pool capacity), pure sharding (maximal capacity,
 //! maximal hops) and seeded random assignment.
+//!
+//! Plans are **versioned**: the cluster runtime reacts to node failures
+//! and usage drift by deriving a successor plan ([`PlacementPlan::rehosted`]
+//! re-replicates a dead node's orphaned shard, [`PlacementPlan::replanned`]
+//! rebuilds the layout over the surviving fleet, optionally from the
+//! *observed* usage mix instead of the declared one) and shipping the
+//! [`migration_plan`] delta over the fabric.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
-use coserve_core::autotune::UsageCdf;
 use coserve_core::perf::PerfMatrix;
 use coserve_model::coe::CoeModel;
 use coserve_model::expert::ExpertId;
@@ -75,12 +81,29 @@ impl fmt::Display for PlacementStrategy {
 /// descending usage), then every remaining expert (same order) so spare
 /// pool capacity is never wasted — placement decides priority, not an
 /// artificial capacity cap.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A plan carries a monotonically increasing [`PlacementPlan::version`]:
+/// derived plans ([`PlacementPlan::rehosted`], [`PlacementPlan::replanned`])
+/// bump it, and [`migration_plan`] diffs two versions into the expert
+/// moves the fabric must carry.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacementPlan {
     strategy: PlacementStrategy,
+    seed: u64,
+    version: u64,
     placed: Vec<BTreeSet<ExpertId>>,
+    /// Precomputed holders index (expert index → nodes, ascending):
+    /// `holders()` sits on the dispatcher's re-route hot path, so the
+    /// plan answers from this index instead of rescanning every node's
+    /// placement set per call.
+    holders: Vec<Vec<usize>>,
     preload: Vec<Vec<ExpertId>>,
     placed_bytes: Vec<Bytes>,
+    /// The usage basis the plan was computed from: expert ids by
+    /// descending usage, and the per-expert probabilities. The runtime
+    /// compares *observed* usage against this basis to detect drift.
+    by_usage: Vec<ExpertId>,
+    usage: Vec<f64>,
 }
 
 impl PlacementPlan {
@@ -88,6 +111,13 @@ impl PlacementPlan {
     #[must_use]
     pub fn num_nodes(&self) -> usize {
         self.placed.len()
+    }
+
+    /// The plan's version: 0 for a freshly planned layout, bumped by
+    /// every derived re-placement.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Whether `expert` lives on `node`.
@@ -110,12 +140,28 @@ impl PlacementPlan {
         &self.placed[node]
     }
 
-    /// The nodes holding `expert`, ascending.
+    /// The nodes holding `expert`, ascending — answered from the index
+    /// precomputed at plan construction, never a fresh scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `expert` is outside the planned model.
     #[must_use]
-    pub fn holders(&self, expert: ExpertId) -> Vec<usize> {
-        (0..self.placed.len())
-            .filter(|&n| self.placed[n].contains(&expert))
-            .collect()
+    pub fn holders(&self, expert: ExpertId) -> &[usize] {
+        &self.holders[expert.index()]
+    }
+
+    /// Whether `expert` is placed on at least one node for which
+    /// `alive` is true — the front-end's servability check after
+    /// failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `expert` is outside the planned model or `alive` is
+    /// shorter than a holder index.
+    #[must_use]
+    pub fn is_hosted(&self, expert: ExpertId, alive: &[bool]) -> bool {
+        self.holders(expert).iter().any(|&n| alive[n])
     }
 
     /// The node's preload priority order (placed experts first, then
@@ -157,6 +203,193 @@ impl PlacementPlan {
     pub fn strategy(&self) -> PlacementStrategy {
         self.strategy
     }
+
+    /// The per-expert usage probabilities the plan was computed from
+    /// (declared usage for the initial plan, observed usage after a
+    /// drift-triggered re-placement).
+    #[must_use]
+    pub fn usage_basis(&self) -> &[f64] {
+        &self.usage
+    }
+
+    /// A successor plan that survives the loss of the nodes marked dead
+    /// in `alive`: dead nodes lose their placements, and every expert
+    /// left with no live holder (the dead shard's *orphans*) is
+    /// re-replicated onto the live node holding the most of its
+    /// dependency-graph neighbours (ties: fewest placed bytes, lowest
+    /// index) — the same heuristic the cold-tail planner uses. Live
+    /// nodes keep their placements untouched; the version is bumped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alive` disagrees with the node count or marks no
+    /// node alive.
+    #[must_use]
+    pub fn rehosted(&self, model: &CoeModel, alive: &[bool]) -> PlacementPlan {
+        assert_eq!(alive.len(), self.num_nodes(), "alive mask/node mismatch");
+        assert!(alive.iter().any(|&a| a), "rehosting needs a live node");
+        let mut placed: Vec<BTreeSet<ExpertId>> = self
+            .placed
+            .iter()
+            .enumerate()
+            .map(|(n, set)| {
+                if alive[n] {
+                    set.clone()
+                } else {
+                    BTreeSet::new()
+                }
+            })
+            .collect();
+        let live: Vec<usize> = (0..placed.len()).filter(|&n| alive[n]).collect();
+        let mut bytes: Vec<Bytes> = placed
+            .iter()
+            .map(|mine| mine.iter().map(|&e| model.weight_bytes(e)).sum())
+            .collect();
+        for &e in &self.by_usage {
+            if placed.iter().any(|set| set.contains(&e)) {
+                continue;
+            }
+            let best = best_host(model, &placed, &bytes, &live, e);
+            placed[best].insert(e);
+            bytes[best] += model.weight_bytes(e);
+        }
+        self.successor(model, placed)
+    }
+
+    /// A successor plan rebuilt from scratch over the nodes marked
+    /// alive, with the plan's own strategy and seed. `usage` replaces
+    /// the usage basis (pass the observed per-expert mix for a
+    /// drift-triggered re-placement; `None` keeps the current basis) —
+    /// the version is bumped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alive` disagrees with the node count, marks no node
+    /// alive, or `usage` has the wrong length.
+    #[must_use]
+    pub fn replanned(
+        &self,
+        model: &CoeModel,
+        alive: &[bool],
+        usage: Option<Vec<f64>>,
+    ) -> PlacementPlan {
+        assert_eq!(alive.len(), self.num_nodes(), "alive mask/node mismatch");
+        let (by_usage, usage) = match usage {
+            Some(u) => {
+                assert_eq!(u.len(), self.usage.len(), "usage basis length mismatch");
+                (order_by_usage(&u), u)
+            }
+            None => (self.by_usage.clone(), self.usage.clone()),
+        };
+        let placed = place(
+            model,
+            self.strategy,
+            self.seed,
+            self.num_nodes(),
+            alive,
+            &by_usage,
+            &usage,
+        );
+        assemble(
+            self.strategy,
+            self.seed,
+            self.version + 1,
+            placed,
+            by_usage,
+            usage,
+            model,
+        )
+    }
+
+    /// Assembles a successor (version + 1) around new placement sets,
+    /// keeping the current usage basis.
+    fn successor(&self, model: &CoeModel, placed: Vec<BTreeSet<ExpertId>>) -> PlacementPlan {
+        assemble(
+            self.strategy,
+            self.seed,
+            self.version + 1,
+            placed,
+            self.by_usage.clone(),
+            self.usage.clone(),
+            model,
+        )
+    }
+}
+
+/// One expert copy the fabric must ship to realize a new plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpertMove {
+    /// The expert being copied.
+    pub expert: ExpertId,
+    /// The node gaining the copy.
+    pub to: usize,
+    /// The live node donating the copy (lowest-indexed live holder
+    /// under the old plan), or `None` when no live replica survives —
+    /// the copy must be reloaded from the node's own checkpoint store.
+    pub from: Option<usize>,
+}
+
+/// The delta between two plan versions: every expert copy some node
+/// gains, with total checkpoint traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The copies to ship, in (node, expert) order.
+    pub moves: Vec<ExpertMove>,
+    /// Total checkpoint bytes across all moves.
+    pub bytes: Bytes,
+}
+
+impl MigrationPlan {
+    /// Number of expert copies to ship.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the two plans agree on every live node.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Diffs two plan versions into the expert copies each live node gains
+/// under `new` (placements lost by dead nodes cost nothing — the data
+/// is gone, not moved). Each move's source is the lowest-indexed live
+/// holder under `old`, or `None` when the old replicas all died.
+///
+/// # Panics
+///
+/// Panics when the plans or the alive mask disagree on the node count.
+#[must_use]
+pub fn migration_plan(
+    old: &PlacementPlan,
+    new: &PlacementPlan,
+    model: &CoeModel,
+    alive: &[bool],
+) -> MigrationPlan {
+    assert_eq!(old.num_nodes(), new.num_nodes(), "plan size mismatch");
+    assert_eq!(alive.len(), new.num_nodes(), "alive mask/plan mismatch");
+    let mut moves = Vec::new();
+    let mut bytes = Bytes::ZERO;
+    for node in 0..new.num_nodes() {
+        if !alive[node] {
+            continue;
+        }
+        for &expert in new.placed_on(node) {
+            if old.is_placed(node, expert) {
+                continue;
+            }
+            let from = old.holders(expert).iter().copied().find(|&h| alive[h]);
+            moves.push(ExpertMove {
+                expert,
+                to: node,
+                from,
+            });
+            bytes += model.weight_bytes(expert);
+        }
+    }
+    MigrationPlan { moves, bytes }
 }
 
 /// Plans expert placement for `nodes` nodes.
@@ -182,65 +415,141 @@ pub fn plan_placement(
         model.num_experts(),
         "perf matrix must cover the model"
     );
-    let by_usage = perf.experts_by_usage();
+    let by_usage = perf.experts_by_usage().to_vec();
+    let usage: Vec<f64> = (0..model.num_experts() as u32)
+        .map(|i| perf.usage_prob(ExpertId(i)))
+        .collect();
+    // Only Random consumes the seed; normalize it away otherwise so
+    // plans that cannot depend on it also compare equal across seeds.
+    let seed = if strategy == PlacementStrategy::Random {
+        seed
+    } else {
+        0
+    };
+    let alive = vec![true; nodes];
+    let placed = place(model, strategy, seed, nodes, &alive, &by_usage, &usage);
+    assemble(strategy, seed, 0, placed, by_usage, usage, model)
+}
+
+/// Expert ids by descending usage probability, ties broken by ascending
+/// id — the same order [`PerfMatrix::experts_by_usage`] memoizes.
+fn order_by_usage(usage: &[f64]) -> Vec<ExpertId> {
+    let mut ids: Vec<ExpertId> = (0..usage.len() as u32).map(ExpertId).collect();
+    ids.sort_by(|a, b| {
+        usage[b.index()]
+            .partial_cmp(&usage[a.index()])
+            .expect("finite usage")
+            .then(a.cmp(b))
+    });
+    ids
+}
+
+/// Runs one strategy over the live subset of a fleet.
+fn place(
+    model: &CoeModel,
+    strategy: PlacementStrategy,
+    seed: u64,
+    nodes: usize,
+    alive: &[bool],
+    by_usage: &[ExpertId],
+    usage: &[f64],
+) -> Vec<BTreeSet<ExpertId>> {
+    let live: Vec<usize> = (0..nodes).filter(|&n| alive[n]).collect();
+    assert!(!live.is_empty(), "placement needs at least one live node");
     let mut placed: Vec<BTreeSet<ExpertId>> = vec![BTreeSet::new(); nodes];
 
     match strategy {
         PlacementStrategy::Replicated => {
-            for node in &mut placed {
-                node.extend(by_usage.iter().copied());
+            for &node in &live {
+                placed[node].extend(by_usage.iter().copied());
             }
         }
         PlacementStrategy::Sharded => {
             for (i, &e) in by_usage.iter().enumerate() {
-                placed[i % nodes].insert(e);
+                placed[live[i % live.len()]].insert(e);
             }
         }
         PlacementStrategy::Random => {
             let mut rng = SimRng::seed_from(seed);
             for &e in by_usage {
-                placed[rng.next_below(nodes as u64) as usize].insert(e);
+                placed[live[rng.next_below(live.len() as u64) as usize]].insert(e);
             }
         }
         PlacementStrategy::UsageAware => {
-            // Hot head: the smallest usage-CDF prefix covering
-            // HOT_COVERAGE of the traffic, replicated everywhere.
-            let cdf = UsageCdf::from_perf(perf);
-            let hot_count = (1..=by_usage.len())
-                .find(|&k| cdf.coverage(k) >= HOT_COVERAGE)
-                .unwrap_or(by_usage.len());
-            let (hot, cold) = by_usage.split_at(hot_count);
-            for node in &mut placed {
-                node.extend(hot.iter().copied());
+            // Hot head: the smallest usage prefix covering HOT_COVERAGE
+            // of the traffic, replicated on every live node. Coverage is
+            // accumulated along the descending-usage order, normalized
+            // by the total mass (exactly the usage-CDF curve).
+            let total: f64 = by_usage.iter().map(|e| usage[e.index()]).sum();
+            let mut acc = 0.0;
+            let mut hot_count = by_usage.len();
+            for (k, &e) in by_usage.iter().enumerate() {
+                acc += usage[e.index()];
+                let coverage = if total > 0.0 { acc / total } else { 0.0 };
+                if coverage >= HOT_COVERAGE {
+                    hot_count = k + 1;
+                    break;
+                }
             }
-            // Cold tail: walk in descending usage; prefer the node
-            // already holding the most dependency-graph neighbours
-            // (preliminaries and subsequents), so expert chains stay
-            // local; tie-break by fewest placed bytes, then index.
-            let graph = model.graph();
+            let (hot, cold) = by_usage.split_at(hot_count);
+            for &node in &live {
+                placed[node].extend(hot.iter().copied());
+            }
+            // Cold tail: walk in descending usage, placing each expert
+            // on the best live host under the shared locality
+            // heuristic.
             let mut cold_bytes = vec![Bytes::ZERO; nodes];
             for &e in cold {
-                let neighbours: BTreeSet<ExpertId> = graph
-                    .preliminaries_of(e)
-                    .iter()
-                    .chain(graph.subsequents_of(e))
-                    .copied()
-                    .collect();
-                let best = (0..nodes)
-                    .map(|n| {
-                        let local = neighbours.iter().filter(|x| placed[n].contains(x)).count();
-                        // Max locality, then min bytes, then min index.
-                        (std::cmp::Reverse(local), cold_bytes[n], n)
-                    })
-                    .min()
-                    .expect("at least one node")
-                    .2;
+                let best = best_host(model, &placed, &cold_bytes, &live, e);
                 placed[best].insert(e);
                 cold_bytes[best] += model.weight_bytes(e);
             }
         }
     }
+    placed
+}
 
+/// The live node best suited to host `expert` next: the one already
+/// holding the most of its dependency-graph neighbours (preliminaries
+/// and subsequents), so expert chains stay local; ties broken by
+/// fewest accumulated `bytes`, then lowest index. Shared by the
+/// cold-tail planner and failure rehosting — the two must stay
+/// byte-for-byte equivalent.
+fn best_host(
+    model: &CoeModel,
+    placed: &[BTreeSet<ExpertId>],
+    bytes: &[Bytes],
+    live: &[usize],
+    expert: ExpertId,
+) -> usize {
+    let graph = model.graph();
+    let neighbours: BTreeSet<ExpertId> = graph
+        .preliminaries_of(expert)
+        .iter()
+        .chain(graph.subsequents_of(expert))
+        .copied()
+        .collect();
+    live.iter()
+        .map(|&n| {
+            let local = neighbours.iter().filter(|x| placed[n].contains(x)).count();
+            (std::cmp::Reverse(local), bytes[n], n)
+        })
+        .min()
+        .expect("at least one live node")
+        .2
+}
+
+/// Derives the preload orders, byte totals and holders index from
+/// placement sets and packages the plan.
+fn assemble(
+    strategy: PlacementStrategy,
+    seed: u64,
+    version: u64,
+    placed: Vec<BTreeSet<ExpertId>>,
+    by_usage: Vec<ExpertId>,
+    usage: Vec<f64>,
+    model: &CoeModel,
+) -> PlacementPlan {
     let preload: Vec<Vec<ExpertId>> = placed
         .iter()
         .map(|mine| {
@@ -257,12 +566,22 @@ pub fn plan_placement(
         .iter()
         .map(|mine| mine.iter().map(|&e| model.weight_bytes(e)).sum())
         .collect();
-
+    let mut holders: Vec<Vec<usize>> = vec![Vec::new(); usage.len()];
+    for (node, mine) in placed.iter().enumerate() {
+        for e in mine {
+            holders[e.index()].push(node);
+        }
+    }
     PlacementPlan {
         strategy,
+        seed,
+        version,
         placed,
+        holders,
         preload,
         placed_bytes,
+        by_usage,
+        usage,
     }
 }
 
@@ -287,6 +606,7 @@ mod tests {
         for strategy in PlacementStrategy::ALL {
             let plan = plan_placement(&model, &perf, 4, strategy, 7);
             assert_eq!(plan.num_nodes(), 4);
+            assert_eq!(plan.version(), 0);
             for i in 0..model.num_experts() as u32 {
                 assert!(
                     !plan.holders(ExpertId(i)).is_empty(),
@@ -301,6 +621,18 @@ mod tests {
                 order.dedup();
                 assert_eq!(order.len(), model.num_experts());
             }
+        }
+    }
+
+    #[test]
+    fn holders_index_matches_placement_sets() {
+        let (model, perf) = setup();
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        for i in 0..model.num_experts() as u32 {
+            let e = ExpertId(i);
+            let scanned: Vec<usize> = (0..4).filter(|&n| plan.is_placed(n, e)).collect();
+            assert_eq!(plan.holders(e), scanned.as_slice(), "expert {i}");
+            assert!(plan.is_hosted(e, &[true; 4]));
         }
     }
 
@@ -394,10 +726,102 @@ mod tests {
     }
 
     #[test]
+    fn rehosted_rereplicates_exactly_the_orphans() {
+        let (model, perf) = setup();
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        let mut alive = [true; 4];
+        alive[2] = false;
+        let next = plan.rehosted(&model, &alive);
+        assert_eq!(next.version(), 1);
+        assert!(next.placed_on(2).is_empty(), "dead node keeps nothing");
+        for i in 0..model.num_experts() as u32 {
+            let e = ExpertId(i);
+            assert!(next.is_hosted(e, &alive), "expert {i} orphaned");
+        }
+        // Live nodes never lose a placement.
+        for n in [0usize, 1, 3] {
+            assert!(plan.placed_on(n).is_subset(next.placed_on(n)));
+        }
+        // The delta is exactly the experts that had no live holder.
+        let mig = migration_plan(&plan, &next, &model, &alive);
+        let orphans: Vec<ExpertId> = (0..model.num_experts() as u32)
+            .map(ExpertId)
+            .filter(|&e| !plan.is_hosted(e, &alive))
+            .collect();
+        assert_eq!(mig.len(), orphans.len());
+        assert!(!mig.is_empty(), "node 2 held exclusive cold experts");
+        assert!(mig.bytes > Bytes::ZERO);
+        for mv in &mig.moves {
+            assert!(orphans.contains(&mv.expert));
+            assert!(alive[mv.to]);
+            // Orphans by definition have no surviving donor.
+            assert_eq!(mv.from, None);
+        }
+    }
+
+    #[test]
+    fn replanned_covers_survivors_and_migration_names_live_sources() {
+        let (model, perf) = setup();
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        let mut alive = [true; 4];
+        alive[0] = false;
+        let killed = plan.rehosted(&model, &alive);
+        // Revive node 0 and rebalance back onto the full fleet.
+        let alive = [true; 4];
+        let revived = killed.replanned(&model, &alive, None);
+        assert_eq!(revived.version(), 2);
+        for i in 0..model.num_experts() as u32 {
+            assert!(revived.is_hosted(ExpertId(i), &alive));
+        }
+        // The revived node starts empty under `killed`, so every expert
+        // it gains must be migrated — from a live donor, since every
+        // expert kept a live replica.
+        let mig = migration_plan(&killed, &revived, &model, &alive);
+        let gains = revived
+            .placed_on(0)
+            .iter()
+            .filter(|e| !killed.is_placed(0, **e))
+            .count();
+        assert!(gains > 0);
+        assert!(mig.len() >= gains);
+        for mv in &mig.moves {
+            assert!(mv.from.is_some(), "live replicas must donate");
+            assert_ne!(mv.from, Some(mv.to));
+        }
+    }
+
+    #[test]
+    fn replanned_with_observed_usage_changes_the_hot_head() {
+        let (model, perf) = setup();
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::UsageAware, 7);
+        // Invert the usage basis: the declared-coldest expert becomes
+        // the hottest observed one.
+        let n = model.num_experts();
+        let observed: Vec<f64> = (0..n).map(|i| (i + 1) as f64 / n as f64).collect();
+        let drifted = plan.replanned(&model, &[true; 4], Some(observed.clone()));
+        assert_eq!(drifted.usage_basis(), observed.as_slice());
+        let hottest = ExpertId(n as u32 - 1);
+        assert_eq!(
+            drifted.holders(hottest).len(),
+            4,
+            "observed-hottest expert must be replicated everywhere"
+        );
+        assert_ne!(plan, drifted.clone());
+    }
+
+    #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         let (model, perf) = setup();
         let _ = plan_placement(&model, &perf, 0, PlacementStrategy::Sharded, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "live node")]
+    fn rehosting_a_fully_dead_fleet_panics() {
+        let (model, perf) = setup();
+        let plan = plan_placement(&model, &perf, 2, PlacementStrategy::Sharded, 7);
+        let _ = plan.rehosted(&model, &[false, false]);
     }
 
     #[test]
@@ -406,5 +830,69 @@ mod tests {
         assert_eq!(PlacementStrategy::Replicated.to_string(), "replicated");
         assert_eq!(PlacementStrategy::Sharded.to_string(), "sharded");
         assert_eq!(PlacementStrategy::Random.to_string(), "random");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use coserve_core::profiler::{Profiler, UsageSource};
+    use coserve_model::devices;
+    use coserve_workload::board::BoardSpec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Any kill/re-replicate/revive sequence conserves experts: as
+        /// long as one node survives, every expert keeps a live holder.
+        #[test]
+        fn migration_conserves_experts(
+            seed in 0u64..1_000,
+            nodes in 2usize..6,
+            steps in 1usize..8,
+        ) {
+            let board = BoardSpec::synthetic("conserve", 30, 3, 1.2, 30.0, 0.5);
+            let model = board.build_model().unwrap();
+            let device = devices::numa_rtx3080ti();
+            let perf = Profiler::with_defaults()
+                .profile(&device, &model, UsageSource::Declared);
+            let strategy =
+                PlacementStrategy::ALL[(seed % 4) as usize];
+            let mut plan = plan_placement(&model, &perf, nodes, strategy, seed);
+            let mut alive = vec![true; nodes];
+            let mut rng = coserve_sim::rng::SimRng::seed_from(seed ^ 0xfee1);
+            for step in 0..steps {
+                let node = rng.next_below(nodes as u64) as usize;
+                if alive[node] {
+                    // Never kill the last live node.
+                    if alive.iter().filter(|&&a| a).count() == 1 {
+                        continue;
+                    }
+                    alive[node] = false;
+                    let next = plan.rehosted(&model, &alive);
+                    let mig = migration_plan(&plan, &next, &model, &alive);
+                    // Moves land on live nodes only.
+                    prop_assert!(mig.moves.iter().all(|m| alive[m.to]));
+                    plan = next;
+                } else {
+                    alive[node] = true;
+                    plan = plan.replanned(&model, &alive, None);
+                }
+                prop_assert_eq!(plan.version(), step as u64 + 1);
+                for i in 0..model.num_experts() as u32 {
+                    prop_assert!(
+                        plan.is_hosted(ExpertId(i), &alive),
+                        "expert {} unhosted after step {} (strategy {})",
+                        i, step, strategy
+                    );
+                }
+                // Dead nodes hold nothing.
+                for (n, &a) in alive.iter().enumerate() {
+                    if !a {
+                        prop_assert!(plan.placed_on(n).is_empty());
+                    }
+                }
+            }
+        }
     }
 }

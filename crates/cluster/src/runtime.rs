@@ -1,0 +1,906 @@
+//! The event-driven cluster runtime.
+//!
+//! PR 3's cluster layer planned placement once and dispatched open-loop
+//! — "plan once, dispatch forever". This module turns that into a
+//! **control loop**: the run is divided into control *ticks*, and the
+//! runtime interleaves dispatch with periodic control actions:
+//!
+//! * **telemetry feedback** — at every tick boundary each node's engine
+//!   run reports what actually happened (finish time, busy time,
+//!   admitted/dropped counts); under
+//!   [`FeedbackMode::Corrected`](crate::dispatch::FeedbackMode) the
+//!   [`Dispatcher`] folds those observations back into its work-left
+//!   estimates instead of letting open-loop prediction error accumulate;
+//! * **failure injection** — a [`FailureSchedule`] kills and revives
+//!   nodes mid-run. On a kill, the dying node's not-yet-served requests
+//!   are pulled back and re-routed to survivors, and (unless the
+//!   re-placement policy is [`ReplacementPolicy::Static`]) the planner
+//!   derives a successor [`PlacementPlan`] that re-replicates the dead
+//!   node's orphaned shard, shipping the [`migration_plan`] delta over
+//!   the *same fabric links requests use*;
+//! * **online re-placement** — under [`ReplacementPolicy::Drift`] the
+//!   runtime tracks the observed expert mix and, when it diverges from
+//!   the plan's usage basis beyond a threshold, re-plans from the
+//!   observed usage and migrates the delta.
+//!
+//! Work is quantized at tick granularity: each tick's routed requests
+//! are served to completion by the per-node engines (an engine run *is*
+//! the node's simulation of that slice), and the next tick's routing
+//! sees the resulting telemetry. A kill mid-tick pulls back the dying
+//! node's entire un-flushed buffer — the node only starts a tick's
+//! work at the tick boundary, so that buffer is exactly the in-flight
+//! work — and re-routes it to survivors with arrivals floored at the
+//! failure instant; work served in earlier ticks already drained.
+//!
+//! Everything stays deterministic bit for bit: the failure schedule,
+//! migrations and feedback are all pure functions of the inputs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use coserve_core::config::{AdmissionControl, SystemConfig};
+use coserve_metrics::cluster::{ClusterReport, FailureRecord, FleetDynamics, TickStat};
+use coserve_metrics::report::RunReport;
+use coserve_metrics::stats::Summary;
+use coserve_model::expert::ExpertId;
+use coserve_sim::network::NodeId;
+use coserve_sim::time::{SimSpan, SimTime};
+use coserve_sim::transfer::TransferRoute;
+use coserve_workload::stream::{Job, JobId, RequestStream};
+
+use crate::dispatch::{Dispatcher, FeedbackMode, NodeLoadModel, Routing};
+use crate::placement::{migration_plan, MigrationPlan, PlacementPlan};
+use crate::ClusterSystem;
+
+/// Whether a scheduled failure event kills or revives its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// The node dies: its buffered work re-routes, its shard orphans.
+    Kill,
+    /// The node comes back empty (its pools and shard must be refilled
+    /// by re-placement).
+    Revive,
+}
+
+/// One scheduled kill or revive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The node it targets.
+    pub node: usize,
+    /// Kill or revive.
+    pub kind: FailureKind,
+}
+
+/// A deterministic mid-run failure script: kills and revives applied at
+/// fixed simulation times, in time order (ties: node, then kill before
+/// revive).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// An empty schedule (no failures).
+    #[must_use]
+    pub fn new() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// Schedules `node` to die at `at`.
+    #[must_use]
+    pub fn kill(mut self, node: usize, at: SimTime) -> Self {
+        self.events.push(FailureEvent {
+            at,
+            node,
+            kind: FailureKind::Kill,
+        });
+        self.sort();
+        self
+    }
+
+    /// Schedules `node` to come back at `at`.
+    #[must_use]
+    pub fn revive(mut self, node: usize, at: SimTime) -> Self {
+        self.events.push(FailureEvent {
+            at,
+            node,
+            kind: FailureKind::Revive,
+        });
+        self.sort();
+        self
+    }
+
+    fn sort(&mut self) {
+        self.events.sort_by_key(|e| (e.at, e.node, e.kind));
+    }
+
+    /// The events in firing order.
+    #[must_use]
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The largest node index any event names.
+    #[must_use]
+    pub fn max_node(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.node).max()
+    }
+}
+
+/// How the runtime re-plans placement while the fleet changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplacementPolicy {
+    /// Never touch the offline plan: a dead node's shard stays orphaned
+    /// and requests needing it are rejected (the paper's static
+    /// baseline under failures).
+    Static,
+    /// Re-replicate a dead node's orphans onto survivors and rebalance
+    /// onto revived nodes; no drift tracking.
+    OnFailure,
+    /// [`ReplacementPolicy::OnFailure`] plus drift-triggered
+    /// re-placement: when the observed expert mix diverges from the
+    /// plan's usage basis by more than `threshold` (total-variation
+    /// distance in `[0, 1]`), re-plan from the observed usage.
+    Drift {
+        /// Total-variation distance that triggers a re-plan.
+        threshold: f64,
+    },
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplacementPolicy::Static => write!(f, "static"),
+            ReplacementPolicy::OnFailure => write!(f, "re-replicate"),
+            ReplacementPolicy::Drift { threshold } => write!(f, "drift({threshold})"),
+        }
+    }
+}
+
+/// Minimum observed stages before a drift re-plan may trigger — fewer
+/// samples would chase sampling noise, not real drift.
+const DRIFT_MIN_SAMPLES: u64 = 64;
+
+/// Options for one [`ClusterSystem::serve_runtime`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeOptions {
+    /// Control-tick length; `None` runs a single tick spanning the
+    /// whole stream (the one-shot behaviour of
+    /// [`ClusterSystem::serve`], with no feedback opportunities).
+    pub tick: Option<SimSpan>,
+    /// Mid-run kills and revives.
+    pub failures: FailureSchedule,
+    /// How placement reacts to failures and drift.
+    pub replacement: ReplacementPolicy,
+    /// Whether dispatch estimates stay open-loop or are corrected from
+    /// node telemetry at every tick.
+    pub feedback: FeedbackMode,
+    /// The latency SLO the per-tick attainment accounting scores
+    /// against.
+    pub slo: SimSpan,
+    /// Per-node online overrides (admission bound, grouping starvation
+    /// bound), as in [`ClusterSystem::serve_with_online`].
+    pub online: Option<(AdmissionControl, u32)>,
+}
+
+impl Default for RuntimeOptions {
+    /// One-shot: a single tick, no failures, failure-reactive
+    /// re-placement armed (it never fires without failures), open-loop
+    /// estimates, a 250 ms SLO and no online overrides.
+    fn default() -> Self {
+        RuntimeOptions {
+            tick: None,
+            failures: FailureSchedule::new(),
+            replacement: ReplacementPolicy::OnFailure,
+            feedback: FeedbackMode::OpenLoop,
+            slo: SimSpan::from_millis(250),
+            online: None,
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// Replaces the control-tick length.
+    #[must_use]
+    pub fn tick(mut self, tick: SimSpan) -> Self {
+        self.tick = Some(tick);
+        self
+    }
+
+    /// Replaces the failure schedule.
+    #[must_use]
+    pub fn failures(mut self, failures: FailureSchedule) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Replaces the re-placement policy.
+    #[must_use]
+    pub fn replacement(mut self, replacement: ReplacementPolicy) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Replaces the feedback mode.
+    #[must_use]
+    pub fn feedback(mut self, feedback: FeedbackMode) -> Self {
+        self.feedback = feedback;
+        self
+    }
+
+    /// Replaces the SLO.
+    #[must_use]
+    pub fn slo(mut self, slo: SimSpan) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Replaces the online overrides.
+    #[must_use]
+    pub fn online(mut self, admission: AdmissionControl, max_overtake: u32) -> Self {
+        self.online = Some((admission, max_overtake));
+        self
+    }
+}
+
+impl ClusterSystem {
+    /// Serves `stream` through the dynamic cluster runtime: tick-driven
+    /// dispatch with telemetry feedback, failure injection with
+    /// re-routing and re-replication, and drift-triggered re-placement,
+    /// all per `options`. [`ClusterSystem::serve`] and
+    /// [`ClusterSystem::serve_with_online`] are this with
+    /// [`RuntimeOptions::default`] (single tick, no failures).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the failure schedule names a node outside the fleet
+    /// or a tick of zero length is supplied.
+    #[must_use]
+    pub fn serve_runtime(&self, stream: &RequestStream, options: &RuntimeOptions) -> ClusterReport {
+        if let Some(max) = options.failures.max_node() {
+            assert!(
+                max < self.num_nodes(),
+                "failure schedule names node {max} of a {}-node fleet",
+                self.num_nodes()
+            );
+        }
+        if let Some(tick) = options.tick {
+            assert!(tick > SimSpan::ZERO, "control tick must be positive");
+        }
+        let mut runtime = Runtime::new(self, options);
+        runtime.run(stream)
+    }
+}
+
+/// The mutable state of one runtime run.
+struct Runtime<'a> {
+    sys: &'a ClusterSystem,
+    options: &'a RuntimeOptions,
+    loads: Vec<NodeLoadModel<'a>>,
+    configs: Vec<SystemConfig>,
+    dispatcher: Dispatcher,
+    plan: PlacementPlan,
+    alive: Vec<bool>,
+    /// Jobs routed during the current tick, per node.
+    buffers: Vec<Vec<Job>>,
+    /// Per-node reports accumulated across ticks.
+    merged: Vec<Option<RunReport>>,
+    dynamics: FleetDynamics,
+    /// When each recently migrated expert's new copies become usable;
+    /// requests touching one are delayed to its completion.
+    available_at: BTreeMap<ExpertId, SimTime>,
+    /// Observed per-expert stage counts (drift telemetry).
+    observed: Vec<u64>,
+    observed_total: u64,
+    // Per-tick counters.
+    tick_routed: usize,
+    tick_routing_dropped: usize,
+    tick_latencies: Vec<SimSpan>,
+}
+
+impl<'a> Runtime<'a> {
+    fn new(sys: &'a ClusterSystem, options: &'a RuntimeOptions) -> Self {
+        let n = sys.num_nodes();
+        let loads: Vec<NodeLoadModel<'a>> = sys
+            .nodes()
+            .iter()
+            .map(|s| NodeLoadModel {
+                perf: s.perf(),
+                executors: s.config().executors.len(),
+                has_gpu: s.config().gpu_executor_count() > 0,
+            })
+            .collect();
+        let configs: Vec<SystemConfig> = sys
+            .nodes()
+            .iter()
+            .map(|s| {
+                let mut config = s.config().clone();
+                if let Some((admission, max_overtake)) = options.online {
+                    config.admission = Some(admission);
+                    config.max_overtake = Some(max_overtake);
+                }
+                config
+            })
+            .collect();
+        let dispatcher = Dispatcher::new(
+            n,
+            sys.options().route,
+            sys.options().activation_bytes,
+            options.feedback,
+            true,
+        );
+        Runtime {
+            sys,
+            options,
+            loads,
+            configs,
+            dispatcher,
+            plan: sys.plan().clone(),
+            alive: vec![true; n],
+            buffers: vec![Vec::new(); n],
+            merged: (0..n).map(|_| None).collect(),
+            dynamics: FleetDynamics::default(),
+            available_at: BTreeMap::new(),
+            observed: vec![0; sys.model().num_experts()],
+            observed_total: 0,
+            tick_routed: 0,
+            tick_routing_dropped: 0,
+            tick_latencies: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, stream: &RequestStream) -> ClusterReport {
+        let events = self.options.failures.events().to_vec();
+        let jobs = stream.jobs();
+        let (mut ji, mut ev) = (0usize, 0usize);
+        let mut tick_start = SimTime::ZERO;
+        let mut tick_index = 0u32;
+
+        loop {
+            let tick_end = self.options.tick.map(|t| tick_start + t);
+            let in_tick = |at: SimTime| tick_end.is_none_or(|end| at < end);
+
+            while ji < jobs.len() && in_tick(jobs[ji].arrival) {
+                while ev < events.len() && events[ev].at <= jobs[ji].arrival {
+                    self.apply_event(events[ev]);
+                    ev += 1;
+                }
+                let job = &jobs[ji];
+                ji += 1;
+                self.tick_routed += 1;
+                for &e in &job.stages {
+                    self.observed[e.index()] += 1;
+                }
+                self.observed_total += job.stages.len() as u64;
+                self.route(job.clone(), None);
+            }
+            // Events later in the tick fire after its last arrival.
+            while ev < events.len() && in_tick(events[ev].at) {
+                self.apply_event(events[ev]);
+                ev += 1;
+            }
+
+            let flush_end = tick_end.unwrap_or_else(|| stream.last_arrival());
+            self.flush_tick(tick_index, tick_start, flush_end, stream.name());
+            self.maybe_drift_replan(flush_end);
+            tick_index += 1;
+
+            if ji >= jobs.len() {
+                // Buffers are flushed; remaining events only mutate the
+                // plan/alive state and the failure ledger.
+                while ev < events.len() {
+                    self.apply_event(events[ev]);
+                    ev += 1;
+                }
+                break;
+            }
+            tick_start = tick_end.expect("jobs remain only under finite ticks");
+        }
+
+        self.assemble(stream)
+    }
+
+    /// Routes one job (optionally floored to a re-route instant) into a
+    /// node buffer, or records a front-end rejection.
+    fn route(&mut self, mut job: Job, floor: Option<SimTime>) {
+        if !self.alive.iter().any(|&a| a) {
+            self.dynamics.routing_dropped += 1;
+            self.tick_routing_dropped += 1;
+            return;
+        }
+        if let Some(at) = floor {
+            job.arrival = job.arrival.max(at);
+        }
+        match self.dispatcher.route_job(
+            &job,
+            self.sys.model(),
+            &self.plan,
+            self.sys.fabric(),
+            &self.loads,
+            &self.alive,
+        ) {
+            Routing::Routed { node, mut job } => {
+                // A chain touching an in-flight migrated expert waits
+                // for its copy to land.
+                let mut arrival = job.arrival;
+                for e in &job.stages {
+                    if let Some(&ready) = self.available_at.get(e) {
+                        arrival = arrival.max(ready);
+                    }
+                }
+                job.arrival = arrival;
+                self.buffers[node].push(job);
+            }
+            Routing::Unhosted { .. } => {
+                self.dynamics.routing_dropped += 1;
+                self.tick_routing_dropped += 1;
+            }
+        }
+    }
+
+    fn apply_event(&mut self, event: FailureEvent) {
+        match event.kind {
+            FailureKind::Kill => self.kill(event.node, event.at),
+            FailureKind::Revive => self.revive(event.node, event.at),
+        }
+    }
+
+    fn kill(&mut self, node: usize, at: SimTime) {
+        if !self.alive[node] {
+            return;
+        }
+        self.alive[node] = false;
+        // The dispatcher's estimate state for the node dies with it:
+        // its predicted backlog is re-charged to the re-route targets,
+        // and a later revival starts from a clean slate.
+        self.dispatcher.forget_node(node);
+        // Pull back the dying node's not-yet-started work: the per-node
+        // engine only starts a tick's buffer at the flush, so the whole
+        // current buffer is in flight at the front-end but unserved at
+        // the node. Re-routed arrivals are floored at the failure
+        // instant (the re-route cannot happen before the failure is
+        // observed).
+        let pulled: Vec<Job> = self.buffers[node].drain(..).collect();
+        // Re-replicate the orphaned shard before re-routing, so pulled
+        // requests whose experts lived only here stay servable.
+        let recovered_at = if self.replaces() && self.alive.iter().any(|&a| a) {
+            let next = self.plan.rehosted(self.sys.model(), &self.alive);
+            let migration = migration_plan(&self.plan, &next, self.sys.model(), &self.alive);
+            let done = self.migrate(&migration, next.version(), at);
+            self.plan = next;
+            Some(done)
+        } else {
+            None
+        };
+        self.dynamics.failures.push(FailureRecord {
+            node,
+            failed_at: at,
+            recovered_at,
+            revived_at: None,
+        });
+        self.dynamics.rerouted += pulled.len() as u64;
+        for job in pulled {
+            self.route(job, Some(at));
+        }
+    }
+
+    fn revive(&mut self, node: usize, at: SimTime) {
+        if self.alive[node] {
+            return;
+        }
+        self.alive[node] = true;
+        if self.replaces() {
+            // The node comes back empty: rebalance the layout onto the
+            // restored fleet and ship it its share.
+            let next = self.plan.replanned(self.sys.model(), &self.alive, None);
+            let migration = migration_plan(&self.plan, &next, self.sys.model(), &self.alive);
+            let _ = self.migrate(&migration, next.version(), at);
+            self.plan = next;
+        }
+        if let Some(record) = self
+            .dynamics
+            .failures
+            .iter_mut()
+            .rev()
+            .find(|r| r.node == node && r.revived_at.is_none())
+        {
+            record.revived_at = Some(at);
+        }
+    }
+
+    fn replaces(&self) -> bool {
+        self.options.replacement != ReplacementPolicy::Static
+    }
+
+    /// Charges a migration's expert copies — fabric transfers from live
+    /// donors, local checkpoint reloads when none survives — and
+    /// returns when the last copy lands.
+    fn migrate(&mut self, migration: &MigrationPlan, new_version: u64, at: SimTime) -> SimTime {
+        let mut done_latest = at;
+        for mv in &migration.moves {
+            let bytes = self.sys.model().weight_bytes(mv.expert);
+            let duration = match mv.from {
+                Some(from) => {
+                    self.dynamics.migration_hops += 1;
+                    self.sys
+                        .fabric()
+                        .transfer_duration(bytes, NodeId(from), NodeId(mv.to))
+                }
+                None => self.sys.nodes()[mv.to]
+                    .device()
+                    .transfer_duration(bytes, TransferRoute::SsdToCpu),
+            };
+            let done = at + duration;
+            done_latest = done_latest.max(done);
+            self.dynamics.migrations += 1;
+            self.dynamics.migration_bytes += bytes;
+            self.dynamics.migration_time_total += duration;
+            // Replacement traffic competes with serving: the receiver
+            // is busier, and chains touching the expert wait for it.
+            self.dispatcher.add_busy(mv.to, at, duration);
+            let ready = self.available_at.entry(mv.expert).or_insert(done);
+            *ready = (*ready).max(done);
+        }
+        self.dynamics.plan_versions = new_version;
+        done_latest
+    }
+
+    fn maybe_drift_replan(&mut self, now: SimTime) {
+        let ReplacementPolicy::Drift { threshold } = self.options.replacement else {
+            return;
+        };
+        if self.observed_total < DRIFT_MIN_SAMPLES {
+            return;
+        }
+        let basis = self.plan.usage_basis();
+        let basis_total: f64 = basis.iter().sum();
+        if basis_total <= 0.0 {
+            return;
+        }
+        let total = self.observed_total as f64;
+        let distance: f64 = 0.5
+            * self
+                .observed
+                .iter()
+                .zip(basis)
+                .map(|(&c, &b)| (c as f64 / total - b / basis_total).abs())
+                .sum::<f64>();
+        if distance <= threshold {
+            return;
+        }
+        let observed: Vec<f64> = self.observed.iter().map(|&c| c as f64 / total).collect();
+        let next = self
+            .plan
+            .replanned(self.sys.model(), &self.alive, Some(observed));
+        let migration = migration_plan(&self.plan, &next, self.sys.model(), &self.alive);
+        let _ = self.migrate(&migration, next.version(), now);
+        self.plan = next;
+    }
+
+    /// Runs every node's engine over its tick buffer, feeds the
+    /// telemetry back and appends the tick to the timeline.
+    fn flush_tick(&mut self, index: u32, start: SimTime, end: SimTime, stream_name: &str) {
+        let mut completed = 0usize;
+        let mut dropped = self.tick_routing_dropped;
+        let mut slo_met = 0usize;
+        self.tick_latencies.clear();
+        for node in 0..self.buffers.len() {
+            if self.buffers[node].is_empty() {
+                continue;
+            }
+            let mut jobs = std::mem::take(&mut self.buffers[node]);
+            // Fabric delays can reorder arrivals; restore the
+            // non-decreasing order per node and re-densify ids.
+            jobs.sort_by_key(|j| j.arrival);
+            for (k, job) in jobs.iter_mut().enumerate() {
+                job.id = JobId(k as u32);
+            }
+            let name = format!("{} @ {}", stream_name, self.sys.node_names()[node]);
+            let node_stream = RequestStream::from_jobs(name, jobs);
+            let report = self.sys.nodes()[node]
+                .serve_configured(&node_stream, &self.configs[node])
+                .expect("validated at cluster construction");
+            let finish = SimTime::ZERO + report.makespan;
+            self.dispatcher.observe(
+                node,
+                finish,
+                report.exec_time_total + report.switch_time_total,
+            );
+            completed += report.completed;
+            dropped += report.dropped;
+            slo_met += report
+                .job_latencies
+                .iter()
+                .filter(|&&l| l <= self.options.slo)
+                .count();
+            self.tick_latencies.extend(report.job_latencies.iter());
+            match &mut self.merged[node] {
+                Some(merged) => merged.absorb(report),
+                None => self.merged[node] = Some(report),
+            }
+        }
+        if self.tick_routed > 0 || completed > 0 || dropped > 0 {
+            self.dynamics.ticks.push(TickStat {
+                index,
+                start,
+                end,
+                routed: self.tick_routed,
+                completed,
+                dropped,
+                slo_met,
+                p95_ms: Summary::of_spans(&self.tick_latencies).map(|s| s.p95),
+            });
+        }
+        self.tick_routed = 0;
+        self.tick_routing_dropped = 0;
+        // Migration clocks older than this tick can no longer delay
+        // anything (arrivals only move forward).
+        self.available_at.retain(|_, &mut ready| ready > end);
+    }
+
+    fn assemble(&mut self, stream: &RequestStream) -> ClusterReport {
+        let reports: Vec<RunReport> = self
+            .merged
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.take().unwrap_or_else(|| {
+                    // Routed nothing here (possible under residency-
+                    // first routing of a tiny stream, or a node dead
+                    // from the start): a zero report.
+                    let system = &self.sys.nodes()[i];
+                    RunReport::empty(
+                        system.config().name.clone(),
+                        system.device().name(),
+                        format!("{} @ {}", stream.name(), self.sys.node_names()[i]),
+                    )
+                })
+            })
+            .collect();
+        let feedback = match self.options.feedback {
+            FeedbackMode::OpenLoop => String::new(),
+            FeedbackMode::Corrected => ", feedback".to_string(),
+        };
+        let system_name = format!(
+            "{} ×{} ({}, {}{})",
+            self.sys.nodes()[0].config().name,
+            self.sys.num_nodes(),
+            self.plan.strategy(),
+            self.sys.options().route,
+            feedback,
+        );
+        let mut report = ClusterReport::merge(
+            system_name,
+            stream.name(),
+            reports,
+            self.dispatcher.cross_node_hops(),
+            self.dispatcher.fabric_time_total(),
+        );
+        // Front-end rejections never reached a node: account for them
+        // at the fleet level so conservation still holds.
+        report.submitted += self.dynamics.routing_dropped;
+        report.dropped += self.dynamics.routing_dropped;
+        self.dynamics.estimate_error_ms = self.dispatcher.estimate_error_ms();
+        report.dynamics = std::mem::take(&mut self.dynamics);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterOptions, PlacementStrategy};
+    use coserve_core::presets;
+    use coserve_model::devices;
+    use coserve_sim::network::LinkProfile;
+    use coserve_workload::task::TaskSpec;
+
+    fn fleet(n: usize) -> (ClusterSystem, RequestStream) {
+        let task = TaskSpec::a1().scaled(0.08); // 200 requests
+        let model = task.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let cluster = ClusterSystem::homogeneous(
+            n,
+            &device,
+            &presets::coserve(&device),
+            &model,
+            LinkProfile::ethernet_10g(),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        let stream = task.stream(cluster.model());
+        (cluster, stream)
+    }
+
+    fn mid(stream: &RequestStream) -> SimTime {
+        SimTime::ZERO
+            + SimSpan::from_millis_f64(
+                stream
+                    .last_arrival()
+                    .saturating_since(SimTime::ZERO)
+                    .as_millis_f64()
+                    / 2.0,
+            )
+    }
+
+    #[test]
+    fn one_shot_runtime_matches_plain_serve() {
+        let (cluster, stream) = fleet(3);
+        let via_runtime = cluster.serve_runtime(&stream, &RuntimeOptions::default());
+        let plain = cluster.serve(&stream);
+        assert_eq!(via_runtime, plain);
+        assert_eq!(plain.dynamics.ticks.len(), 1);
+        assert_eq!(plain.dynamics.migrations, 0);
+        assert_eq!(plain.dynamics.plan_versions, 0);
+    }
+
+    #[test]
+    fn ticked_open_loop_routes_identically_to_one_shot() {
+        let (cluster, stream) = fleet(3);
+        let one_shot = cluster.serve_runtime(&stream, &RuntimeOptions::default());
+        let ticked = cluster.serve_runtime(
+            &stream,
+            &RuntimeOptions::default().tick(SimSpan::from_millis(120)),
+        );
+        // Open-loop estimates accumulate identically across tick
+        // boundaries, so the routing (and the fabric charges) match;
+        // only the per-tick engine slicing differs.
+        assert_eq!(one_shot.cross_node_hops, ticked.cross_node_hops);
+        assert_eq!(one_shot.fabric_time_total, ticked.fabric_time_total);
+        assert_eq!(one_shot.submitted, ticked.submitted);
+        assert!(ticked.dynamics.ticks.len() > 1);
+        assert!(ticked.dynamics.estimate_error_ms.is_some());
+    }
+
+    #[test]
+    fn kill_rereplicates_and_conserves_jobs() {
+        let (cluster, stream) = fleet(4);
+        let at = mid(&stream);
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(60))
+            .failures(FailureSchedule::new().kill(1, at));
+        let report = cluster.serve_runtime(&stream, &options);
+        assert_eq!(
+            report.completed + report.failed + report.dropped,
+            report.submitted
+        );
+        assert_eq!(report.dynamics.failures.len(), 1);
+        let failure = report.dynamics.failures[0];
+        assert_eq!(failure.node, 1);
+        assert_eq!(failure.failed_at, at);
+        let recovery = report.recovery_time().expect("re-replication recovers");
+        assert!(recovery > SimSpan::ZERO);
+        assert!(!report.has_unrecovered_failure());
+        assert!(report.dynamics.migrations > 0);
+        assert!(report.dynamics.migration_bytes > coserve_sim::memory::Bytes::ZERO);
+        assert!(report.dynamics.plan_versions >= 1);
+        assert_eq!(
+            report.dynamics.routing_dropped, 0,
+            "recovered fleet serves all"
+        );
+    }
+
+    #[test]
+    fn static_placement_drops_orphaned_chains_forever() {
+        let (cluster, stream) = fleet(4);
+        let at = mid(&stream);
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(60))
+            .failures(FailureSchedule::new().kill(1, at))
+            .replacement(ReplacementPolicy::Static);
+        let report = cluster.serve_runtime(&stream, &options);
+        assert!(report.has_unrecovered_failure());
+        assert_eq!(report.recovery_time(), None);
+        assert!(
+            report.dynamics.routing_dropped > 0,
+            "orphaned shard must reject chains"
+        );
+        assert_eq!(report.dynamics.migrations, 0);
+        assert_eq!(
+            report.completed + report.failed + report.dropped,
+            report.submitted
+        );
+    }
+
+    #[test]
+    fn kill_and_revival_round_trip_is_deterministic() {
+        let (cluster, stream) = fleet(4);
+        let at = mid(&stream);
+        let back = at + SimSpan::from_millis(40);
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(50))
+            .failures(FailureSchedule::new().kill(2, at).revive(2, back))
+            .feedback(FeedbackMode::Corrected);
+        let a = cluster.serve_runtime(&stream, &options);
+        let b = cluster.serve_runtime(&stream, &options);
+        assert_eq!(a, b);
+        let failure = a.dynamics.failures[0];
+        assert_eq!(failure.revived_at, Some(back));
+        assert!(failure.recovered_at.is_some());
+        // The revived node is rebalanced back into service.
+        assert!(a.dynamics.plan_versions >= 2);
+    }
+
+    #[test]
+    fn drift_policy_replans_from_observed_usage() {
+        let task = TaskSpec::a1().scaled(0.08);
+        let model = task.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let cluster = ClusterSystem::homogeneous(
+            3,
+            &device,
+            &presets::coserve(&device),
+            &model,
+            LinkProfile::ethernet_10g(),
+            ClusterOptions::default().placement(PlacementStrategy::UsageAware),
+        )
+        .unwrap();
+        // A drifted stream: the same model, but classes drawn from a
+        // rotated quantity profile, so cold experts run hot.
+        let board = task.board();
+        let drifted = board.drifted(board.num_components() / 2);
+        let stream = RequestStream::generate(
+            "drifted",
+            &drifted,
+            cluster.model(),
+            200,
+            SimSpan::from_millis(2),
+            coserve_workload::stream::StreamOrder::Iid,
+            7,
+        );
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(40))
+            .replacement(ReplacementPolicy::Drift { threshold: 0.15 });
+        let report = cluster.serve_runtime(&stream, &options);
+        assert!(
+            report.dynamics.plan_versions >= 1,
+            "rotated usage must exceed the drift threshold"
+        );
+        assert!(report.dynamics.migrations > 0);
+        assert_eq!(
+            report.completed + report.failed + report.dropped,
+            report.submitted
+        );
+    }
+
+    #[test]
+    fn failure_schedule_validates_and_orders() {
+        let schedule = FailureSchedule::new()
+            .revive(1, SimTime::ZERO + SimSpan::from_millis(90))
+            .kill(1, SimTime::ZERO + SimSpan::from_millis(10));
+        assert_eq!(schedule.len(), 2);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.max_node(), Some(1));
+        assert_eq!(schedule.events()[0].kind, FailureKind::Kill);
+        assert_eq!(schedule.events()[1].kind, FailureKind::Revive);
+        assert_eq!(ReplacementPolicy::Static.to_string(), "static");
+        assert_eq!(ReplacementPolicy::OnFailure.to_string(), "re-replicate");
+        assert_eq!(
+            ReplacementPolicy::Drift { threshold: 0.2 }.to_string(),
+            "drift(0.2)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "names node 7")]
+    fn out_of_range_failure_panics() {
+        let (cluster, stream) = fleet(2);
+        let options =
+            RuntimeOptions::default().failures(FailureSchedule::new().kill(7, SimTime::ZERO));
+        let _ = cluster.serve_runtime(&stream, &options);
+    }
+}

@@ -62,7 +62,9 @@ pub mod serve;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
-    pub use crate::serve::{open_loop_stream, serve_cluster, serve_open_loop, OpenLoopOptions};
+    pub use crate::serve::{
+        open_loop_stream, serve_cluster, serve_cluster_runtime, serve_open_loop, OpenLoopOptions,
+    };
     pub use coserve_baselines::prelude::*;
     pub use coserve_cluster::prelude::*;
     pub use coserve_core::prelude::*;

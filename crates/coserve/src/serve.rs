@@ -11,6 +11,7 @@
 //! seed produce a bit-identical [`RunReport`], so latency-vs-load
 //! sweeps across systems compare byte-identical arrival schedules.
 
+use coserve_cluster::runtime::RuntimeOptions;
 use coserve_cluster::ClusterSystem;
 use coserve_core::config::AdmissionControl;
 use coserve_core::presets::ONLINE_MAX_OVERTAKE;
@@ -137,6 +138,41 @@ pub fn serve_cluster(
     cluster.serve_with_online(&stream, options.admission, options.max_overtake)
 }
 
+/// Like [`serve_cluster`], but through the *dynamic* cluster runtime:
+/// tick-driven dispatch with telemetry feedback, mid-run node failures
+/// with re-routing and shard re-replication, and drift-triggered
+/// re-placement — everything `runtime` configures. The open-loop knobs
+/// in `options` (admission bound, overtake bound) override whatever
+/// `runtime.online` carries, keeping the two option structs composable.
+/// Deterministic: the same cluster, board, options, runtime options and
+/// seed produce a bit-identical [`ClusterReport`].
+///
+/// # Panics
+///
+/// Panics if `options.requests` is zero or the failure schedule names a
+/// node outside the fleet.
+#[must_use]
+pub fn serve_cluster_runtime(
+    cluster: &ClusterSystem,
+    board: &BoardSpec,
+    options: &OpenLoopOptions,
+    runtime: &RuntimeOptions,
+) -> ClusterReport {
+    let stream = RequestStream::generate_open_loop(
+        format!("open-loop {}", options.process),
+        board,
+        cluster.model(),
+        options.requests,
+        options.process,
+        options.order,
+        options.seed,
+    );
+    let runtime = runtime
+        .clone()
+        .online(options.admission, options.max_overtake);
+    cluster.serve_runtime(&stream, &runtime)
+}
+
 /// The request stream [`serve_open_loop`] would serve — exposed so
 /// callers can inspect offered load or replay the identical schedule
 /// through a custom engine configuration.
@@ -219,6 +255,40 @@ mod tests {
         assert_eq!(a.num_nodes(), 2);
         let b = serve_cluster(&cluster, &board, &options);
         assert_eq!(a, b, "cluster open-loop runs must be bit-identical");
+    }
+
+    #[test]
+    fn cluster_runtime_facade_injects_failures() {
+        use coserve_cluster::runtime::FailureSchedule;
+        use coserve_sim::time::{SimSpan, SimTime};
+
+        let board = BoardSpec::synthetic("cluster-runtime", 24, 3, 1.2, 40.0, 0.5);
+        let model = board.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let cluster = ClusterSystem::homogeneous(
+            3,
+            &device,
+            &presets::coserve(&device),
+            &model,
+            coserve_sim::network::LinkProfile::ethernet_10g(),
+            coserve_cluster::ClusterOptions::default(),
+        )
+        .unwrap();
+        let options = OpenLoopOptions::new(ArrivalProcess::poisson(200.0)).requests(150);
+        let runtime = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(100))
+            .failures(FailureSchedule::new().kill(1, SimTime::ZERO + SimSpan::from_millis(300)));
+        let a = serve_cluster_runtime(&cluster, &board, &options, &runtime);
+        assert_eq!(a.submitted, 150);
+        assert_eq!(a.completed + a.failed + a.dropped, a.submitted);
+        assert_eq!(a.dynamics.failures.len(), 1);
+        assert!(a.recovery_time().is_some());
+        assert!(a.dynamics.migrations > 0);
+        let b = serve_cluster_runtime(&cluster, &board, &options, &runtime);
+        assert_eq!(a, b, "runtime runs must be bit-identical");
+        // The open-loop knobs flow into the runtime's online override:
+        // admission accounting is live on every node.
+        assert!(a.admitted > 0 && a.admitted <= a.submitted);
     }
 
     #[test]

@@ -7,10 +7,104 @@
 //! admission/drop totals. The merge is pure bookkeeping — the
 //! dispatcher that owns the fabric supplies the hop counters.
 
-use coserve_sim::time::SimSpan;
+use coserve_sim::memory::Bytes;
+use coserve_sim::time::{SimSpan, SimTime};
 
 use crate::report::{json_f64, json_str, json_summary, RunReport};
 use crate::stats::Summary;
+
+/// One node failure observed by the cluster runtime, with its recovery
+/// milestones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// The node that failed.
+    pub node: usize,
+    /// When the node died.
+    pub failed_at: SimTime,
+    /// When the re-replication of the node's orphaned shard finished
+    /// landing on the survivors — `None` under a static placement that
+    /// never re-replicates (the shard stays lost).
+    pub recovered_at: Option<SimTime>,
+    /// When the node came back, if the failure schedule revived it.
+    pub revived_at: Option<SimTime>,
+}
+
+impl FailureRecord {
+    /// Time from the failure to the completed re-replication, `None`
+    /// while the shard is still orphaned.
+    #[must_use]
+    pub fn recovery_time(&self) -> Option<SimSpan> {
+        self.recovered_at
+            .map(|r| r.saturating_since(self.failed_at))
+    }
+}
+
+/// Aggregate outcomes of one control tick of the cluster runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickStat {
+    /// Tick index, from zero.
+    pub index: u32,
+    /// Tick window start.
+    pub start: SimTime,
+    /// Tick window end (for the final open-ended tick: the last
+    /// arrival).
+    pub end: SimTime,
+    /// Requests the front-end routed (or rejected) during the tick.
+    pub routed: usize,
+    /// Requests completed by the node engines for this tick's work.
+    pub completed: usize,
+    /// Requests dropped during the tick (front-end rejections plus
+    /// per-node admission drops).
+    pub dropped: usize,
+    /// Completed requests that met the runtime's SLO.
+    pub slo_met: usize,
+    /// p95 node-sojourn latency of the tick's completions, ms.
+    pub p95_ms: Option<f64>,
+}
+
+impl TickStat {
+    /// Fraction of the tick's routed requests that completed within the
+    /// SLO (drops count as violations); `None` for a workless tick.
+    #[must_use]
+    pub fn slo_attainment(&self) -> Option<f64> {
+        (self.routed > 0).then(|| self.slo_met as f64 / self.routed as f64)
+    }
+}
+
+/// What the *dynamic* cluster runtime did beyond serving: front-end
+/// rejections, re-routes, expert migrations (and the fabric traffic
+/// they cost), plan re-versioning, failures with recovery milestones,
+/// dispatcher estimate quality, and the per-tick timeline.
+///
+/// All-zero (`Default`) for a plain one-shot serve.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetDynamics {
+    /// Requests rejected at the front-end because a chain expert had no
+    /// live holder (static placement after a failure).
+    pub routing_dropped: usize,
+    /// In-flight requests pulled back from a dying node and re-routed.
+    pub rerouted: u64,
+    /// Expert copies shipped by re-placements.
+    pub migrations: u64,
+    /// Migration copies that crossed the fabric (the rest were local
+    /// checkpoint reloads on the receiving node).
+    pub migration_hops: u64,
+    /// Total checkpoint bytes shipped by re-placements.
+    pub migration_bytes: Bytes,
+    /// Total transfer time charged for migrations (on the same fabric
+    /// links requests use).
+    pub migration_time_total: SimSpan,
+    /// The placement-plan version at the end of the run (0 = the
+    /// offline plan was never touched).
+    pub plan_versions: u64,
+    /// Node failures in event order.
+    pub failures: Vec<FailureRecord>,
+    /// Mean absolute dispatcher estimate error vs observed node finish
+    /// times, ms (`None` without control ticks).
+    pub estimate_error_ms: Option<f64>,
+    /// Per-tick timeline (one entry per control tick that saw work).
+    pub ticks: Vec<TickStat>,
+}
 
 /// The outcome of one cluster serving run.
 ///
@@ -47,6 +141,9 @@ pub struct ClusterReport {
     pub cross_node_hops: u64,
     /// Total time requests spent on fabric links.
     pub fabric_time_total: SimSpan,
+    /// What the dynamic runtime did (failures, migrations, re-routes,
+    /// control-tick timeline); all-zero for a one-shot serve.
+    pub dynamics: FleetDynamics,
 }
 
 impl ClusterReport {
@@ -82,6 +179,7 @@ impl ClusterReport {
                 .fold(SimSpan::ZERO, SimSpan::max),
             cross_node_hops,
             fabric_time_total,
+            dynamics: FleetDynamics::default(),
             nodes,
         }
     }
@@ -158,6 +256,46 @@ impl ClusterReport {
             .collect()
     }
 
+    /// Fraction of *submitted* requests completing within `slo` across
+    /// the fleet (drops — including front-end rejections — count as
+    /// violations). `None` when nothing was submitted.
+    #[must_use]
+    pub fn slo_attainment(&self, slo: SimSpan) -> Option<f64> {
+        if self.submitted == 0 {
+            return None;
+        }
+        let met: usize = self
+            .nodes
+            .iter()
+            .map(|n| n.job_latencies.iter().filter(|&&l| l <= slo).count())
+            .sum();
+        Some(met as f64 / self.submitted as f64)
+    }
+
+    /// The slowest completed recovery across all failures: how long the
+    /// fleet took to re-replicate a dead node's orphaned shard. `None`
+    /// when no failure recovered (either none happened, or a static
+    /// placement left the shard orphaned — see
+    /// [`ClusterReport::has_unrecovered_failure`]).
+    #[must_use]
+    pub fn recovery_time(&self) -> Option<SimSpan> {
+        self.dynamics
+            .failures
+            .iter()
+            .filter_map(FailureRecord::recovery_time)
+            .max()
+    }
+
+    /// Whether any failed node's shard was never re-replicated — the
+    /// unbounded-drop regime of a static placement.
+    #[must_use]
+    pub fn has_unrecovered_failure(&self) -> bool {
+        self.dynamics
+            .failures
+            .iter()
+            .any(|f| f.recovered_at.is_none())
+    }
+
     /// A one-line human-readable summary.
     #[must_use]
     pub fn summary_line(&self) -> String {
@@ -170,8 +308,17 @@ impl ClusterReport {
         } else {
             String::new()
         };
+        let migrations = if self.dynamics.migrations > 0 {
+            format!(
+                ", {} expert migrations ({:.0} MiB)",
+                self.dynamics.migrations,
+                self.dynamics.migration_bytes.as_mib_f64()
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{} / {}: {} nodes, {:.1} img/s, {} switches, {} cross-node hops ({:.2}/req), makespan {}{}",
+            "{} / {}: {} nodes, {:.1} img/s, {} switches, {} cross-node hops ({:.2}/req), makespan {}{}{}",
             self.system,
             self.task,
             self.num_nodes(),
@@ -180,7 +327,8 @@ impl ClusterReport {
             self.cross_node_hops,
             self.hops_per_request(),
             self.makespan,
-            drops
+            drops,
+            migrations
         )
     }
 
@@ -197,6 +345,7 @@ impl ClusterReport {
              \"makespan_ms\":{},\"throughput_ips\":{},\"drop_rate\":{},\
              \"expert_switches\":{},\"cross_node_hops\":{},\"hops_per_request\":{},\
              \"fabric_time_total_ms\":{},\"latency\":{},\
+             \"dynamics\":{},\
              \"node_utilization\":[{}],\"nodes\":[{}]}}",
             json_str(&self.system),
             json_str(&self.task),
@@ -215,8 +364,74 @@ impl ClusterReport {
             json_f64(self.hops_per_request()),
             json_f64(self.fabric_time_total.as_millis_f64()),
             json_summary(self.latency_summary()),
+            self.dynamics_json(),
             utilization.join(","),
             nodes.join(","),
+        )
+    }
+
+    /// The runtime-dynamics block of [`ClusterReport::to_json`].
+    fn dynamics_json(&self) -> String {
+        let d = &self.dynamics;
+        let opt_ms = |t: Option<SimTime>| {
+            t.map_or_else(
+                || "null".to_string(),
+                |t| json_f64(t.saturating_since(SimTime::ZERO).as_millis_f64()),
+            )
+        };
+        let failures: Vec<String> = d
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"node\":{},\"failed_at_ms\":{},\"recovered_at_ms\":{},\
+                     \"revived_at_ms\":{},\"recovery_ms\":{}}}",
+                    f.node,
+                    json_f64(f.failed_at.saturating_since(SimTime::ZERO).as_millis_f64()),
+                    opt_ms(f.recovered_at),
+                    opt_ms(f.revived_at),
+                    f.recovery_time()
+                        .map_or_else(|| "null".to_string(), |s| json_f64(s.as_millis_f64())),
+                )
+            })
+            .collect();
+        let ticks: Vec<String> = d
+            .ticks
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"index\":{},\"start_ms\":{},\"end_ms\":{},\"routed\":{},\
+                     \"completed\":{},\"dropped\":{},\"slo_met\":{},\"p95_ms\":{}}}",
+                    t.index,
+                    json_f64(t.start.saturating_since(SimTime::ZERO).as_millis_f64()),
+                    json_f64(t.end.saturating_since(SimTime::ZERO).as_millis_f64()),
+                    t.routed,
+                    t.completed,
+                    t.dropped,
+                    t.slo_met,
+                    t.p95_ms.map_or_else(|| "null".to_string(), json_f64),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"routing_dropped\":{},\"rerouted\":{},\"migrations\":{},\
+             \"migration_hops\":{},\"migration_bytes\":{},\"migration_time_ms\":{},\
+             \"plan_versions\":{},\"estimate_error_ms\":{},\"recovery_ms\":{},\
+             \"unrecovered_failure\":{},\"failures\":[{}],\"ticks\":[{}]}}",
+            d.routing_dropped,
+            d.rerouted,
+            d.migrations,
+            d.migration_hops,
+            d.migration_bytes.get(),
+            json_f64(d.migration_time_total.as_millis_f64()),
+            d.plan_versions,
+            d.estimate_error_ms
+                .map_or_else(|| "null".to_string(), json_f64),
+            self.recovery_time()
+                .map_or_else(|| "null".to_string(), |s| json_f64(s.as_millis_f64())),
+            self.has_unrecovered_failure(),
+            failures.join(","),
+            ticks.join(","),
         )
     }
 }
@@ -339,5 +554,74 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_merge_panics() {
         let _ = ClusterReport::merge("x", "t", Vec::new(), 0, SimSpan::ZERO);
+    }
+
+    #[test]
+    fn dynamics_default_is_inert() {
+        let c = sample_cluster();
+        assert_eq!(c.dynamics, FleetDynamics::default());
+        assert_eq!(c.recovery_time(), None);
+        assert!(!c.has_unrecovered_failure());
+        assert!(!c.summary_line().contains("migrations"));
+        let json = c.to_json();
+        assert!(json.contains("\"dynamics\":{\"routing_dropped\":0"));
+        assert!(json.contains("\"failures\":[]"));
+    }
+
+    #[test]
+    fn dynamics_recovery_and_slo_accounting() {
+        let mut c = sample_cluster();
+        c.dynamics.routing_dropped = 5;
+        c.submitted += 5;
+        c.dropped += 5;
+        c.dynamics.rerouted = 3;
+        c.dynamics.migrations = 4;
+        c.dynamics.migration_hops = 3;
+        c.dynamics.migration_bytes = Bytes::mib(700);
+        c.dynamics.migration_time_total = SimSpan::from_millis(90);
+        c.dynamics.plan_versions = 2;
+        c.dynamics.failures.push(FailureRecord {
+            node: 1,
+            failed_at: SimTime::ZERO + SimSpan::from_secs(2),
+            recovered_at: Some(SimTime::ZERO + SimSpan::from_secs(3)),
+            revived_at: None,
+        });
+        c.dynamics.ticks.push(TickStat {
+            index: 0,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + SimSpan::from_secs(5),
+            routed: 100,
+            completed: 80,
+            dropped: 20,
+            slo_met: 60,
+            p95_ms: Some(42.0),
+        });
+        assert_eq!(c.recovery_time(), Some(SimSpan::from_secs(1)));
+        assert!(!c.has_unrecovered_failure());
+        assert_eq!(
+            c.dynamics.failures[0].recovery_time(),
+            Some(SimSpan::from_secs(1))
+        );
+        assert_eq!(c.dynamics.ticks[0].slo_attainment(), Some(0.6));
+        // Fleet SLO attainment counts drops as violations: all 150
+        // completions are at 40 ms.
+        assert_eq!(
+            c.slo_attainment(SimSpan::from_millis(40)),
+            Some(150.0 / 175.0)
+        );
+        assert_eq!(c.slo_attainment(SimSpan::from_millis(1)), Some(0.0));
+        let line = c.summary_line();
+        assert!(line.contains("4 expert migrations (700 MiB)"));
+        let json = c.to_json();
+        assert!(json.contains("\"recovery_ms\":1000"));
+        assert!(json.contains("\"unrecovered_failure\":false"));
+        assert!(json.contains("\"migration_bytes\":734003200"));
+        assert!(json.contains("\"ticks\":[{\"index\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // A static-placement failure never recovers.
+        c.dynamics.failures[0].recovered_at = None;
+        assert_eq!(c.recovery_time(), None);
+        assert!(c.has_unrecovered_failure());
     }
 }

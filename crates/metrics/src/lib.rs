@@ -18,7 +18,7 @@ pub mod timeline;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::cluster::ClusterReport;
+    pub use crate::cluster::{ClusterReport, FailureRecord, FleetDynamics, TickStat};
     pub use crate::report::{ExecutorReport, RunReport, SwitchEvent};
     pub use crate::series::{FigureData, Series};
     pub use crate::stats::{linear_fit, percentile, LinFit, Summary};

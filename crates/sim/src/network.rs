@@ -133,6 +133,36 @@ impl Fabric {
         }
     }
 
+    /// A rack-aware fabric: nodes are grouped into racks of
+    /// `rack_size` consecutive indices (the last rack may be smaller);
+    /// pairs within one rack ride the fast `intra` link (top-of-rack
+    /// switch), pairs in different racks the oversubscribed `inter`
+    /// uplink. Built on the per-pair overrides, so
+    /// [`Fabric::with_link`] can still special-case individual pairs
+    /// afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` or `rack_size` is zero.
+    #[must_use]
+    pub fn rack_aware(
+        nodes: usize,
+        rack_size: usize,
+        intra: LinkProfile,
+        inter: LinkProfile,
+    ) -> Self {
+        assert!(rack_size > 0, "racks need at least one node");
+        let mut fabric = Fabric::fully_connected(nodes, inter);
+        for a in 0..nodes {
+            for b in (a + 1)..nodes {
+                if a / rack_size == b / rack_size {
+                    fabric = fabric.with_link(NodeId(a), NodeId(b), intra);
+                }
+            }
+        }
+        fabric
+    }
+
     /// Overrides the (symmetric) link between `a` and `b`.
     ///
     /// # Panics
@@ -265,6 +295,53 @@ mod tests {
             fabric.transfer_duration(b, NodeId(3), NodeId(1)),
             fast.transfer_duration(b)
         );
+    }
+
+    #[test]
+    fn rack_aware_fabric_pins_asymmetric_transfer_times() {
+        // Two racks of two: {0,1} and {2,3}. Intra-rack 100 GbE,
+        // inter-rack an oversubscribed 10 GbE uplink.
+        let fabric = Fabric::rack_aware(
+            4,
+            2,
+            LinkProfile::ethernet_100g(),
+            LinkProfile::ethernet_10g(),
+        );
+        let payload = Bytes::new(125_000_000); // 125 MB
+                                               // Intra-rack: 125 MB at 12,500 MB/s = 10 ms + 20 µs.
+        let intra = SimSpan::from_millis(10) + SimSpan::from_micros(20);
+        // Inter-rack: 125 MB at 1,250 MB/s = 100 ms + 50 µs.
+        let inter = SimSpan::from_millis(100) + SimSpan::from_micros(50);
+        assert_eq!(
+            fabric.transfer_duration(payload, NodeId(0), NodeId(1)),
+            intra
+        );
+        assert_eq!(
+            fabric.transfer_duration(payload, NodeId(2), NodeId(3)),
+            intra
+        );
+        assert_eq!(
+            fabric.transfer_duration(payload, NodeId(0), NodeId(2)),
+            inter
+        );
+        assert_eq!(
+            fabric.transfer_duration(payload, NodeId(1), NodeId(3)),
+            inter
+        );
+        // The asymmetry is an order of magnitude, symmetric per pair.
+        assert!(inter > intra * 9);
+        assert_eq!(
+            fabric.transfer_duration(payload, NodeId(3), NodeId(1)),
+            fabric.transfer_duration(payload, NodeId(1), NodeId(3)),
+        );
+        // An odd tail rack still forms: node 4 alone in rack 2.
+        let odd = Fabric::rack_aware(
+            5,
+            2,
+            LinkProfile::ethernet_100g(),
+            LinkProfile::ethernet_10g(),
+        );
+        assert_eq!(odd.transfer_duration(payload, NodeId(4), NodeId(0)), inter);
     }
 
     #[test]

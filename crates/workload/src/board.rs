@@ -165,6 +165,35 @@ impl BoardSpec {
         BoardSpec::new(name, components, detector_archs)
     }
 
+    /// A usage-drift variant of this board: the same component types
+    /// and detector wiring, but with the per-board quantities rotated
+    /// by `shift` ranks (component `i` inherits the quantity of
+    /// component `(i + shift) mod n`). Streams generated from the
+    /// drifted board against the *original* board's model produce the
+    /// observed-vs-declared usage divergence online re-placement and
+    /// dispatcher-feedback studies need: cold experts run hot while the
+    /// plan still believes the declared mix.
+    ///
+    /// A `shift` of zero (mod `n`) returns an identical board.
+    #[must_use]
+    pub fn drifted(&self, shift: usize) -> BoardSpec {
+        let n = self.components.len();
+        let components = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ComponentSpec {
+                quantity_per_board: self.components[(i + shift) % n].quantity_per_board,
+                ..c.clone()
+            })
+            .collect();
+        BoardSpec::new(
+            format!("{} (drift {shift})", self.name),
+            components,
+            self.detector_archs.clone(),
+        )
+    }
+
     /// The paper's Circuit Board A: 352 component types, 18 shared
     /// detector groups.
     #[must_use]
@@ -440,6 +469,46 @@ mod tests {
         let b = BoardSpec::board_b();
         assert_eq!(b.num_components(), 342);
         assert_eq!(b.num_detectors(), 16);
+    }
+
+    #[test]
+    fn drifted_board_rotates_quantities_only() {
+        let base = BoardSpec::synthetic("drifty", 20, 3, 1.2, 40.0, 0.5);
+        let n = base.num_components();
+        let drifted = base.drifted(n / 2);
+        assert_eq!(drifted.num_components(), n);
+        assert_eq!(drifted.num_detectors(), base.num_detectors());
+        assert!(drifted.name().contains("drift 10"));
+        for (i, (b, d)) in base
+            .components()
+            .iter()
+            .zip(drifted.components())
+            .enumerate()
+        {
+            assert_eq!(b.class, d.class);
+            assert_eq!(b.detector_group, d.detector_group);
+            assert_eq!(b.pass_prob, d.pass_prob);
+            assert_eq!(
+                d.quantity_per_board,
+                base.components()[(i + n / 2) % n].quantity_per_board
+            );
+        }
+        // The induced class mix genuinely shifts: the declared-hottest
+        // class loses mass to the tail.
+        assert!(
+            drifted.components()[0].quantity_per_board < base.components()[0].quantity_per_board
+        );
+        // The drifted board still builds a model with the same experts.
+        let model = drifted.build_model().unwrap();
+        assert_eq!(
+            model.num_experts(),
+            base.build_model().unwrap().num_experts()
+        );
+        // A zero shift is the identity on everything but the name.
+        let same = base.drifted(n);
+        for (b, s) in base.components().iter().zip(same.components()) {
+            assert_eq!(b, s);
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! decides cross-node hop counts (replicated = none, sharded = many,
 //! usage-aware = few), and (c) how residency-first routing keeps expert
 //! chains local where round-robin ships activations over the fabric.
+//!
+//! It then switches to the *dynamic* cluster runtime: a 4-node fleet
+//! loses a node at the midpoint of the run, the planner re-replicates
+//! the dead node's orphaned shard over the fabric, in-flight requests
+//! re-route, and the per-tick timeline shows the SLO dip around the
+//! failure and the recovery.
 
 use coserve::prelude::*;
 
@@ -77,6 +83,94 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
         }
+    }
+
+    // ── Dynamic runtime: node failure at the midpoint ───────────────
+    let cluster = ClusterSystem::homogeneous(
+        4,
+        &device,
+        &config,
+        &model,
+        LinkProfile::ethernet_10g(),
+        ClusterOptions::default(),
+    )?;
+    let stream = open_loop_stream(
+        &ServingSystem::new(device.clone(), model.clone(), config.clone())?,
+        task.board(),
+        &options,
+    );
+    let horizon = stream.last_arrival().saturating_since(SimTime::ZERO);
+    let midpoint = SimTime::ZERO + SimSpan::from_millis_f64(horizon.as_millis_f64() / 2.0);
+    let slo = SimSpan::from_millis(250);
+    // Nine ticks, so the midpoint kill lands mid-tick and the dying
+    // node has un-served in-flight work to re-route.
+    let runtime = RuntimeOptions::default()
+        .tick(SimSpan::from_millis_f64(
+            (horizon.as_millis_f64() / 9.0).max(1.0),
+        ))
+        .failures(FailureSchedule::new().kill(1, midpoint))
+        .replacement(ReplacementPolicy::OnFailure)
+        .feedback(FeedbackMode::Corrected)
+        .slo(slo)
+        .online(options.admission, 16);
+    let report = cluster.serve_runtime(&stream, &runtime);
+
+    println!(
+        "\nFailure injection: node-1 dies at {midpoint} (midpoint of a {}-request run)",
+        report.submitted
+    );
+    match report.recovery_time() {
+        Some(recovery) => println!(
+            "  recovered in {recovery}: {} expert copies ({:.0} MiB) re-replicated over the fabric, {} requests re-routed",
+            report.dynamics.migrations,
+            report.dynamics.migration_bytes.as_mib_f64(),
+            report.dynamics.rerouted,
+        ),
+        None => println!("  never recovered (static placement)"),
+    }
+    // SLO attainment before vs after the failure, from the per-tick
+    // timeline the runtime records.
+    let (mut met_before, mut routed_before) = (0usize, 0usize);
+    let (mut met_after, mut routed_after) = (0usize, 0usize);
+    for tick in &report.dynamics.ticks {
+        if tick.end <= midpoint {
+            met_before += tick.slo_met;
+            routed_before += tick.routed;
+        } else {
+            met_after += tick.slo_met;
+            routed_after += tick.routed;
+        }
+    }
+    let pct = |met: usize, routed: usize| {
+        if routed == 0 {
+            0.0
+        } else {
+            100.0 * met as f64 / routed as f64
+        }
+    };
+    println!(
+        "  SLO ({slo}) attainment: {:.1}% before the failure, {:.1}% after (recovery + lost capacity)",
+        pct(met_before, routed_before),
+        pct(met_after, routed_after),
+    );
+    println!("  per-tick p95 around the failure:");
+    for tick in &report.dynamics.ticks {
+        let marker = if tick.start <= midpoint && midpoint < tick.end {
+            "  <- node-1 dies"
+        } else {
+            ""
+        };
+        println!(
+            "    tick {:>2} [{} .. {}]: routed {:>3}, dropped {:>3}, p95 {:>8}{}",
+            tick.index,
+            tick.start,
+            tick.end,
+            tick.routed,
+            tick.dropped,
+            tick.p95_ms
+                .map_or_else(|| "-".into(), |p| format!("{p:.0} ms")),
+            marker,
+        );
     }
 
     println!("\nEverything above is deterministic: rerun for identical numbers.");

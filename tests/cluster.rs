@@ -143,6 +143,73 @@ fn replicated_placement_never_pays_fabric_time() {
 }
 
 #[test]
+fn failure_and_revival_runs_are_bit_identical() {
+    // A 4-node run with one mid-run failure and a later revival, under
+    // tick-driven dispatch with feedback: the full dynamic runtime must
+    // stay deterministic bit for bit.
+    let run = || {
+        let cluster = fleet(4, ClusterOptions::default());
+        let stream = open_loop_stream(
+            &ServingSystem::new(
+                devices::numa_rtx3080ti(),
+                cluster.model().clone(),
+                presets::coserve(&devices::numa_rtx3080ti()),
+            )
+            .unwrap(),
+            TaskSpec::a1().board(),
+            &overload_options(),
+        );
+        let horizon = stream
+            .last_arrival()
+            .saturating_since(coserve::sim::time::SimTime::ZERO);
+        let mid = coserve::sim::time::SimTime::ZERO
+            + coserve::sim::time::SimSpan::from_millis_f64(horizon.as_millis_f64() / 2.0);
+        let back =
+            mid + coserve::sim::time::SimSpan::from_millis_f64(horizon.as_millis_f64() / 4.0);
+        let options = RuntimeOptions::default()
+            .tick(coserve::sim::time::SimSpan::from_millis_f64(
+                (horizon.as_millis_f64() / 10.0).max(1.0),
+            ))
+            .failures(FailureSchedule::new().kill(2, mid).revive(2, back))
+            .feedback(FeedbackMode::Corrected)
+            .online(AdmissionControl::with_queue_capacity(16), 16);
+        cluster.serve_runtime(&stream, &options)
+    };
+    let (a, b) = (run(), run());
+    // Field-level spot checks first, for diagnosable failures…
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.cross_node_hops, b.cross_node_hops);
+    assert_eq!(a.dynamics.migrations, b.dynamics.migrations);
+    assert_eq!(a.dynamics.migration_bytes, b.dynamics.migration_bytes);
+    assert_eq!(a.dynamics.failures, b.dynamics.failures);
+    assert_eq!(a.dynamics.ticks, b.dynamics.ticks);
+    // …then the whole struct, bit for bit.
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+    // The scenario genuinely exercised the dynamic machinery.
+    assert_eq!(a.dynamics.failures.len(), 1);
+    let failure = a.dynamics.failures[0];
+    assert_eq!(failure.node, 2);
+    assert!(failure.recovered_at.is_some(), "shard must re-replicate");
+    assert!(failure.revived_at.is_some(), "node must come back");
+    assert!(a.recovery_time().unwrap() > SimSpan::ZERO);
+    // Both the kill re-replication and the revival rebalance migrated
+    // experts over the fabric.
+    assert!(a.dynamics.plan_versions >= 2);
+    assert!(a.dynamics.migrations > 0);
+    assert!(
+        a.dynamics.migration_bytes > coserve::sim::memory::Bytes::ZERO,
+        "migration traffic must be charged"
+    );
+    assert_eq!(
+        a.completed + a.failed + a.dropped,
+        a.submitted,
+        "jobs conserved through kill + revival"
+    );
+}
+
+#[test]
 fn closed_loop_cluster_completes_everything_and_utilizes_nodes() {
     let cluster = fleet(2, ClusterOptions::default());
     let task = TaskSpec::a1().scaled(0.08); // 200 requests

@@ -167,6 +167,80 @@ fn fig21_cluster_scaling_shows_speedup_and_locality() {
 }
 
 #[test]
+fn fig22_failure_recovery_bounds_recovery_and_rewards_feedback() {
+    scale_down();
+    let (t, artifacts) = figures::fig22_failure_recovery();
+    // 2 kill timings × 2 replacement policies × 2 feedback modes, plus
+    // the 2 failure-free drift-only rows.
+    assert_eq!(t.len(), 10);
+    let csv = t.to_csv();
+    let mut static_orphan_drops = Vec::new();
+    // p95 per (scenario, feedback) for the re-replicating rows.
+    let mut rereplicate_p95: Vec<(String, String, f64)> = Vec::new();
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let (scenario, replacement, feedback) = (cells[0], cells[1], cells[2]);
+        let orphan_pct: f64 = cells[5].parse().unwrap();
+        let recovery = cells[6];
+        let migration_mib: f64 = cells[7].parse().unwrap();
+        let p95: f64 = cells[8].parse().unwrap();
+        assert!(p95.is_finite() && p95 > 0.0, "bad p95: {line}");
+        if replacement == "static" && scenario.starts_with("kill") {
+            // Claim 1a: a static placement never recovers — orphaned
+            // chains are rejected until the end of the run.
+            assert_eq!(recovery, "inf", "static placement recovered? {line}");
+            assert!(orphan_pct > 0.0, "static kill must orphan chains: {line}");
+            assert_eq!(migration_mib, 0.0, "static must not migrate: {line}");
+            static_orphan_drops.push(orphan_pct);
+        }
+        if replacement == "re-replicate" && scenario.starts_with("kill") {
+            // Claim 1b: re-replication bounds recovery — finite recovery
+            // time, migration traffic visibly charged, no orphan drops.
+            let recovery_ms: f64 = recovery
+                .parse()
+                .unwrap_or_else(|_| panic!("re-replication must report finite recovery: {line}"));
+            assert!(recovery_ms > 0.0, "recovery must take real time: {line}");
+            assert!(
+                migration_mib > 0.0,
+                "migration bytes must be charged: {line}"
+            );
+            assert_eq!(
+                orphan_pct, 0.0,
+                "re-replication must leave no orphans: {line}"
+            );
+            rereplicate_p95.push((scenario.to_string(), feedback.to_string(), p95));
+        }
+    }
+    assert_eq!(static_orphan_drops.len(), 4);
+    // Claim 2: under the drifted workload, feedback-corrected dispatch
+    // beats open-loop estimates on p95 in the post-failure regime.
+    for scenario in ["kill@25%", "kill@50%"] {
+        let p95_of = |mode: &str| {
+            rereplicate_p95
+                .iter()
+                .find(|(s, f, _)| s == scenario && f == mode)
+                .map(|(_, _, p)| *p)
+                .unwrap_or_else(|| panic!("missing {scenario}/{mode} row:\n{csv}"))
+        };
+        let (open, fed) = (p95_of("open-loop"), p95_of("feedback"));
+        assert!(
+            fed < open,
+            "{scenario}: feedback p95 {fed:.1} must beat open-loop {open:.1}:\n{csv}"
+        );
+    }
+    // The artifact is the recovered feedback-on report: migration
+    // traffic on the fabric, a recovered failure, well-formed JSON.
+    assert_eq!(artifacts.len(), 1);
+    let (stem, json) = &artifacts[0];
+    assert_eq!(stem, "fig22_failure_recovery_report");
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(json.contains("\"unrecovered_failure\":false"));
+    assert!(!json.contains("\"migration_bytes\":0,"));
+    assert!(json.contains("\"ticks\":[{"));
+}
+
+#[test]
 fn fig20_latency_vs_load_has_finite_tails_and_overload_drops() {
     scale_down();
     let t = figures::fig20_latency_vs_load();

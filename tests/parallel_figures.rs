@@ -7,7 +7,9 @@
 //! Each integration-test binary is its own process, so setting
 //! `COSERVE_SCALE`/`COSERVE_JOBS` here cannot leak into other test
 //! binaries. All width flips happen inside a single test function, so
-//! there is no intra-process race either.
+//! there is no intra-process race either. fig22 (the dynamic-runtime
+//! failure sweep) rides along: its cells run whole cluster runtimes,
+//! so width-independence also covers the new control loop.
 
 use coserve_bench::{figures, sweep};
 
@@ -30,14 +32,26 @@ fn parallel_sweeps_are_byte_identical_to_serial() {
     let (t21, artifacts) = figures::fig21_cluster_scaling();
     let fig21_serial = t21.to_csv();
     let artifacts_serial = artifacts;
+    let (t22, artifacts22) = figures::fig22_failure_recovery();
+    let fig22_serial = t22.to_csv();
+    let artifacts22_serial = artifacts22;
 
     std::env::set_var("COSERVE_JOBS", "4");
     assert_eq!(sweep::jobs(), 4);
     let fig20_wide = figures::fig20_latency_vs_load().to_csv();
     let (t21w, artifacts_wide) = figures::fig21_cluster_scaling();
     let fig21_wide = t21w.to_csv();
+    let (t22w, artifacts22_wide) = figures::fig22_failure_recovery();
+    let fig22_wide = t22w.to_csv();
 
     std::env::remove_var("COSERVE_JOBS");
+
+    assert_eq!(
+        fig22_serial, fig22_wide,
+        "fig22 CSV must not depend on sweep width"
+    );
+    assert_eq!(artifacts22_serial, artifacts22_wide);
+    assert_eq!(artifacts22_serial.len(), 1);
 
     assert_eq!(
         fig20_serial, fig20_wide,
