@@ -1,0 +1,397 @@
+//! The `coserve-loadgen` binary: a wire client that drives a running
+//! `coserve-server` in closed- or open-loop mode and reports latency
+//! percentiles — the measurement companion to the network front-end.
+//!
+//! ```text
+//! coserve-loadgen --addr HOST:PORT [--admin-addr HOST:PORT]
+//!                 [--task a1|a2|b1|b2] [--scale F] [--requests N]
+//!                 [--mode closed|open] [--rate RPS] [--seed S]
+//!                 [--verify] [--shutdown]
+//! ```
+//!
+//! * **closed** (default): one request in flight — submit, pump, poll,
+//!   repeat. Arrivals are realized by completions, the paper's
+//!   closed-loop regime. With `--verify` the realized schedule is
+//!   replayed through the in-process batch facade and the per-request
+//!   latencies are required to match bit for bit.
+//! * **open**: arrivals are pre-sampled (the task's paper schedule, or
+//!   a Poisson process at `--rate` via
+//!   `coserve_workload::arrivals::ArrivalProcess`) and submitted
+//!   up-front regardless of completions.
+//!
+//! `--shutdown` asks the server's admin port to shut down afterwards —
+//! the CI smoke test uses this for a clean end-to-end pass.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use coserve_core::prelude::*;
+use coserve_metrics::stats::Summary;
+use coserve_model::devices;
+use coserve_server::prelude::*;
+use coserve_server::server::Client;
+use coserve_sim::time::{SimSpan, SimTime};
+use coserve_workload::arrivals::ArrivalProcess;
+use coserve_workload::stream::{Job, RequestStream, StreamOrder};
+use coserve_workload::task::TaskSpec;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+struct Args {
+    addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
+    task: String,
+    scale: f64,
+    requests: Option<usize>,
+    mode: Mode,
+    rate: Option<f64>,
+    seed: u64,
+    verify: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7600".parse().expect("literal addr"),
+        admin_addr: None,
+        task: "a1".to_string(),
+        scale: 1.0,
+        requests: None,
+        mode: Mode::Closed,
+        rate: None,
+        seed: 7,
+        verify: false,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = value("--addr")?
+                    .parse()
+                    .map_err(|e| format!("bad --addr: {e}"))?;
+            }
+            "--admin-addr" => {
+                args.admin_addr = Some(
+                    value("--admin-addr")?
+                        .parse()
+                        .map_err(|e| format!("bad --admin-addr: {e}"))?,
+                );
+            }
+            "--task" => args.task = value("--task")?,
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if !(args.scale > 0.0 && args.scale.is_finite()) {
+                    return Err("--scale must be positive and finite".into());
+                }
+            }
+            "--requests" => {
+                args.requests = Some(
+                    value("--requests")?
+                        .parse()
+                        .map_err(|e| format!("bad --requests: {e}"))?,
+                );
+            }
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => return Err(format!("unknown mode {other} (expected closed|open)")),
+                };
+            }
+            "--rate" => {
+                args.rate = Some(
+                    value("--rate")?
+                        .parse()
+                        .map_err(|e| format!("bad --rate: {e}"))?,
+                );
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--verify" => args.verify = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: coserve-loadgen --addr A [--admin-addr A] [--task a1|a2|b1|b2] \
+                     [--scale F] [--requests N] [--mode closed|open] [--rate RPS] [--seed S] \
+                     [--verify] [--shutdown]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn task_spec(name: &str, scale: f64) -> Result<TaskSpec, String> {
+    let task = match name {
+        "a1" => TaskSpec::a1(),
+        "a2" => TaskSpec::a2(),
+        "b1" => TaskSpec::b1(),
+        "b2" => TaskSpec::b2(),
+        other => return Err(format!("unknown task {other} (expected a1|a2|b1|b2)")),
+    };
+    Ok(if (scale - 1.0).abs() < 1e-9 {
+        task
+    } else {
+        task.scaled(scale)
+    })
+}
+
+/// Builds the request stream the generator will push: the task's paper
+/// schedule, re-timed by a Poisson process when `--rate` is given.
+fn build_stream(task: &TaskSpec, args: &Args) -> RequestStream {
+    let model = task.build_model().expect("built-in boards validate");
+    let mut stream = match args.rate {
+        Some(rate) => RequestStream::generate_open_loop(
+            format!("{} poisson {rate}rps", task.name()),
+            task.board(),
+            &model,
+            args.requests.unwrap_or_else(|| task.num_requests()),
+            ArrivalProcess::poisson(rate),
+            StreamOrder::Iid,
+            args.seed,
+        ),
+        None => task.stream(&model),
+    };
+    if let Some(n) = args.requests {
+        stream = stream.truncated(n);
+    }
+    stream
+}
+
+fn submit(
+    client: &mut Client,
+    arrival: SimTime,
+    stages: &[coserve_model::expert::ExpertId],
+) -> Result<u32, String> {
+    let resp = client
+        .call(&Request::Submit {
+            arrival,
+            stages: stages.to_vec(),
+        })
+        .map_err(|e| format!("submit failed: {e}"))?;
+    match resp {
+        Response::Submit { job } => Ok(job),
+        other => Err(format!("unexpected submit response: {other:?}")),
+    }
+}
+
+fn pump(client: &mut Client) -> Result<(SimTime, u32), String> {
+    let resp = client
+        .call(&Request::Pump { limit: None })
+        .map_err(|e| format!("pump failed: {e}"))?;
+    match resp {
+        Response::Pump { now, pending, .. } => Ok((now, pending)),
+        other => Err(format!("unexpected pump response: {other:?}")),
+    }
+}
+
+fn poll(client: &mut Client) -> Result<Vec<WireCompletion>, String> {
+    let resp = client
+        .call(&Request::Poll)
+        .map_err(|e| format!("poll failed: {e}"))?;
+    match resp {
+        Response::Poll { completions } => Ok(completions),
+        other => Err(format!("unexpected poll response: {other:?}")),
+    }
+}
+
+/// Closed loop: one request in flight, arrivals realized by
+/// completions. Returns the completions and the realized schedule.
+fn run_closed(
+    client: &mut Client,
+    stream: &RequestStream,
+) -> Result<(Vec<WireCompletion>, Vec<Job>), String> {
+    let mut completions = Vec::with_capacity(stream.len());
+    let mut realized = Vec::with_capacity(stream.len());
+    let mut now = SimTime::ZERO;
+    for job in stream.jobs() {
+        // Submitting at ZERO lets the server floor the arrival to the
+        // engine's current time — i.e. "the moment the previous
+        // request finished", which is what closed loop means.
+        submit(client, SimTime::ZERO, &job.stages)?;
+        realized.push(Job {
+            arrival: now,
+            ..job.clone()
+        });
+        let (after, pending) = pump(client)?;
+        if pending != 0 {
+            return Err(format!("{pending} events pending after a full pump"));
+        }
+        now = after;
+        completions.extend(poll(client)?);
+    }
+    Ok((completions, realized))
+}
+
+/// Open loop: the whole schedule is submitted up-front, then drained.
+fn run_open(client: &mut Client, stream: &RequestStream) -> Result<Vec<WireCompletion>, String> {
+    for job in stream.jobs() {
+        submit(client, job.arrival, &job.stages)?;
+    }
+    let (_, pending) = pump(client)?;
+    if pending != 0 {
+        return Err(format!("{pending} events pending after a full pump"));
+    }
+    poll(client)
+}
+
+/// Replays the realized closed-loop schedule through the in-process
+/// batch facade and checks the wire latencies are bit-identical.
+fn verify_closed(
+    task: &TaskSpec,
+    realized: Vec<Job>,
+    wire: &[WireCompletion],
+) -> Result<(), String> {
+    let device = devices::numa_rtx3080ti();
+    let model = task.build_model().expect("built-in boards validate");
+    let config = presets::coserve(&device);
+    let system = ServingSystem::new(device, model, config)
+        .map_err(|e| format!("cannot build verification system: {e}"))?;
+    let replay = RequestStream::from_jobs("realized closed loop", realized);
+    let batch = system.serve(&replay);
+    let mut batch_latencies = batch.job_latencies.clone();
+    batch_latencies.sort_unstable();
+    let mut wire_latencies: Vec<SimSpan> = wire.iter().map(|c| c.latency).collect();
+    wire_latencies.sort_unstable();
+    if wire_latencies == batch_latencies {
+        println!(
+            "verify: OK — {} wire latencies bit-identical to batch serve",
+            wire_latencies.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "verify: MISMATCH — wire {:?}… vs batch {:?}…",
+            wire_latencies.first(),
+            batch_latencies.first()
+        ))
+    }
+}
+
+fn admin_get(admin: SocketAddr, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(admin).map_err(|e| format!("admin connect failed: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    stream
+        .read_to_string(&mut out)
+        .map_err(|e| format!("admin read failed: {e}"))?;
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let task = task_spec(&args.task, args.scale)?;
+    let stream = build_stream(&task, &args);
+    println!(
+        "loadgen: {} mode, task {}, {} requests against {}",
+        match args.mode {
+            Mode::Closed => "closed-loop",
+            Mode::Open => "open-loop",
+        },
+        task.name(),
+        stream.len(),
+        args.addr,
+    );
+
+    let mut client = Client::connect(args.addr).map_err(|e| format!("connect failed: {e}"))?;
+    let hello = client
+        .call(&Request::Hello)
+        .map_err(|e| format!("hello failed: {e}"))?;
+    let Response::Hello {
+        conn,
+        num_experts,
+        system,
+    } = hello
+    else {
+        return Err(format!("unexpected hello response: {hello:?}"));
+    };
+    println!("connected: conn {conn}, system {system}, {num_experts} experts");
+
+    let (completions, realized) = match args.mode {
+        Mode::Closed => {
+            let (completions, realized) = run_closed(&mut client, &stream)?;
+            (completions, Some(realized))
+        }
+        Mode::Open => (run_open(&mut client, &stream)?, None),
+    };
+
+    let completed = completions
+        .iter()
+        .filter(|c| c.status == coserve_core::engine::CompletionStatus::Completed)
+        .count();
+    println!(
+        "done: {} completions ({} completed, {} other)",
+        completions.len(),
+        completed,
+        completions.len() - completed,
+    );
+    let latencies: Vec<SimSpan> = completions.iter().map(|c| c.latency).collect();
+    if let Some(summary) = Summary::of_spans(&latencies) {
+        println!(
+            "latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+            summary.p50, summary.p95, summary.p99, summary.max,
+        );
+    }
+    if completions.len() != stream.len() {
+        return Err(format!(
+            "lost jobs: submitted {} but got {} completions",
+            stream.len(),
+            completions.len()
+        ));
+    }
+
+    if args.verify {
+        match realized {
+            Some(realized) => verify_closed(&task, realized, &completions)?,
+            None => println!("verify: skipped (only meaningful in closed-loop mode)"),
+        }
+    }
+
+    client
+        .call(&Request::Finish)
+        .map_err(|e| format!("finish failed: {e}"))?;
+
+    if let Some(admin) = args.admin_addr {
+        let stats = admin_get(admin, "/stats")?;
+        let body = stats.split("\r\n\r\n").nth(1).unwrap_or("");
+        println!("admin stats: {body}");
+        if args.shutdown {
+            let bye = admin_get(admin, "/shutdown")?;
+            if !bye.starts_with("HTTP/1.0 200") {
+                return Err(format!("shutdown not acknowledged: {bye}"));
+            }
+            println!("server shutdown acknowledged");
+        }
+    } else if args.shutdown {
+        return Err("--shutdown needs --admin-addr".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -34,15 +34,7 @@ use coserve_workload::task::TaskSpec;
 /// and tests behave the same from any invocation path.
 #[must_use]
 pub fn out_dir() -> PathBuf {
-    if let Some(dir) = std::env::var_os("COSERVE_OUT_DIR") {
-        return PathBuf::from(dir);
-    }
-    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .ancestors()
-        .nth(2)
-        .unwrap_or(manifest)
-        .join("target/figures")
+    coserve_metrics::output::out_dir_anchored(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
 }
 
 /// The global workload scale factor (`COSERVE_SCALE`, default 1.0).

@@ -195,6 +195,13 @@ pub struct RuntimeOptions {
     /// Per-node online overrides (admission bound, grouping starvation
     /// bound), as in [`ClusterSystem::serve_with_online`].
     pub online: Option<(AdmissionControl, u32)>,
+    /// Queue-depth-aware dispatcher pacing: per-node per-tick send
+    /// budgets derived from the admitted/dropped telemetry, so a node
+    /// whose admission queue overflowed last tick is not fed another
+    /// oversized burst this tick (see
+    /// [`Dispatcher::observe_admission`]). Off by default — pacing off
+    /// is bit-identical to the un-paced runtime.
+    pub pacing: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -209,6 +216,7 @@ impl Default for RuntimeOptions {
             feedback: FeedbackMode::OpenLoop,
             slo: SimSpan::from_millis(250),
             online: None,
+            pacing: false,
         }
     }
 }
@@ -253,6 +261,13 @@ impl RuntimeOptions {
     #[must_use]
     pub fn online(mut self, admission: AdmissionControl, max_overtake: u32) -> Self {
         self.online = Some((admission, max_overtake));
+        self
+    }
+
+    /// Enables (or disables) queue-depth-aware dispatcher pacing.
+    #[must_use]
+    pub fn pacing(mut self, pacing: bool) -> Self {
+        self.pacing = pacing;
         self
     }
 }
@@ -342,7 +357,8 @@ impl<'a> Runtime<'a> {
             sys.options().activation_bytes,
             options.feedback,
             true,
-        );
+        )
+        .with_pacing(options.pacing);
         Runtime {
             sys,
             options,
@@ -373,6 +389,7 @@ impl<'a> Runtime<'a> {
         loop {
             let tick_end = self.options.tick.map(|t| tick_start + t);
             let in_tick = |at: SimTime| tick_end.is_none_or(|end| at < end);
+            self.dispatcher.begin_tick();
 
             while ji < jobs.len() && in_tick(jobs[ji].arrival) {
                 while ev < events.len() && events[ev].at <= jobs[ji].arrival {
@@ -447,6 +464,10 @@ impl<'a> Runtime<'a> {
             }
             Routing::Unhosted { .. } => {
                 self.dynamics.routing_dropped += 1;
+                self.tick_routing_dropped += 1;
+            }
+            Routing::Paced => {
+                self.dynamics.paced_shed += 1;
                 self.tick_routing_dropped += 1;
             }
         }
@@ -620,6 +641,13 @@ impl<'a> Runtime<'a> {
                 finish,
                 report.exec_time_total + report.switch_time_total,
             );
+            self.dispatcher.observe_admission(
+                node,
+                report.admitted,
+                report.dropped,
+                finish.saturating_since(start),
+                end.saturating_since(start),
+            );
             completed += report.completed;
             dropped += report.dropped;
             slo_met += report
@@ -690,10 +718,13 @@ impl<'a> Runtime<'a> {
             self.dispatcher.cross_node_hops(),
             self.dispatcher.fabric_time_total(),
         );
-        // Front-end rejections never reached a node: account for them
-        // at the fleet level so conservation still holds.
-        report.submitted += self.dynamics.routing_dropped;
-        report.dropped += self.dynamics.routing_dropped;
+        // Front-end rejections (unhosted chains and paced sheds) never
+        // reached a node: account for them at the fleet level so
+        // conservation still holds.
+        let front_end = self.dynamics.routing_dropped
+            + usize::try_from(self.dynamics.paced_shed).expect("shed count fits usize");
+        report.submitted += front_end;
+        report.dropped += front_end;
         self.dynamics.estimate_error_ms = self.dispatcher.estimate_error_ms();
         report.dynamics = std::mem::take(&mut self.dynamics);
         report
@@ -874,6 +905,96 @@ mod tests {
         assert_eq!(
             report.completed + report.failed + report.dropped,
             report.submitted
+        );
+    }
+
+    #[test]
+    fn pacing_is_inert_before_any_telemetry() {
+        // Budgets are reactive: they only exist after a node has
+        // reported a tick. A one-shot run (single tick) therefore
+        // routes bit-identically with pacing on or off — and the
+        // figure binaries, which never enable pacing, are untouched
+        // either way.
+        let (cluster, stream) = fleet(3);
+        let plain = cluster.serve_runtime(&stream, &RuntimeOptions::default());
+        let paced = cluster.serve_runtime(&stream, &RuntimeOptions::default().pacing(true));
+        assert_eq!(plain, paced);
+        assert_eq!(paced.dynamics.paced_shed, 0);
+    }
+
+    /// The fig22 drift-only cell (shrunk): a drifted Poisson stream
+    /// near capacity on a 4-node least-loaded fleet with a bounded
+    /// admission queue. Service-scale feedback alone cannot stop the
+    /// per-tick bursts that overflow a node's admission queue — the
+    /// burst is already sent when the drop telemetry arrives. Pacing
+    /// bounds next tick's burst from that telemetry, trading a few
+    /// front-end sheds for queue-overflow drops and a better tail.
+    #[test]
+    fn pacing_recovers_drift_only_feedback_cell() {
+        let task = TaskSpec::a1();
+        let model = task.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let cluster = ClusterSystem::homogeneous(
+            4,
+            &device,
+            &presets::coserve(&device),
+            &model,
+            LinkProfile::ethernet_10g(),
+            ClusterOptions::default().route(crate::dispatch::RoutePolicy::LeastLoaded),
+        )
+        .unwrap();
+        let board = task.board();
+        let drifted = board.drifted(board.num_components() / 2);
+        let stream = RequestStream::generate_open_loop(
+            "drifted poisson",
+            &drifted,
+            cluster.model(),
+            900,
+            coserve_workload::arrivals::ArrivalProcess::poisson(200.0),
+            coserve_workload::stream::StreamOrder::Iid,
+            7,
+        );
+        let horizon = stream.last_arrival().saturating_since(SimTime::ZERO);
+        let tick = SimSpan::from_millis_f64((horizon.as_millis_f64() / 12.0).max(1.0));
+        let admission = AdmissionControl::with_queue_capacity(16);
+        let options = RuntimeOptions::default()
+            .tick(tick)
+            .feedback(FeedbackMode::Corrected)
+            .online(admission, presets::ONLINE_MAX_OVERTAKE);
+        let corrected = cluster.serve_runtime(&stream, &options);
+        let paced = cluster.serve_runtime(&stream, &options.clone().pacing(true));
+        let open =
+            cluster.serve_runtime(&stream, &options.clone().feedback(FeedbackMode::OpenLoop));
+
+        // Conservation holds with front-end sheds in the ledger.
+        assert_eq!(
+            paced.completed + paced.failed + paced.dropped,
+            paced.submitted
+        );
+        assert!(paced.dynamics.paced_shed > 0, "budgets must engage");
+        let p95 = |r: &ClusterReport| r.latency_summary().expect("requests completed").p95;
+        let p50 = |r: &ClusterReport| r.latency_summary().expect("requests completed").p50;
+        // The lost cell, as shipped: scale-only correction trails the
+        // open-loop estimates on the drifted tail.
+        assert!(
+            p95(&corrected) > p95(&open),
+            "cell no longer lost without pacing: corrected {:.1} ms vs open-loop {:.1} ms",
+            p95(&corrected),
+            p95(&open)
+        );
+        // The recovery: bounding per-tick sends from the admission
+        // telemetry takes corrected dispatch past both unpaced modes.
+        assert!(
+            p95(&paced) < p95(&open),
+            "paced corrected p95 {:.1} ms must recover past open-loop {:.1} ms",
+            p95(&paced),
+            p95(&open)
+        );
+        assert!(
+            p50(&paced) < p50(&corrected),
+            "paced corrected p50 {:.1} ms must beat unpaced {:.1} ms",
+            p50(&paced),
+            p50(&corrected)
         );
     }
 

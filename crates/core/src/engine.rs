@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use coserve_metrics::report::{ChannelReport, ExecutorReport, RunReport, SwitchEvent};
+use coserve_metrics::report::{ChannelReport, ExecutorReport, RunReport, RunSnapshot, SwitchEvent};
 use coserve_model::coe::CoeModel;
 use coserve_model::expert::ExpertId;
 use coserve_sim::device::{ArchId, DeviceProfile, ProcessorKind};
@@ -262,9 +262,29 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs the stream to completion and reports.
+    ///
+    /// Expressed on the re-entrant [`EngineSession`]: every arrival is
+    /// submitted up front (matching the event sequence numbering of the
+    /// historical one-shot run loop bit for bit), then the session is
+    /// pumped dry and consumed into a report.
     #[must_use]
     pub fn run(&self, stream: &RequestStream) -> RunReport {
-        Run::new(self, stream).execute()
+        let mut session = self.session(stream.name());
+        for job in stream.jobs() {
+            session
+                .submit(job.arrival, &job.stages)
+                .expect("stream jobs reference experts of the engine's model");
+        }
+        session.pump();
+        session.into_report()
+    }
+
+    /// Opens a re-entrant serving session against this engine's
+    /// configuration. `label` names the session in reports/snapshots
+    /// (the batch facade passes the stream name).
+    #[must_use]
+    pub fn session(&self, label: impl Into<String>) -> EngineSession<'a> {
+        EngineSession::new(self, label)
     }
 }
 
@@ -382,9 +402,93 @@ struct JobState {
     dropped: bool,
 }
 
-struct Run<'a> {
-    engine: &'a Engine<'a>,
-    stream: &'a RequestStream,
+/// Error rejecting a [`EngineSession::submit`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// A job must have at least one stage.
+    EmptyStages,
+    /// Jobs are limited to 255 stages (stage indices are `u8`).
+    TooManyStages(usize),
+    /// A stage names an expert outside the session's model.
+    UnknownExpert(ExpertId),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::EmptyStages => write!(f, "job has no stages"),
+            SubmitError::TooManyStages(n) => {
+                write!(f, "job has {n} stages; at most 255 are supported")
+            }
+            SubmitError::UnknownExpert(e) => {
+                write!(f, "stage names {e}, which the model lacks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// How a submitted job left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStatus {
+    /// Every stage executed.
+    Completed,
+    /// A stage's expert could not be served on any pool it was sent to.
+    Failed,
+    /// Admission control shed the job from a full queue.
+    Dropped,
+}
+
+/// The terminal record of one submitted job, delivered through
+/// [`EngineSession::drain_completions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The id returned by [`EngineSession::submit`].
+    pub job: u32,
+    /// How the job terminated.
+    pub status: CompletionStatus,
+    /// Simulation time of the terminal event.
+    pub finished_at: SimTime,
+    /// Sojourn from (effective) arrival to the terminal event.
+    pub latency: SimSpan,
+}
+
+/// Submitted-job metadata, stored flat: stage experts for all jobs live
+/// in one arena (`stage_arena`) and each job records its slice.
+#[derive(Debug, Clone, Copy)]
+struct SubmittedJob {
+    arrival: SimTime,
+    first_stage: u32,
+    num_stages: u8,
+}
+
+/// A re-entrant serving session: the engine's interior state behind
+/// explicit submit/step/drain methods instead of a consumed one-shot
+/// run.
+///
+/// A session accepts individual jobs ([`EngineSession::submit`]),
+/// advances the discrete-event loop under caller control
+/// ([`EngineSession::step`], [`EngineSession::pump_until`],
+/// [`EngineSession::pump`]), surfaces terminal job records as they
+/// happen ([`EngineSession::drain_completions`]) and live counters at
+/// any point ([`EngineSession::snapshot`]), and finally consumes itself
+/// into the classic [`RunReport`] ([`EngineSession::into_report`]).
+///
+/// Determinism: results depend only on the sequence of `submit` calls
+/// (order included) and are independent of how the event loop is
+/// chopped into `step`/`pump_until`/`pump` calls, because pending
+/// events always pop in `(time, submission seq)` order. Submitting all
+/// jobs of a stream in order and then pumping reproduces the historical
+/// batch run bit for bit — [`Engine::run`] is implemented exactly that
+/// way. Arrivals earlier than the session's current simulation time are
+/// floored to "now".
+pub struct EngineSession<'a> {
+    engine: Engine<'a>,
+    label: String,
+    submitted_jobs: Vec<SubmittedJob>,
+    stage_arena: Vec<ExpertId>,
+    completions: Vec<Completion>,
     events: EventQueue<Ev>,
     scheduler: PooledResource,
     gpu_compute: FifoResource,
@@ -419,8 +523,19 @@ struct Run<'a> {
     protected_scratch: BTreeSet<ExpertId>,
 }
 
-impl<'a> Run<'a> {
-    fn new(engine: &'a Engine<'a>, stream: &'a RequestStream) -> Self {
+impl fmt::Debug for EngineSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineSession")
+            .field("label", &self.label)
+            .field("submitted", &self.submitted_jobs.len())
+            .field("completed", &self.completed)
+            .field("pending_events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> EngineSession<'a> {
+    fn new(engine: &Engine<'a>, label: impl Into<String>) -> Self {
         let layout = engine.memory_layout();
         let execs: Vec<ExecState> = engine
             .config
@@ -451,9 +566,12 @@ impl<'a> Run<'a> {
         } else {
             None
         };
-        let mut run = Run {
-            engine,
-            stream,
+        let mut run = EngineSession {
+            engine: engine.clone(),
+            label: label.into(),
+            submitted_jobs: Vec::new(),
+            stage_arena: Vec::new(),
+            completions: Vec::new(),
             events: EventQueue::new(),
             scheduler: PooledResource::new("scheduler", engine.config.scheduler_slots),
             gpu_compute: FifoResource::new("gpu-compute"),
@@ -463,7 +581,7 @@ impl<'a> Run<'a> {
             host_work: PooledResource::new("host-work", engine.device.host_work_slots()),
             execs,
             cache,
-            jobs: vec![JobState::default(); stream.len()],
+            jobs: Vec::new(),
             rr_cursor: 0,
             completed: 0,
             failed: 0,
@@ -492,38 +610,153 @@ impl<'a> Run<'a> {
     /// placement plan may override the priority order so the node
     /// preloads its placed experts first.
     fn preload(&mut self) {
-        let engine = self.engine;
-        // Borrow the order: either the configured override or the perf
-        // matrix's memoized descending-usage slice — no clone on the
-        // construction path.
-        let order: &[ExpertId] = match &engine.config.preload_order {
+        // Copy the `'a` references out of the engine so the executor
+        // pools can be borrowed mutably alongside them. The order is
+        // either the configured override or the perf matrix's memoized
+        // descending-usage slice — no clone on the construction path.
+        let config = self.engine.config;
+        let perf = self.engine.perf;
+        let model = self.engine.model;
+        let order: &[ExpertId] = match &config.preload_order {
             Some(order) => order,
-            None => engine.perf.experts_by_usage(),
+            None => perf.experts_by_usage(),
         };
-        let model = engine.model;
         let mut pools: Vec<&mut ModelPool> = self.execs.iter_mut().map(|e| &mut e.pool).collect();
         preload_round_robin(&mut pools, order, |e| model.weight_bytes(e));
     }
 
-    fn execute(mut self) -> RunReport {
-        for job in self.stream.jobs() {
-            self.events.push(
-                job.arrival,
-                Ev::Arrive {
-                    job: job.id.0,
-                    stage: 0,
-                },
-            );
+    /// The session label (report/snapshot task name).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The session's current simulation time (timestamp of the last
+    /// processed event; zero before any event processed).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Number of events waiting in the session's calendar.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of jobs submitted so far.
+    #[must_use]
+    pub fn submitted(&self) -> usize {
+        self.submitted_jobs.len()
+    }
+
+    /// Whether every submitted job has reached a terminal state.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Submits one job: `stages` is the expert chain, `arrival` its
+    /// (simulation-time) arrival. Returns the job id completions will
+    /// carry. Arrivals before the session's current time are floored to
+    /// "now"; nothing executes until the event loop is pumped.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or over-long stage chains and experts outside the
+    /// model; the session state is untouched on error.
+    pub fn submit(&mut self, arrival: SimTime, stages: &[ExpertId]) -> Result<u32, SubmitError> {
+        if stages.is_empty() {
+            return Err(SubmitError::EmptyStages);
         }
-        while let Some(ev) = self.events.pop() {
-            let now = ev.at;
-            match ev.payload {
-                Ev::Arrive { job, stage } => self.on_arrive(job, stage, now),
-                Ev::Sched { job, stage } => self.on_sched(job, stage, now),
-                Ev::Leg { exec } => self.on_leg(exec, now),
-            }
+        if stages.len() > usize::from(u8::MAX) {
+            return Err(SubmitError::TooManyStages(stages.len()));
         }
-        self.report()
+        let num_experts = self.engine.model.num_experts();
+        if let Some(&bad) = stages.iter().find(|e| e.index() >= num_experts) {
+            return Err(SubmitError::UnknownExpert(bad));
+        }
+        let job = u32::try_from(self.submitted_jobs.len()).expect("more than u32::MAX jobs");
+        let arrival = arrival.max(self.events.now());
+        let first_stage = u32::try_from(self.stage_arena.len()).expect("stage arena overflow");
+        self.stage_arena.extend_from_slice(stages);
+        self.submitted_jobs.push(SubmittedJob {
+            arrival,
+            first_stage,
+            num_stages: stages.len() as u8,
+        });
+        self.jobs.push(JobState::default());
+        self.events.push(arrival, Ev::Arrive { job, stage: 0 });
+        Ok(job)
+    }
+
+    /// Processes the next pending event. Returns `false` when the
+    /// calendar is empty (the session is idle).
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.events.pop() else {
+            return false;
+        };
+        let now = ev.at;
+        match ev.payload {
+            Ev::Arrive { job, stage } => self.on_arrive(job, stage, now),
+            Ev::Sched { job, stage } => self.on_sched(job, stage, now),
+            Ev::Leg { exec } => self.on_leg(exec, now),
+        }
+        true
+    }
+
+    /// Processes events scheduled strictly before `limit` and returns
+    /// how many were handled. Use this to advance a live session while
+    /// later submissions (with arrivals `>= limit`) may still come:
+    /// stopping short of the watermark keeps the event interleaving —
+    /// and therefore the results — identical to submitting everything
+    /// up front.
+    pub fn pump_until(&mut self, limit: SimTime) -> usize {
+        let mut n = 0;
+        while self.events.peek_time().is_some_and(|t| t < limit) {
+            self.step();
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs the event loop dry (no more submissions expected for now)
+    /// and returns how many events were handled.
+    pub fn pump(&mut self) -> usize {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Takes every terminal job record produced since the last drain,
+    /// in completion order.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Live counters without consuming the session or cloning latency
+    /// ledgers.
+    #[must_use]
+    pub fn snapshot(&self) -> RunSnapshot {
+        RunSnapshot {
+            system: self.engine.config.name.clone(),
+            device: self.engine.device.name().to_string(),
+            task: self.label.clone(),
+            submitted: self.submitted_jobs.len(),
+            completed: self.completed,
+            failed: self.failed,
+            admitted: self.admitted,
+            dropped: self.dropped,
+            stages_executed: self.stages_executed,
+            makespan: self.last_done.saturating_since(SimTime::ZERO),
+            pending_events: self.events.len(),
+            expert_switches: self.switch_events.len() as u64,
+            switch_time_total: self.execs.iter().map(|e| e.switch_time).sum(),
+            exec_time_total: self.execs.iter().map(|e| e.exec_time).sum(),
+            latency: coserve_metrics::stats::Summary::of_spans(&self.job_latencies),
+        }
     }
 
     fn on_arrive(&mut self, job: u32, stage: u8, now: SimTime) {
@@ -539,7 +772,8 @@ impl<'a> Run<'a> {
     }
 
     fn on_sched(&mut self, job: u32, stage: u8, now: SimTime) {
-        let expert = self.stream.jobs()[job as usize].stages[stage as usize];
+        let meta = self.submitted_jobs[job as usize];
+        let expert = self.stage_arena[(meta.first_stage + u32::from(stage)) as usize];
         let exec_idx = self.assign(expert, now);
         // Open-loop admission control: a request assigned to a full
         // queue is dropped, terminating its job (stages are sequential,
@@ -550,6 +784,12 @@ impl<'a> Run<'a> {
                 if !state.dropped && !state.done && !state.failed {
                     state.dropped = true;
                     self.dropped += 1;
+                    self.completions.push(Completion {
+                        job,
+                        status: CompletionStatus::Dropped,
+                        finished_at: now,
+                        latency: now.saturating_since(meta.arrival),
+                    });
                 }
                 return;
             }
@@ -637,9 +877,9 @@ impl<'a> Run<'a> {
                 .entry(req.stage)
                 .or_default()
                 .push(now.saturating_since(req.ready_at));
-            let job = &self.stream.jobs()[req.job.index()];
+            let meta = self.submitted_jobs[req.job.index()];
             let next_stage = req.stage + 1;
-            if (next_stage as usize) < job.stages.len() {
+            if next_stage < meta.num_stages {
                 self.events.push(
                     now,
                     Ev::Arrive {
@@ -652,7 +892,14 @@ impl<'a> Run<'a> {
                 if !state.done {
                     state.done = true;
                     self.completed += 1;
-                    self.job_latencies.push(now.saturating_since(job.arrival));
+                    let latency = now.saturating_since(meta.arrival);
+                    self.job_latencies.push(latency);
+                    self.completions.push(Completion {
+                        job: req.job.0,
+                        status: CompletionStatus::Completed,
+                        finished_at: now,
+                        latency,
+                    });
                 }
             }
         }
@@ -958,7 +1205,7 @@ impl<'a> Run<'a> {
 
         if !self.execs[exec_idx].pool.contains(expert) {
             if weights > self.execs[exec_idx].pool.capacity() {
-                self.fail_batch(&batch);
+                self.fail_batch(&batch, now);
                 self.recycle_batch(batch);
                 return false;
             }
@@ -983,7 +1230,7 @@ impl<'a> Run<'a> {
             )
             .is_err()
             {
-                self.fail_batch(&batch);
+                self.fail_batch(&batch, now);
                 self.recycle_batch(batch);
                 return false;
             }
@@ -1086,12 +1333,19 @@ impl<'a> Run<'a> {
         true
     }
 
-    fn fail_batch(&mut self, batch: &[PendingRequest]) {
+    fn fail_batch(&mut self, batch: &[PendingRequest], now: SimTime) {
         for req in batch {
             let state = &mut self.jobs[req.job.index()];
             if !state.failed && !state.done {
                 state.failed = true;
                 self.failed += 1;
+                let arrival = self.submitted_jobs[req.job.index()].arrival;
+                self.completions.push(Completion {
+                    job: req.job.0,
+                    status: CompletionStatus::Failed,
+                    finished_at: now,
+                    latency: now.saturating_since(arrival),
+                });
             }
         }
     }
@@ -1125,7 +1379,12 @@ impl<'a> Run<'a> {
         self.mark_all_switch_dirty();
     }
 
-    fn report(self) -> RunReport {
+    /// Consumes the session into the classic batch [`RunReport`]. The
+    /// report's `task` is the session label; `submitted` counts every
+    /// `submit` call. Completions not yet drained are discarded — the
+    /// ledgers in the report carry the same information.
+    #[must_use]
+    pub fn into_report(self) -> RunReport {
         let executors = self
             .execs
             .iter()
@@ -1164,8 +1423,8 @@ impl<'a> Run<'a> {
         RunReport {
             system: self.engine.config.name.clone(),
             device: self.engine.device.name().to_string(),
-            task: self.stream.name().to_string(),
-            submitted: self.stream.len(),
+            task: self.label,
+            submitted: self.submitted_jobs.len(),
             completed: self.completed,
             failed: self.failed,
             admitted: self.admitted,
@@ -1311,6 +1570,130 @@ mod tests {
         assert!(report.throughput_ips() > 0.0);
         assert!(report.makespan > SimSpan::ZERO);
         assert_eq!(report.job_latencies.len(), 200);
+    }
+
+    #[test]
+    fn session_replay_matches_batch_run_bit_for_bit() {
+        let (device, model, perf, stream) = setup(30, 200);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let batch = engine.run(&stream);
+        // Incremental replay: submit jobs one by one in arrival order,
+        // advancing the event loop up to the next arrival's watermark
+        // between submissions — the live-server usage pattern.
+        let mut session = engine.session(stream.name());
+        let jobs = stream.jobs();
+        for (i, job) in jobs.iter().enumerate() {
+            session.submit(job.arrival, &job.stages).unwrap();
+            if let Some(next) = jobs.get(i + 1) {
+                session.pump_until(next.arrival);
+            }
+        }
+        session.pump();
+        let completions = session.drain_completions();
+        assert_eq!(completions.len(), stream.len());
+        assert!(completions
+            .iter()
+            .all(|c| c.status == CompletionStatus::Completed));
+        let report = session.into_report();
+        assert_eq!(batch, report);
+    }
+
+    #[test]
+    fn threaded_session_submission_matches_serial_run() {
+        use std::sync::Mutex;
+        let (device, model, perf, stream) = setup(30, 150);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let serial = engine.run(&stream);
+        let jobs = stream.jobs();
+        for threads in [1usize, 2, 4] {
+            // One lock guards both the claim cursor and the session, so
+            // jobs are submitted in arrival order no matter which worker
+            // wins the race — the determinism contract worker threads
+            // rely on.
+            let shared = Mutex::new((engine.session(stream.name()), 0usize));
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let mut guard = shared.lock().unwrap();
+                        let i = guard.1;
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        guard.1 += 1;
+                        guard.0.submit(jobs[i].arrival, &jobs[i].stages).unwrap();
+                    });
+                }
+            });
+            let (mut session, submitted) = shared.into_inner().unwrap();
+            assert_eq!(submitted, jobs.len());
+            session.pump();
+            let report = session.into_report();
+            assert_eq!(serial, report, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn session_snapshot_tracks_live_progress() {
+        let (device, model, perf, stream) = setup(30, 120);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let mut session = engine.session("live");
+        for job in stream.jobs() {
+            session.submit(job.arrival, &job.stages).unwrap();
+        }
+        // Advance halfway through the arrival horizon.
+        let mid = stream.jobs()[stream.len() / 2].arrival;
+        session.pump_until(mid);
+        let snap = session.snapshot();
+        assert_eq!(snap.submitted, 120);
+        assert!(snap.completed > 0, "no progress by mid-run");
+        assert!(snap.completed < 120, "run finished too early");
+        assert!(snap.pending_events > 0);
+        let drained = session.drain_completions();
+        assert_eq!(drained.len(), snap.completed);
+        session.pump();
+        let end = session.snapshot();
+        assert_eq!(end.completed, 120);
+        assert_eq!(end.pending_events, 0);
+        assert!(end.to_json().contains("\"completed\":120"));
+        // Later drains only carry the new completions.
+        assert_eq!(session.drain_completions().len(), 120 - drained.len());
+        // The final snapshot agrees with the consumed report's own.
+        let report = session.into_report();
+        assert_eq!(report.snapshot(), end);
+    }
+
+    #[test]
+    fn session_submit_validates_jobs() {
+        let (device, model, perf, _) = setup(10, 1);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let mut session = engine.session("validate");
+        assert_eq!(
+            session.submit(SimTime::ZERO, &[]),
+            Err(SubmitError::EmptyStages)
+        );
+        let bogus = ExpertId(model.num_experts() as u32);
+        assert_eq!(
+            session.submit(SimTime::ZERO, &[bogus]),
+            Err(SubmitError::UnknownExpert(bogus))
+        );
+        let long = vec![ExpertId(0); 300];
+        assert_eq!(
+            session.submit(SimTime::ZERO, &long),
+            Err(SubmitError::TooManyStages(300))
+        );
+        assert_eq!(session.submitted(), 0);
+        assert!(session.is_idle());
+        // A valid submission still works afterwards.
+        let id = session.submit(SimTime::ZERO, &[ExpertId(0)]).unwrap();
+        assert_eq!(id, 0);
+        session.pump();
+        let done = session.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].status, CompletionStatus::Completed);
     }
 
     #[test]

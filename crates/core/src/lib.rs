@@ -46,7 +46,10 @@ pub mod prelude {
         AdmissionControl, ArrangePolicy, AssignPolicy, ExecutorSpec, MemoryPlan, SystemConfig,
         SystemConfigBuilder,
     };
-    pub use crate::engine::{plan_memory, Engine, EngineError, MemoryLayout};
+    pub use crate::engine::{
+        plan_memory, Completion, CompletionStatus, Engine, EngineError, EngineSession,
+        MemoryLayout, SubmitError,
+    };
     pub use crate::evict::{
         select_victims, select_victims_into, EvictError, EvictionContext, EvictionPolicy,
         EvictionScratch,

@@ -149,6 +149,33 @@ impl ServingSystem {
         Ok(Engine::new(&self.device, &self.model, &self.perf, config)?.run(stream))
     }
 
+    /// Opens a re-entrant serving session against the system's own
+    /// configuration: submit jobs and poll completions incrementally
+    /// instead of consuming a whole stream (see
+    /// [`EngineSession`](crate::engine::EngineSession)). The session
+    /// borrows the system.
+    #[must_use]
+    pub fn session(&self, label: impl Into<String>) -> crate::engine::EngineSession<'_> {
+        self.engine().session(label)
+    }
+
+    /// Opens a re-entrant session through an engine built from
+    /// `config` instead of the system's own configuration — the
+    /// session equivalent of [`ServingSystem::serve_configured`].
+    /// `config` must outlive the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when `config` is not servable on this
+    /// system's device/model/matrix.
+    pub fn session_configured<'a>(
+        &'a self,
+        label: impl Into<String>,
+        config: &'a SystemConfig,
+    ) -> Result<crate::engine::EngineSession<'a>, EngineError> {
+        Ok(Engine::new(&self.device, &self.model, &self.perf, config)?.session(label))
+    }
+
     fn engine(&self) -> Engine<'_> {
         Engine::new(&self.device, &self.model, &self.perf, &self.config)
             .expect("validated at construction")

@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cluster;
+pub mod output;
 pub mod report;
 pub mod series;
 pub mod stats;
@@ -18,8 +19,10 @@ pub mod timeline;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::cluster::{ClusterReport, FailureRecord, FleetDynamics, TickStat};
-    pub use crate::report::{ExecutorReport, RunReport, SwitchEvent};
+    pub use crate::cluster::{
+        ClusterReport, ClusterSnapshot, FailureRecord, FleetDynamics, TickStat,
+    };
+    pub use crate::report::{ExecutorReport, RunReport, RunSnapshot, SwitchEvent};
     pub use crate::series::{FigureData, Series};
     pub use crate::stats::{linear_fit, percentile, LinFit, Summary};
     pub use crate::table::{fmt_f64, Table};

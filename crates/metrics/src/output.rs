@@ -1,0 +1,56 @@
+//! Output-directory resolution shared by every artifact-writing
+//! binary (figure generators, the network server, the load generator).
+//!
+//! One rule, applied everywhere: `COSERVE_OUT_DIR` wins when set,
+//! otherwise artifacts land in `target/figures/` under the workspace
+//! root — anchored to the workspace, not the invocation directory, so
+//! binaries and tests behave the same from any working directory.
+
+use std::path::{Path, PathBuf};
+
+/// Resolves the artifact output directory: `COSERVE_OUT_DIR` when
+/// set, else `target/figures/` under the workspace root.
+#[must_use]
+pub fn out_dir() -> PathBuf {
+    out_dir_anchored(Path::new(env!("CARGO_MANIFEST_DIR")))
+}
+
+/// The resolution rule with an explicit anchor: `manifest_dir` is a
+/// workspace crate's `CARGO_MANIFEST_DIR` (`<root>/crates/<name>`),
+/// whose grandparent is the workspace root.
+#[must_use]
+pub fn out_dir_anchored(manifest_dir: &Path) -> PathBuf {
+    if let Some(dir) = std::env::var_os("COSERVE_OUT_DIR") {
+        return PathBuf::from(dir);
+    }
+    manifest_dir
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest_dir)
+        .join("target/figures")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchored_resolution_climbs_two_levels() {
+        // Other tests in this binary don't set COSERVE_OUT_DIR; when
+        // the harness environment does, the override must win verbatim.
+        let dir = out_dir_anchored(Path::new("/ws/crates/metrics"));
+        match std::env::var_os("COSERVE_OUT_DIR") {
+            Some(v) => assert_eq!(dir, PathBuf::from(v)),
+            None => assert_eq!(dir, PathBuf::from("/ws/target/figures")),
+        }
+    }
+
+    #[test]
+    fn default_is_workspace_anchored() {
+        let dir = out_dir();
+        if std::env::var_os("COSERVE_OUT_DIR").is_none() {
+            assert!(dir.is_absolute(), "default must not depend on CWD");
+            assert!(dir.ends_with("target/figures"));
+        }
+    }
+}

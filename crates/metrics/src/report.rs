@@ -413,6 +413,115 @@ impl RunReport {
     }
 }
 
+/// A non-consuming, allocation-light view of a run's live counters.
+///
+/// Built mid-run by the engine session (for the server's admin
+/// endpoint) or from a finished [`RunReport`] via
+/// [`RunReport::snapshot`]. Unlike cloning a report, a snapshot never
+/// copies the latency/switch ledgers: the latency distribution is
+/// reduced to a [`Summary`] in place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSnapshot {
+    /// Serving system name.
+    pub system: String,
+    /// Device name.
+    pub device: String,
+    /// Task / session label.
+    pub task: String,
+    /// Jobs submitted so far.
+    pub submitted: usize,
+    /// Jobs fully completed.
+    pub completed: usize,
+    /// Jobs failed.
+    pub failed: usize,
+    /// Jobs past admission control.
+    pub admitted: usize,
+    /// Jobs dropped by admission control.
+    pub dropped: usize,
+    /// Stages executed.
+    pub stages_executed: usize,
+    /// Time from the first arrival to the latest completion.
+    pub makespan: SimSpan,
+    /// Events still pending in the session calendar (zero for a
+    /// finished run).
+    pub pending_events: usize,
+    /// Expert switches so far.
+    pub expert_switches: u64,
+    /// Total executor time spent switching.
+    pub switch_time_total: SimSpan,
+    /// Total executor time spent executing.
+    pub exec_time_total: SimSpan,
+    /// Completed-job sojourn summary, if any job completed.
+    pub latency: Option<Summary>,
+}
+
+impl RunSnapshot {
+    /// Completed jobs per second over the makespan so far.
+    #[must_use]
+    pub fn throughput_ips(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// The snapshot as a JSON object (same field conventions as
+    /// [`RunReport::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"system\":{},\"device\":{},\"task\":{},\
+             \"submitted\":{},\"completed\":{},\"failed\":{},\
+             \"admitted\":{},\"dropped\":{},\"stages_executed\":{},\
+             \"makespan_ms\":{},\"throughput_ips\":{},\"pending_events\":{},\
+             \"expert_switches\":{},\"switch_time_total_ms\":{},\
+             \"exec_time_total_ms\":{},\"latency\":{}}}",
+            json_str(&self.system),
+            json_str(&self.device),
+            json_str(&self.task),
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.admitted,
+            self.dropped,
+            self.stages_executed,
+            json_f64(self.makespan.as_millis_f64()),
+            json_f64(self.throughput_ips()),
+            self.pending_events,
+            self.expert_switches,
+            json_f64(self.switch_time_total.as_millis_f64()),
+            json_f64(self.exec_time_total.as_millis_f64()),
+            json_summary(self.latency),
+        )
+    }
+}
+
+impl RunReport {
+    /// A live-counter view of this (finished) report; see
+    /// [`RunSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> RunSnapshot {
+        RunSnapshot {
+            system: self.system.clone(),
+            device: self.device.clone(),
+            task: self.task.clone(),
+            submitted: self.submitted,
+            completed: self.completed,
+            failed: self.failed,
+            admitted: self.admitted,
+            dropped: self.dropped,
+            stages_executed: self.stages_executed,
+            makespan: self.makespan,
+            pending_events: 0,
+            expert_switches: self.expert_switches(),
+            switch_time_total: self.switch_time_total,
+            exec_time_total: self.exec_time_total,
+            latency: self.latency_summary(),
+        }
+    }
+}
+
 /// Escapes `s` as a JSON string literal (quotes included).
 pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

@@ -1,0 +1,91 @@
+//! The admin port.
+//!
+//! A minimal HTTP/1.0 responder on a second listener, in the Pelikan
+//! tradition of keeping operational traffic off the data port:
+//!
+//! | endpoint    | answer                                             |
+//! |-------------|----------------------------------------------------|
+//! | `/healthz`  | `200 ok` while the server is accepting             |
+//! | `/stats`    | live JSON: server counters + engine `RunSnapshot`  |
+//! | `/shutdown` | sets the shutdown flag and acknowledges            |
+//!
+//! `/stats` is served mid-run without consuming or pausing the engine
+//! — it takes the core lock just long enough to copy a non-consuming
+//! [`RunSnapshot`](coserve_metrics::report::RunSnapshot) (the
+//! satellite API added for exactly this endpoint).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crate::server::Server;
+use crate::service::ServiceCore;
+
+/// Answers one admin connection: read a single HTTP request, write a
+/// single response, close. Malformed or slow requests are dropped
+/// silently — the admin port never blocks the server.
+pub(crate) fn serve_admin_connection(
+    server: &Server,
+    core: &ServiceCore<'_>,
+    mut stream: TcpStream,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let Some(path) = read_request_path(&mut stream) else {
+        return;
+    };
+    let (status, body) = match path.as_str() {
+        "/healthz" => ("200 OK", "ok\n".to_string()),
+        "/stats" => ("200 OK", stats_json(server, core)),
+        "/shutdown" => {
+            server.shutdown();
+            ("200 OK", "shutting down\n".to_string())
+        }
+        _ => ("404 Not Found", "unknown endpoint\n".to_string()),
+    };
+    let content_type = if status.starts_with("200") && path == "/stats" {
+        "application/json"
+    } else {
+        "text/plain"
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// Reads request bytes until the header terminator (or 4 KiB, or
+/// timeout) and extracts the request path from the request line.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    while buf.len() < 4096 && !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let request_line = text.lines().next()?;
+    // "GET /stats HTTP/1.1" → "/stats"
+    request_line.split_whitespace().nth(1).map(str::to_string)
+}
+
+/// The `/stats` document: server-level counters plus a live engine
+/// snapshot, all one JSON object.
+fn stats_json(server: &Server, core: &ServiceCore<'_>) -> String {
+    let counters = server.counters();
+    let (opened, open, delivered) = core.counters();
+    format!(
+        "{{\"server\":{{\"accepted\":{},\"frames\":{},\"protocol_errors\":{},\
+         \"conns_opened\":{opened},\"conns_open\":{open},\"completions_delivered\":{delivered}}},\
+         \"engine\":{}}}",
+        counters.accepted.load(Ordering::Relaxed),
+        counters.frames.load(Ordering::Relaxed),
+        counters.protocol_errors.load(Ordering::Relaxed),
+        core.snapshot().to_json(),
+    )
+}

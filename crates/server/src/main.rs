@@ -1,0 +1,172 @@
+//! The `coserve-server` binary: builds a serving system for one of the
+//! paper's circuit-board tasks and serves it over TCP until
+//! `GET /shutdown` arrives on the admin port.
+//!
+//! ```text
+//! coserve-server [--addr 127.0.0.1:7600] [--admin-addr 127.0.0.1:7601]
+//!                [--workers 2] [--task a1|a2|b1|b2] [--scale 1.0]
+//! ```
+//!
+//! Port 0 binds a free port; the real addresses are printed on stdout
+//! (`data addr: …` / `admin addr: …`) so scripted drivers — the CI
+//! smoke test, `coserve-loadgen --boot` — can read them back. On
+//! shutdown the final engine report summary is printed and a
+//! `RunReport` JSON artifact is written next to the figure CSVs.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use coserve_core::prelude::*;
+use coserve_model::devices;
+use coserve_server::server::{Server, ServerConfig};
+use coserve_server::service::ServiceCore;
+use coserve_workload::task::TaskSpec;
+
+struct Args {
+    addr: SocketAddr,
+    admin_addr: SocketAddr,
+    workers: usize,
+    task: String,
+    scale: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7600".parse().expect("literal addr"),
+        admin_addr: "127.0.0.1:7601".parse().expect("literal addr"),
+        workers: 2,
+        task: "a1".to_string(),
+        scale: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = value("--addr")?
+                    .parse()
+                    .map_err(|e| format!("bad --addr: {e}"))?;
+            }
+            "--admin-addr" => {
+                args.admin_addr = value("--admin-addr")?
+                    .parse()
+                    .map_err(|e| format!("bad --admin-addr: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--task" => args.task = value("--task")?,
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if !(args.scale > 0.0 && args.scale.is_finite()) {
+                    return Err("--scale must be positive and finite".into());
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: coserve-server [--addr A] [--admin-addr A] [--workers N] \
+                     [--task a1|a2|b1|b2] [--scale F]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn task_spec(name: &str) -> Result<TaskSpec, String> {
+    match name {
+        "a1" => Ok(TaskSpec::a1()),
+        "a2" => Ok(TaskSpec::a2()),
+        "b1" => Ok(TaskSpec::b1()),
+        "b2" => Ok(TaskSpec::b2()),
+        other => Err(format!("unknown task {other} (expected a1|a2|b1|b2)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let task = match task_spec(&args.task) {
+        Ok(task) => {
+            if (args.scale - 1.0).abs() < 1e-9 {
+                task
+            } else {
+                task.scaled(args.scale)
+            }
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let device = devices::numa_rtx3080ti();
+    let model = task.build_model().expect("built-in boards validate");
+    let config = presets::coserve(&device);
+    let system = match ServingSystem::new(device, model, config) {
+        Ok(system) => system,
+        Err(e) => {
+            eprintln!("cannot build serving system: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let server = match Server::bind(&ServerConfig {
+        addr: args.addr,
+        admin_addr: args.admin_addr,
+        workers: args.workers,
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "data addr: {}",
+        server.data_addr().expect("bound listener has an address")
+    );
+    println!(
+        "admin addr: {}",
+        server.admin_addr().expect("bound listener has an address")
+    );
+    println!(
+        "serving task {} ({} experts) with {} workers",
+        task.name(),
+        system.model().num_experts(),
+        args.workers,
+    );
+
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    if let Err(e) = server.run(&core) {
+        eprintln!("server error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let report = core.into_report();
+    println!("{}", report.summary_line());
+    let json = report.to_json();
+    let path = coserve_metrics::output::out_dir().join("server_run.json");
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, &json)
+    };
+    match write() {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,320 @@
+//! The network front-end.
+//!
+//! A deliberately boring threaded TCP server in the shape of Pelikan's
+//! `pingserver`: one acceptor, a fixed pool of worker threads fed
+//! through a channel, one [`FrameBuffer`] per connection so reads can
+//! stop at arbitrary byte boundaries, and an admin listener on a
+//! second port (see [`crate::admin`]). Workers decode frames, hand
+//! them to the shared [`ServiceCore`], and write the response back —
+//! all engine logic lives behind the core's mutex, none in the
+//! network layer.
+//!
+//! Everything polls a shared shutdown flag on short timeouts instead
+//! of blocking forever, so `GET /shutdown` on the admin port (or
+//! [`Server::shutdown`]) unwinds the whole scope cleanly.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+use crate::admin;
+use crate::protocol::{
+    decode_request, encode_response, write_frame, ErrorCode, FrameBuffer, Response,
+};
+use crate::service::ServiceCore;
+
+/// How long blocking points (accept polls, worker channel waits,
+/// connection reads) wait before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Data-port bind address (`127.0.0.1:0` picks a free port).
+    pub addr: SocketAddr,
+    /// Admin-port bind address.
+    pub admin_addr: SocketAddr,
+    /// Worker threads serving data connections (at least 1).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            admin_addr: "127.0.0.1:0".parse().expect("literal addr"),
+            workers: 2,
+        }
+    }
+}
+
+/// Monotone counters the admin endpoint reports.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Data connections accepted.
+    pub accepted: AtomicU64,
+    /// Request frames decoded and handled.
+    pub frames: AtomicU64,
+    /// Connections dropped on a malformed frame.
+    pub protocol_errors: AtomicU64,
+}
+
+/// A bound (but not yet running) server.
+///
+/// Binding is split from running so tests and the binary can bind port
+/// 0, read the real addresses back, and only then start serving:
+///
+/// ```no_run
+/// # use coserve_server::server::{Server, ServerConfig};
+/// # fn demo(core: &coserve_server::service::ServiceCore<'_>) -> std::io::Result<()> {
+/// let server = Server::bind(&ServerConfig::default())?;
+/// println!("data on {}, admin on {}", server.data_addr()?, server.admin_addr()?);
+/// server.run(core)?; // blocks until /shutdown
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    data: TcpListener,
+    admin: TcpListener,
+    workers: usize,
+    shutdown: AtomicBool,
+    counters: ServerCounters,
+}
+
+impl Server {
+    /// Binds the data and admin listeners.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        Ok(Server {
+            data: TcpListener::bind(config.addr)?,
+            admin: TcpListener::bind(config.admin_addr)?,
+            workers: config.workers.max(1),
+            shutdown: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+        })
+    }
+
+    /// The bound data address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn data_addr(&self) -> io::Result<SocketAddr> {
+        self.data.local_addr()
+    }
+
+    /// The bound admin address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn admin_addr(&self) -> io::Result<SocketAddr> {
+        self.admin.local_addr()
+    }
+
+    /// Requests shutdown; [`Server::run`] returns once in-flight
+    /// connections notice (bounded by the internal poll interval).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The server's monotone counters.
+    #[must_use]
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// Serves until shutdown: accepts data connections, fans them out
+    /// to the worker pool, and answers admin requests. Blocks the
+    /// calling thread; the engine session inside `core` borrows state
+    /// on the caller's stack, which is why the whole pool lives in a
+    /// [`std::thread::scope`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures; per-connection I/O
+    /// errors only drop that connection.
+    pub fn run(&self, core: &ServiceCore<'_>) -> io::Result<()> {
+        self.data.set_nonblocking(true)?;
+        self.admin.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+
+        std::thread::scope(|scope| {
+            for worker in 0..self.workers {
+                let rx = &rx;
+                std::thread::Builder::new()
+                    .name(format!("coserve-worker-{worker}"))
+                    .spawn_scoped(scope, move || self.worker_loop(core, rx))
+                    .expect("spawn worker");
+            }
+            std::thread::Builder::new()
+                .name("coserve-admin".into())
+                .spawn_scoped(scope, move || self.admin_loop(core))
+                .expect("spawn admin");
+
+            // The acceptor runs on the calling thread.
+            while !self.is_shutting_down() {
+                match self.data.accept() {
+                    Ok((stream, _peer)) => {
+                        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+            drop(tx); // workers drain the queue, then see the hangup
+        });
+        Ok(())
+    }
+
+    fn worker_loop(&self, core: &ServiceCore<'_>, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+        loop {
+            let next = {
+                let rx = rx.lock().expect("worker channel poisoned");
+                rx.recv_timeout(POLL_INTERVAL)
+            };
+            match next {
+                Ok(stream) => self.serve_connection(core, stream),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.is_shutting_down() {
+                        return;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Serves one data connection to EOF: Pelikan-style per-session
+    /// receive buffer, short read timeouts so the shutdown flag is
+    /// polled even while a frame is partially received.
+    fn serve_connection(&self, core: &ServiceCore<'_>, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let _ = stream.set_nodelay(true);
+        let mut frames = FrameBuffer::new();
+        let mut conn: Option<u32> = None;
+        let mut read_buf = [0u8; 16 * 1024];
+
+        'conn: loop {
+            if self.is_shutting_down() {
+                let bye = Response::Error {
+                    code: ErrorCode::Shutdown,
+                    message: "server shutting down".into(),
+                };
+                let _ = write_frame(&mut stream, &encode_response(&bye));
+                break;
+            }
+            let n = match stream.read(&mut read_buf) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            };
+            frames.extend(&read_buf[..n]);
+            loop {
+                let payload = match frames.next_frame() {
+                    Ok(Some(payload)) => payload,
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        break 'conn;
+                    }
+                };
+                let response = match decode_request(&payload) {
+                    Ok(request) => {
+                        self.counters.frames.fetch_add(1, Ordering::Relaxed);
+                        core.handle(&mut conn, request)
+                    }
+                    Err(e) => {
+                        self.counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                if write_frame(&mut stream, &encode_response(&response)).is_err() {
+                    break 'conn;
+                }
+            }
+        }
+        // A connection that vanished without `Finish` still releases
+        // its session state (and orphans its undelivered completions).
+        if let Some(id) = conn {
+            core.disconnect(id);
+        }
+    }
+
+    fn admin_loop(&self, core: &ServiceCore<'_>) {
+        while !self.is_shutting_down() {
+            match self.admin.accept() {
+                Ok((stream, _peer)) => admin::serve_admin_connection(self, core, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+    }
+}
+
+/// Blocking wire client used by the load generator and the tests; one
+/// request frame out, one response frame back.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server's data port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads the matching response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a server-closed connection is
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn call(&mut self, request: &crate::protocol::Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &crate::protocol::encode_request(request))?;
+        let payload = crate::protocol::read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+        })?;
+        Ok(crate::protocol::decode_response(&payload)?)
+    }
+}

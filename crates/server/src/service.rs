@@ -1,0 +1,392 @@
+//! The shared service core.
+//!
+//! [`ServiceCore`] wraps one re-entrant [`EngineSession`] behind a
+//! mutex and multiplexes it across connections: every connection gets
+//! an id at `Hello`, submitted jobs are tagged with their owning
+//! connection, and each engine pump routes freshly drained completions
+//! into per-connection buffers that `Poll` empties. This is the
+//! layering Pelikan uses between its worker threads and the storage
+//! module — the network side never touches engine state directly, it
+//! hands decoded requests to the core and writes back the response.
+//!
+//! The engine itself is single-threaded and deterministic; the mutex
+//! serializes all engine access, so results are identical to a serial
+//! session no matter how many worker threads drive the core (pinned by
+//! the equivalence tests in `crates/core` and the end-to-end tests in
+//! this crate).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use coserve_core::engine::EngineSession;
+use coserve_metrics::report::{RunReport, RunSnapshot};
+
+use crate::protocol::{ErrorCode, Request, Response, WireCompletion};
+
+/// Engine session shared by every connection of one server run.
+#[derive(Debug)]
+pub struct ServiceCore<'a> {
+    inner: Mutex<CoreInner<'a>>,
+}
+
+#[derive(Debug)]
+struct CoreInner<'a> {
+    session: EngineSession<'a>,
+    /// Experts in the served model (for the `Hello` answer).
+    num_experts: u32,
+    next_conn: u32,
+    /// Open connections and their undelivered completions.
+    conns: BTreeMap<u32, Vec<WireCompletion>>,
+    /// Job id → owning connection id, indexed by job id (job ids are
+    /// assigned densely by the engine).
+    owner: Vec<u32>,
+    /// Total connections ever opened (admin counter).
+    opened: u64,
+    /// Total completions delivered through `Poll` (admin counter).
+    delivered: u64,
+}
+
+impl<'a> ServiceCore<'a> {
+    /// Wraps a session for shared service.
+    #[must_use]
+    pub fn new(session: EngineSession<'a>, num_experts: usize) -> Self {
+        ServiceCore {
+            inner: Mutex::new(CoreInner {
+                session,
+                num_experts: u32::try_from(num_experts).unwrap_or(u32::MAX),
+                next_conn: 0,
+                conns: BTreeMap::new(),
+                owner: Vec::new(),
+                opened: 0,
+                delivered: 0,
+            }),
+        }
+    }
+
+    /// Handles one decoded request on behalf of a connection.
+    ///
+    /// `conn` is the worker's per-socket session state: `None` until a
+    /// successful `Hello` fills it in, back to `None` after `Finish`.
+    /// Requests other than `Hello`/`Stats` on an un-greeted connection
+    /// get a [`ErrorCode::BadRequest`] response.
+    pub fn handle(&self, conn: &mut Option<u32>, req: Request) -> Response {
+        let mut inner = self.inner.lock().expect("service core poisoned");
+        match req {
+            Request::Hello => {
+                let id = inner.next_conn;
+                inner.next_conn += 1;
+                inner.opened += 1;
+                inner.conns.insert(id, Vec::new());
+                *conn = Some(id);
+                Response::Hello {
+                    conn: id,
+                    num_experts: inner.num_experts,
+                    system: inner.session.label().to_string(),
+                }
+            }
+            Request::Submit { arrival, stages } => {
+                let Some(id) = *conn else {
+                    return bad_request("submit before hello");
+                };
+                // Arrivals never travel backwards: the engine requires
+                // monotone submission, so a wire arrival that is
+                // already in the past is floored to "now".
+                let arrival = arrival.max(inner.session.now());
+                match inner.session.submit(arrival, &stages) {
+                    Ok(job) => {
+                        debug_assert_eq!(inner.owner.len(), job as usize);
+                        inner.owner.push(id);
+                        Response::Submit { job }
+                    }
+                    Err(e) => Response::Error {
+                        code: ErrorCode::Rejected,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Poll => {
+                let Some(id) = *conn else {
+                    return bad_request("poll before hello");
+                };
+                let completions = inner
+                    .conns
+                    .get_mut(&id)
+                    .map(std::mem::take)
+                    .unwrap_or_default();
+                inner.delivered += completions.len() as u64;
+                Response::Poll { completions }
+            }
+            Request::Pump { limit } => {
+                if conn.is_none() {
+                    return bad_request("pump before hello");
+                }
+                let processed = match limit {
+                    Some(t) => inner.session.pump_until(t),
+                    None => inner.session.pump(),
+                };
+                inner.route_completions();
+                Response::Pump {
+                    processed: processed as u64,
+                    now: inner.session.now(),
+                    pending: u32::try_from(inner.session.pending_events()).unwrap_or(u32::MAX),
+                }
+            }
+            Request::Finish => {
+                let Some(id) = conn.take() else {
+                    return bad_request("finish before hello");
+                };
+                inner.conns.remove(&id);
+                Response::Finish {
+                    open_conns: u32::try_from(inner.conns.len()).unwrap_or(u32::MAX),
+                }
+            }
+            Request::Stats => Response::Stats {
+                json: inner.session.snapshot().to_json(),
+            },
+        }
+    }
+
+    /// Drops a connection that disconnected without `Finish`.
+    pub fn disconnect(&self, conn: u32) {
+        let mut inner = self.inner.lock().expect("service core poisoned");
+        inner.conns.remove(&conn);
+    }
+
+    /// A live, non-consuming snapshot of the shared engine.
+    #[must_use]
+    pub fn snapshot(&self) -> RunSnapshot {
+        self.inner
+            .lock()
+            .expect("service core poisoned")
+            .session
+            .snapshot()
+    }
+
+    /// Service-level counters for the admin endpoint:
+    /// `(connections opened, connections open, completions delivered)`.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock().expect("service core poisoned");
+        (inner.opened, inner.conns.len() as u64, inner.delivered)
+    }
+
+    /// Drains any remaining events and consumes the core into the
+    /// engine's final [`RunReport`].
+    #[must_use]
+    pub fn into_report(self) -> RunReport {
+        let mut inner = self.inner.into_inner().expect("service core poisoned");
+        inner.session.pump();
+        inner.session.into_report()
+    }
+}
+
+impl CoreInner<'_> {
+    /// Routes freshly drained completions into their owning
+    /// connection's buffer; completions owned by a connection that
+    /// already finished are dropped on the floor.
+    fn route_completions(&mut self) {
+        for completion in self.session.drain_completions() {
+            let owner = self.owner[completion.job as usize];
+            if let Some(buf) = self.conns.get_mut(&owner) {
+                buf.push(WireCompletion::from(completion));
+            }
+        }
+    }
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coserve_core::prelude::*;
+    use coserve_model::devices;
+    use coserve_sim::time::SimTime;
+    use coserve_workload::task::TaskSpec;
+
+    fn tiny_system() -> ServingSystem {
+        let device = devices::numa_rtx3080ti();
+        let task = TaskSpec::a1().scaled(0.01);
+        let model = task.build_model().unwrap();
+        let config = presets::coserve(&device);
+        ServingSystem::new(device, model, config).unwrap()
+    }
+
+    #[test]
+    fn hello_submit_pump_poll_finish() {
+        let system = tiny_system();
+        let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+
+        let mut conn = None;
+        let hello = core.handle(&mut conn, Request::Hello);
+        let Response::Hello {
+            conn: id,
+            num_experts,
+            system: name,
+        } = hello
+        else {
+            panic!("expected hello, got {hello:?}");
+        };
+        assert_eq!(conn, Some(id));
+        assert_eq!(num_experts as usize, system.model().num_experts());
+        assert_eq!(name, "CoServe");
+
+        let stream = TaskSpec::a1().scaled(0.01).stream(system.model());
+        let req = &stream.jobs()[0];
+        let submit = core.handle(
+            &mut conn,
+            Request::Submit {
+                arrival: SimTime::ZERO,
+                stages: req.stages.clone(),
+            },
+        );
+        let Response::Submit { job } = submit else {
+            panic!("expected submit ok, got {submit:?}");
+        };
+        assert_eq!(job, 0);
+
+        let pump = core.handle(&mut conn, Request::Pump { limit: None });
+        let Response::Pump {
+            processed, pending, ..
+        } = pump
+        else {
+            panic!("expected pump ok, got {pump:?}");
+        };
+        assert!(processed > 0);
+        assert_eq!(pending, 0);
+
+        let poll = core.handle(&mut conn, Request::Poll);
+        let Response::Poll { completions } = poll else {
+            panic!("expected poll ok, got {poll:?}");
+        };
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].job, 0);
+
+        // Polling again is empty — completions are delivered once.
+        let again = core.handle(&mut conn, Request::Poll);
+        assert_eq!(
+            again,
+            Response::Poll {
+                completions: Vec::new()
+            }
+        );
+
+        let finish = core.handle(&mut conn, Request::Finish);
+        assert_eq!(finish, Response::Finish { open_conns: 0 });
+        assert_eq!(conn, None);
+
+        let (opened, open, delivered) = core.counters();
+        assert_eq!((opened, open, delivered), (1, 0, 1));
+    }
+
+    #[test]
+    fn requests_before_hello_are_rejected() {
+        let system = tiny_system();
+        let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+        let mut conn = None;
+        for req in [
+            Request::Submit {
+                arrival: SimTime::ZERO,
+                stages: vec![coserve_model::expert::ExpertId(0)],
+            },
+            Request::Poll,
+            Request::Pump { limit: None },
+            Request::Finish,
+        ] {
+            let resp = core.handle(&mut conn, req);
+            assert!(
+                matches!(
+                    resp,
+                    Response::Error {
+                        code: ErrorCode::BadRequest,
+                        ..
+                    }
+                ),
+                "expected bad request, got {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn completions_route_to_their_owning_connection() {
+        let system = tiny_system();
+        let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+        let stream = TaskSpec::a1().scaled(0.01).stream(system.model());
+
+        let mut a = None;
+        let mut b = None;
+        core.handle(&mut a, Request::Hello);
+        core.handle(&mut b, Request::Hello);
+
+        // Even jobs from connection a, odd jobs from connection b.
+        let mut expect_a = Vec::new();
+        let mut expect_b = Vec::new();
+        for (i, req) in stream.jobs().iter().enumerate() {
+            let who = if i % 2 == 0 { &mut a } else { &mut b };
+            let resp = core.handle(
+                who,
+                Request::Submit {
+                    arrival: req.arrival,
+                    stages: req.stages.clone(),
+                },
+            );
+            let Response::Submit { job } = resp else {
+                panic!("expected submit ok, got {resp:?}");
+            };
+            if i % 2 == 0 {
+                expect_a.push(job);
+            } else {
+                expect_b.push(job);
+            }
+        }
+
+        core.handle(&mut a, Request::Pump { limit: None });
+        let polled = |resp: Response| -> Vec<u32> {
+            let Response::Poll { completions } = resp else {
+                panic!("expected poll ok, got {resp:?}");
+            };
+            let mut jobs: Vec<u32> = completions.iter().map(|c| c.job).collect();
+            jobs.sort_unstable();
+            jobs
+        };
+        assert_eq!(polled(core.handle(&mut a, Request::Poll)), expect_a);
+        assert_eq!(polled(core.handle(&mut b, Request::Poll)), expect_b);
+    }
+
+    #[test]
+    fn disconnected_connections_drop_their_completions() {
+        let system = tiny_system();
+        let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+        let stream = TaskSpec::a1().scaled(0.01).stream(system.model());
+        let req = &stream.jobs()[0];
+
+        let mut gone = None;
+        core.handle(&mut gone, Request::Hello);
+        core.handle(
+            &mut gone,
+            Request::Submit {
+                arrival: SimTime::ZERO,
+                stages: req.stages.clone(),
+            },
+        );
+        core.disconnect(gone.unwrap());
+
+        let mut live = None;
+        core.handle(&mut live, Request::Hello);
+        core.handle(&mut live, Request::Pump { limit: None });
+        // The orphaned completion is discarded, not misdelivered.
+        assert_eq!(
+            core.handle(&mut live, Request::Poll),
+            Response::Poll {
+                completions: Vec::new()
+            }
+        );
+        let report = core.into_report();
+        assert_eq!(report.completed, 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! End-to-end tests: real TCP loopback sockets, the full worker pool,
+//! and the admin port — pinned against the batch facade.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use coserve_core::prelude::*;
+use coserve_model::devices;
+use coserve_server::prelude::*;
+use coserve_server::server::{Client, Server, ServerConfig};
+use coserve_sim::time::SimSpan;
+use coserve_workload::task::TaskSpec;
+
+fn tiny_setup() -> (ServingSystem, coserve_workload::stream::RequestStream) {
+    let device = devices::numa_rtx3080ti();
+    let task = TaskSpec::a1().scaled(0.02); // 50 requests
+    let model = task.build_model().unwrap();
+    let config = presets::coserve(&device);
+    let system = ServingSystem::new(device, model, config).unwrap();
+    let stream = task.stream(system.model());
+    (system, stream)
+}
+
+/// Boots a server around `core`, runs `client_side` against the bound
+/// addresses, shuts down, and returns once the scope unwinds.
+fn with_server<'a>(
+    core: &ServiceCore<'a>,
+    workers: usize,
+    client_side: impl FnOnce(std::net::SocketAddr, std::net::SocketAddr),
+) {
+    let server = Server::bind(&ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let data = server.data_addr().unwrap();
+    let admin = server.admin_addr().unwrap();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(core));
+        client_side(data, admin);
+        server.shutdown();
+        handle.join().unwrap().unwrap();
+    });
+}
+
+fn admin_get(admin: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(admin).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// The acceptance pin: a request stream pushed through the wire — at
+/// 1, 2 and 4 worker threads — completes with per-job latencies
+/// bit-identical to the consumed batch facade.
+#[test]
+fn wire_serving_matches_batch_serve_across_worker_counts() {
+    let (system, stream) = tiny_setup();
+    let batch = system.serve(&stream);
+    let mut expected: Vec<SimSpan> = batch.job_latencies.clone();
+    expected.sort_unstable();
+
+    for workers in [1usize, 2, 4] {
+        let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+        with_server(&core, workers, |data, _admin| {
+            let mut client = Client::connect(data).unwrap();
+            let hello = client.call(&Request::Hello).unwrap();
+            assert!(
+                matches!(hello, Response::Hello { conn: 0, .. }),
+                "unexpected hello: {hello:?}"
+            );
+
+            for job in stream.jobs() {
+                let resp = client
+                    .call(&Request::Submit {
+                        arrival: job.arrival,
+                        stages: job.stages.clone(),
+                    })
+                    .unwrap();
+                assert!(matches!(resp, Response::Submit { .. }), "{resp:?}");
+            }
+            let pump = client.call(&Request::Pump { limit: None }).unwrap();
+            let Response::Pump { pending, .. } = pump else {
+                panic!("expected pump ok, got {pump:?}");
+            };
+            assert_eq!(pending, 0);
+
+            let poll = client.call(&Request::Poll).unwrap();
+            let Response::Poll { completions } = poll else {
+                panic!("expected poll ok, got {poll:?}");
+            };
+            assert_eq!(completions.len(), batch.completed, "workers={workers}");
+            let mut latencies: Vec<SimSpan> = completions.iter().map(|c| c.latency).collect();
+            latencies.sort_unstable();
+            assert_eq!(latencies, expected, "workers={workers}");
+
+            let finish = client.call(&Request::Finish).unwrap();
+            assert_eq!(finish, Response::Finish { open_conns: 0 });
+        });
+        let report = core.into_report();
+        assert_eq!(report.completed, batch.completed, "workers={workers}");
+        assert_eq!(report.job_latencies, batch.job_latencies);
+    }
+}
+
+/// Two concurrent connections served by a 2-worker pool: every job
+/// completes exactly once and lands on its owning connection.
+#[test]
+fn concurrent_connections_conserve_jobs() {
+    let (system, stream) = tiny_setup();
+    let total = stream.len();
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    with_server(&core, 2, |data, _admin| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|half| {
+                    let jobs: Vec<_> = stream
+                        .jobs()
+                        .iter()
+                        .skip(half)
+                        .step_by(2)
+                        .cloned()
+                        .collect();
+                    scope.spawn(move || {
+                        let mut client = Client::connect(data).unwrap();
+                        client.call(&Request::Hello).unwrap();
+                        let mut mine = Vec::new();
+                        for job in &jobs {
+                            let resp = client
+                                .call(&Request::Submit {
+                                    arrival: job.arrival,
+                                    stages: job.stages.clone(),
+                                })
+                                .unwrap();
+                            let Response::Submit { job: id } = resp else {
+                                panic!("expected submit ok, got {resp:?}");
+                            };
+                            mine.push(id);
+                        }
+                        // Pump + poll until all of this connection's
+                        // jobs came back.
+                        let mut got = Vec::new();
+                        while got.len() < jobs.len() {
+                            client.call(&Request::Pump { limit: None }).unwrap();
+                            let resp = client.call(&Request::Poll).unwrap();
+                            let Response::Poll { completions } = resp else {
+                                panic!("expected poll ok, got {resp:?}");
+                            };
+                            got.extend(completions.iter().map(|c| c.job));
+                        }
+                        got.sort_unstable();
+                        mine.sort_unstable();
+                        assert_eq!(got, mine, "completions must route to their owner");
+                        client.call(&Request::Finish).unwrap();
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+    let report = core.into_report();
+    assert_eq!(report.completed, total);
+    assert_eq!(report.submitted, total);
+}
+
+/// The admin port answers mid-run with live JSON, and `/shutdown`
+/// unwinds the server cleanly.
+#[test]
+fn admin_port_serves_live_stats_and_shutdown() {
+    let (system, stream) = tiny_setup();
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+
+    let server = Server::bind(&ServerConfig::default()).unwrap();
+    let data = server.data_addr().unwrap();
+    let admin = server.admin_addr().unwrap();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&core));
+
+        let health = admin_get(admin, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+
+        // Submit half the stream and pump, then read stats mid-run —
+        // the engine is live, not consumed.
+        let mut client = Client::connect(data).unwrap();
+        client.call(&Request::Hello).unwrap();
+        for job in stream.jobs().iter().take(stream.len() / 2) {
+            client
+                .call(&Request::Submit {
+                    arrival: job.arrival,
+                    stages: job.stages.clone(),
+                })
+                .unwrap();
+        }
+        client.call(&Request::Pump { limit: None }).unwrap();
+
+        let stats = admin_get(admin, "/stats");
+        assert!(stats.starts_with("HTTP/1.0 200"), "{stats}");
+        let body = stats.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with("{\"server\":{\"accepted\":"), "{body}");
+        assert!(body.contains("\"conns_open\":1"), "{body}");
+        assert!(body.contains("\"engine\":{"), "{body}");
+        let submitted = format!("\"submitted\":{}", stream.len() / 2);
+        assert!(body.contains(&submitted), "{body}");
+
+        // The wire stats answer matches the admin document's engine half.
+        let wire = client.call(&Request::Stats).unwrap();
+        let Response::Stats { json } = wire else {
+            panic!("expected stats, got {wire:?}");
+        };
+        assert!(body.contains(&json), "wire and admin snapshots agree");
+
+        assert!(admin_get(admin, "/nope").starts_with("HTTP/1.0 404"));
+
+        let bye = admin_get(admin, "/shutdown");
+        assert!(bye.starts_with("HTTP/1.0 200"), "{bye}");
+        handle.join().unwrap().unwrap();
+    });
+
+    // The session survives shutdown: the remaining jobs were simply
+    // never submitted, and what ran is in the final report.
+    let report = core.into_report();
+    assert_eq!(report.submitted, stream.len() / 2);
+    assert_eq!(report.completed, stream.len() / 2);
+}
+
+/// Malformed bytes on the data port get an error frame or a dropped
+/// connection — never a panic, never a wedged server.
+#[test]
+fn malformed_frames_do_not_wedge_the_server() {
+    let (system, _) = tiny_setup();
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    with_server(&core, 2, |data, _admin| {
+        // A valid frame with a garbage opcode: server answers Error.
+        let mut stream = TcpStream::connect(data).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(&2u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0x42, 0x42]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let resp = decode_response(&payload).unwrap();
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        drop(stream);
+
+        // An oversized length prefix: the connection is dropped.
+        let mut stream = TcpStream::connect(data).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(stream.read(&mut buf).unwrap_or(0), 0, "connection closed");
+
+        // The server still serves well-formed clients afterwards.
+        let mut client = Client::connect(data).unwrap();
+        let hello = client.call(&Request::Hello).unwrap();
+        assert!(matches!(hello, Response::Hello { .. }), "{hello:?}");
+        client.call(&Request::Finish).unwrap();
+    });
+}

@@ -173,6 +173,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // The same counters the `coserve-server` admin endpoint exposes:
+    // a non-consuming snapshot of the report, as one JSON document.
+    println!(
+        "\nMachine-readable snapshot (ClusterReport::snapshot):\n{}",
+        report.snapshot().to_json()
+    );
+
     println!("\nEverything above is deterministic: rerun for identical numbers.");
     Ok(())
 }

@@ -1,0 +1,107 @@
+//! Network serving: the re-entrant engine session and the Pelikan-style
+//! TCP front-end, in one process.
+//!
+//! ```sh
+//! cargo run --release --example network_serving
+//! ```
+//!
+//! The batch facade (`ServingSystem::serve`) consumes a whole request
+//! stream and returns one report. This example shows the two layers the
+//! network server is built from instead:
+//!
+//! 1. an [`EngineSession`] used directly — submit individual requests,
+//!    pump the engine, poll completions, snapshot mid-run;
+//! 2. the real thing over TCP loopback — `coserve-server`'s listener,
+//!    worker pool and admin port, driven by the wire [`Client`].
+//!
+//! Both produce per-job results bit-identical to the batch facade.
+
+use coserve::prelude::*;
+use coserve_server::prelude::*;
+use coserve_server::server::{Client, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = devices::numa_rtx3080ti();
+    let task = TaskSpec::a1().scaled(0.02); // 50 requests for a demo
+    let model = task.build_model()?;
+    let config = presets::coserve(&device);
+    let system = ServingSystem::new(device, model, config)?;
+    let stream = task.stream(system.model());
+    let batch = system.serve(&stream);
+
+    // ── 1. The re-entrant session, in-process ───────────────────────
+    let mut session = system.session(stream.name());
+    let mid = stream.len() / 2;
+    for job in stream.jobs().iter().take(mid) {
+        session.submit(job.arrival, &job.stages)?;
+    }
+    // Advance only to the next arrival — exactly the state the batch
+    // run would be in at this point, so the final report still matches
+    // it bit for bit.
+    session.pump_until(stream.jobs()[mid].arrival);
+    // The engine is live, not consumed: snapshot and keep going.
+    let snapshot = session.snapshot();
+    println!(
+        "mid-run snapshot: {}/{} submitted, {} completed, p95 so far {}",
+        snapshot.submitted,
+        stream.len(),
+        snapshot.completed,
+        snapshot
+            .latency
+            .as_ref()
+            .map_or_else(|| "-".into(), |l| format!("{:.1} ms", l.p95)),
+    );
+    for job in stream.jobs().iter().skip(mid) {
+        session.submit(job.arrival, &job.stages)?;
+    }
+    session.pump();
+    let completions = session.drain_completions();
+    let report = session.into_report();
+    println!(
+        "session: {} completions, report bit-identical to batch serve: {}",
+        completions.len(),
+        report == batch,
+    );
+
+    // ── 2. The same jobs through a real TCP server ──────────────────
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    let server = Server::bind(&ServerConfig::default())?; // port 0 both
+    let data_addr = server.data_addr()?;
+    let admin_addr = server.admin_addr()?;
+    println!("server up: data {data_addr}, admin {admin_addr}, 2 workers");
+
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        let run = scope.spawn(|| server.run(&core));
+
+        let mut client = Client::connect(data_addr)?;
+        let Response::Hello { conn, .. } = client.call(&Request::Hello)? else {
+            return Err("handshake failed".into());
+        };
+        for job in stream.jobs() {
+            client.call(&Request::Submit {
+                arrival: job.arrival,
+                stages: job.stages.clone(),
+            })?;
+        }
+        client.call(&Request::Pump { limit: None })?;
+        let Response::Poll { completions } = client.call(&Request::Poll)? else {
+            return Err("poll failed".into());
+        };
+        let mut wire: Vec<_> = completions.iter().map(|c| c.latency).collect();
+        wire.sort_unstable();
+        let mut expected = batch.job_latencies.clone();
+        expected.sort_unstable();
+        println!(
+            "wire (conn {conn}): {} completions, latencies bit-identical to batch serve: {}",
+            completions.len(),
+            wire == expected,
+        );
+        client.call(&Request::Finish)?;
+
+        server.shutdown();
+        run.join().expect("server thread")?;
+        Ok(())
+    })?;
+    println!("clean shutdown — admin /stats served the same snapshot live");
+    Ok(())
+}
