@@ -6,6 +6,7 @@
 //! tier on NUMA), Samba-CoE FIFO, and Samba-CoE Parallel — plus the
 //! assembled five-system evaluation suite of Figures 13–14.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

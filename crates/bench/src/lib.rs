@@ -10,6 +10,7 @@
 //! seconds in release mode; set `COSERVE_SCALE=0.1` to smoke-test the
 //! harness quickly (integration tests do).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

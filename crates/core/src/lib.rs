@@ -22,6 +22,7 @@
 //! `coserve-baselines` crate) runs on the same engine with different
 //! [`config::SystemConfig`] policies.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -48,6 +48,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use coserve_baselines as baselines;

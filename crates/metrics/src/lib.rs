@@ -6,6 +6,7 @@
 //! `K·n + B` linear fit used by the offline profiler (§4.5), and
 //! dependency-free table/CSV/series rendering for the figure harness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

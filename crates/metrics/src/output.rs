@@ -20,6 +20,10 @@ pub fn out_dir() -> PathBuf {
 /// whose grandparent is the workspace root.
 #[must_use]
 pub fn out_dir_anchored(manifest_dir: &Path) -> PathBuf {
+    // This is the one sanctioned environment read in the deterministic
+    // crates: it picks where artifacts are written, never what they
+    // contain, so results stay reproducible under any COSERVE_OUT_DIR.
+    // tidy:allow(determinism)
     if let Some(dir) = std::env::var_os("COSERVE_OUT_DIR") {
         return PathBuf::from(dir);
     }

@@ -64,7 +64,10 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     while buf.len() < 4096 && !buf.windows(4).any(|w| w == b"\r\n\r\n") {
         match stream.read(&mut chunk) {
             Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => match chunk.get(..n) {
+                Some(read) => buf.extend_from_slice(read),
+                None => break,
+            },
             Err(_) => break,
         }
     }

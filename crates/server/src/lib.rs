@@ -38,6 +38,7 @@
 //! per-job results to `ServingSystem::serve` — the end-to-end tests in
 //! this crate pin that with 1, 2 and 4 worker threads.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -217,30 +217,37 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
-        let end = self
-            .at
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let slice = end
+            .and_then(|end| self.buf.get(self.at..end))
             .ok_or_else(|| ProtocolError(format!("truncated payload (wanted {n} more bytes)")))?;
-        let slice = &self.buf[self.at..end];
-        self.at = end;
+        self.at = self.at.saturating_add(n);
         Ok(slice)
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array, so the
+    /// `from_le_bytes` readers below need no fallible conversion.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ProtocolError> {
+        self.take(N)?
+            .first_chunk::<N>()
+            .copied()
+            .ok_or_else(|| ProtocolError(format!("truncated payload (wanted {N} bytes)")))
+    }
+
     fn u8(&mut self) -> Result<u8, ProtocolError> {
-        Ok(self.take(1)?[0])
+        self.array::<1>().map(|[b]| b)
     }
 
     fn u16(&mut self) -> Result<u16, ProtocolError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn string(&mut self) -> Result<String, ProtocolError> {
@@ -471,7 +478,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len = [0u8; 4];
     match r.read(&mut len) {
         Ok(0) => return Ok(None),
-        Ok(n) => r.read_exact(&mut len[n..])?,
+        Ok(n) => match len.get_mut(n..) {
+            Some(rest) => r.read_exact(rest)?,
+            None => return Err(ProtocolError("short read overran prefix".into()).into()),
+        },
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len) as usize;
@@ -512,19 +522,19 @@ impl FrameBuffer {
     /// Returns [`ProtocolError`] when the buffered length prefix
     /// exceeds [`MAX_FRAME`] (the connection should be dropped).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
-        if self.buf.len() < 4 {
+        let Some(prefix) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        };
+        let len = u32::from_le_bytes(*prefix) as usize;
         if len > MAX_FRAME {
             return Err(ProtocolError(format!(
                 "frame length {len} exceeds MAX_FRAME"
             )));
         }
-        if self.buf.len() < 4 + len {
+        let Some(payload) = self.buf.get(4..4 + len) else {
             return Ok(None);
-        }
-        let payload = self.buf[4..4 + len].to_vec();
+        };
+        let payload = payload.to_vec();
         self.buf.drain(..4 + len);
         Ok(Some(payload))
     }

@@ -43,8 +43,8 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            addr: "127.0.0.1:0".parse().expect("literal addr"),
-            admin_addr: "127.0.0.1:0".parse().expect("literal addr"),
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            admin_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 2,
         }
     }
@@ -152,18 +152,27 @@ impl Server {
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Mutex::new(rx);
 
+        let mut spawn_err: Option<io::Error> = None;
         std::thread::scope(|scope| {
             for worker in 0..self.workers {
                 let rx = &rx;
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("coserve-worker-{worker}"))
-                    .spawn_scoped(scope, move || self.worker_loop(core, rx))
-                    .expect("spawn worker");
+                    .spawn_scoped(scope, move || self.worker_loop(core, rx));
+                if let Err(e) = spawned {
+                    spawn_err = Some(e);
+                    self.shutdown();
+                    return;
+                }
             }
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("coserve-admin".into())
-                .spawn_scoped(scope, move || self.admin_loop(core))
-                .expect("spawn admin");
+                .spawn_scoped(scope, move || self.admin_loop(core));
+            if let Err(e) = spawned {
+                spawn_err = Some(e);
+                self.shutdown();
+                return;
+            }
 
             // The acceptor runs on the calling thread.
             while !self.is_shutting_down() {
@@ -182,13 +191,18 @@ impl Server {
             }
             drop(tx); // workers drain the queue, then see the hangup
         });
-        Ok(())
+        match spawn_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn worker_loop(&self, core: &ServiceCore<'_>, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
         loop {
             let next = {
-                let rx = rx.lock().expect("worker channel poisoned");
+                // A panic in a sibling worker poisons the lock but
+                // leaves the receiver intact; keep serving.
+                let rx = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 rx.recv_timeout(POLL_INTERVAL)
             };
             match next {
@@ -233,7 +247,10 @@ impl Server {
                 }
                 Err(_) => break,
             };
-            frames.extend(&read_buf[..n]);
+            let Some(chunk) = read_buf.get(..n) else {
+                break;
+            };
+            frames.extend(chunk);
             loop {
                 let payload = match frames.next_frame() {
                     Ok(Some(payload)) => payload,

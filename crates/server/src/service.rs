@@ -16,7 +16,7 @@
 //! this crate).
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use coserve_core::engine::EngineSession;
 use coserve_metrics::report::{RunReport, RunSnapshot};
@@ -47,6 +47,15 @@ struct CoreInner<'a> {
 }
 
 impl<'a> ServiceCore<'a> {
+    /// Locks the core. The engine keeps no invariant across a panic
+    /// mid-request (each request either completes or leaves the
+    /// session untouched), so a poisoned lock is recovered rather than
+    /// propagated — one crashed worker must not take the whole server
+    /// down with it.
+    fn locked(&self) -> MutexGuard<'_, CoreInner<'a>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Wraps a session for shared service.
     #[must_use]
     pub fn new(session: EngineSession<'a>, num_experts: usize) -> Self {
@@ -70,7 +79,7 @@ impl<'a> ServiceCore<'a> {
     /// Requests other than `Hello`/`Stats` on an un-greeted connection
     /// get a [`ErrorCode::BadRequest`] response.
     pub fn handle(&self, conn: &mut Option<u32>, req: Request) -> Response {
-        let mut inner = self.inner.lock().expect("service core poisoned");
+        let mut inner = self.locked();
         match req {
             Request::Hello => {
                 let id = inner.next_conn;
@@ -148,25 +157,21 @@ impl<'a> ServiceCore<'a> {
 
     /// Drops a connection that disconnected without `Finish`.
     pub fn disconnect(&self, conn: u32) {
-        let mut inner = self.inner.lock().expect("service core poisoned");
+        let mut inner = self.locked();
         inner.conns.remove(&conn);
     }
 
     /// A live, non-consuming snapshot of the shared engine.
     #[must_use]
     pub fn snapshot(&self) -> RunSnapshot {
-        self.inner
-            .lock()
-            .expect("service core poisoned")
-            .session
-            .snapshot()
+        self.locked().session.snapshot()
     }
 
     /// Service-level counters for the admin endpoint:
     /// `(connections opened, connections open, completions delivered)`.
     #[must_use]
     pub fn counters(&self) -> (u64, u64, u64) {
-        let inner = self.inner.lock().expect("service core poisoned");
+        let inner = self.locked();
         (inner.opened, inner.conns.len() as u64, inner.delivered)
     }
 
@@ -174,7 +179,10 @@ impl<'a> ServiceCore<'a> {
     /// engine's final [`RunReport`].
     #[must_use]
     pub fn into_report(self) -> RunReport {
-        let mut inner = self.inner.into_inner().expect("service core poisoned");
+        let mut inner = self
+            .inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         inner.session.pump();
         inner.session.into_report()
     }
@@ -186,7 +194,12 @@ impl CoreInner<'_> {
     /// already finished are dropped on the floor.
     fn route_completions(&mut self) {
         for completion in self.session.drain_completions() {
-            let owner = self.owner[completion.job as usize];
+            // Every completed job was submitted through `handle`, so
+            // its owner entry exists; a completion the table somehow
+            // doesn't know is dropped like one whose owner finished.
+            let Some(&owner) = self.owner.get(completion.job as usize) else {
+                continue;
+            };
             if let Some(buf) = self.conns.get_mut(&owner) {
                 buf.push(WireCompletion::from(completion));
             }

@@ -274,3 +274,72 @@ fn malformed_frames_do_not_wedge_the_server() {
         client.call(&Request::Finish).unwrap();
     });
 }
+
+/// Writes one raw request frame and decodes the response frame.
+fn raw_call(stream: &mut TcpStream, body: &[u8]) -> Response {
+    stream
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(body).unwrap();
+    let payload = read_frame(stream).unwrap().unwrap();
+    decode_response(&payload).unwrap()
+}
+
+fn assert_bad_request(resp: &Response) {
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+}
+
+/// The cases the panic-path audit turned up: bodies that decode partway
+/// and then run out (or leave bytes over) must come back as BadRequest
+/// error frames on a connection that keeps serving — the decoder may
+/// never index past the payload.
+#[test]
+fn truncated_and_overlong_bodies_get_error_frames() {
+    const OP_HELLO: u8 = 0x01;
+    const OP_SUBMIT: u8 = 0x02;
+    const OP_PUMP: u8 = 0x04;
+
+    let (system, _) = tiny_setup();
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    with_server(&core, 2, |data, _admin| {
+        let mut stream = TcpStream::connect(data).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+
+        // A Submit declaring 5 stages but carrying only 1: the stage
+        // loop must hit a truncation error, not read out of bounds.
+        let mut body = vec![OP_SUBMIT];
+        body.extend_from_slice(&0u64.to_le_bytes()); // arrival
+        body.extend_from_slice(&5u16.to_le_bytes()); // claims 5 stages
+        body.extend_from_slice(&0u32.to_le_bytes()); // provides 1
+        assert_bad_request(&raw_call(&mut stream, &body));
+
+        // A Submit cut off mid-arrival (3 of 8 bytes).
+        assert_bad_request(&raw_call(&mut stream, &[OP_SUBMIT, 1, 2, 3]));
+
+        // A Pump with a limit flag that is neither 0 nor 1.
+        assert_bad_request(&raw_call(&mut stream, &[OP_PUMP, 2]));
+
+        // A Pump claiming a limit (flag 1) but carrying no timestamp.
+        assert_bad_request(&raw_call(&mut stream, &[OP_PUMP, 1, 9]));
+
+        // Trailing bytes after a complete request are rejected, not
+        // silently swallowed into the next frame.
+        assert_bad_request(&raw_call(&mut stream, &[OP_HELLO, 0xEE]));
+
+        // The same connection still serves well-formed requests: the
+        // error frames above were answers, not connection drops.
+        let hello = raw_call(&mut stream, &[OP_HELLO]);
+        assert!(matches!(hello, Response::Hello { .. }), "{hello:?}");
+    });
+}

@@ -24,6 +24,7 @@
 //! assert!(load > SimSpan::from_millis(500)); // switching is expensive
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,0 +1,262 @@
+//! The panic-site ratchet baseline: `tidy_baseline.json` at the
+//! workspace root.
+//!
+//! The file pins, per crate and per class, how many panic-capable
+//! sites the tree is allowed to contain. CI compares fresh counts
+//! against it and fails in both directions: a count above baseline is
+//! a new panic site (fix it, justify it with
+//! `// tidy:allow(panic-ratchet)`, or consciously re-bless); a count
+//! below baseline is progress the file doesn't record yet (re-bless so
+//! the ratchet tightens). `cargo run -p coserve-tidy -- --bless`
+//! rewrites the file from the current tree.
+//!
+//! The JSON reader/writer below is deliberately tiny: tidy has no
+//! dependencies, and the schema is one object of objects of integers.
+
+use std::collections::BTreeMap;
+
+use crate::checks::panic::{ClassCounts, CLASSES};
+
+/// Parsed `tidy_baseline.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// Per-crate, per-class pinned counts.
+    pub crates: BTreeMap<String, ClassCounts>,
+    /// Pinned count for the server request-path files. Must be 0 —
+    /// recorded explicitly so the guarantee is visible in the diff.
+    pub server_request_path: usize,
+}
+
+impl Baseline {
+    /// Renders the canonical JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(
+            "  \"_doc\": \"Panic-site ratchet: counts may only go down. Regenerate with \
+             `cargo run -p coserve-tidy -- --bless` after removing sites; justify \
+             unavoidable ones with a `// tidy:allow(panic-ratchet)` comment instead.\",\n",
+        );
+        out.push_str(&format!(
+            "  \"server_request_path\": {},\n",
+            self.server_request_path
+        ));
+        out.push_str("  \"crates\": {\n");
+        let mut first = true;
+        for (name, counts) in &self.crates {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let fields: Vec<String> = CLASSES
+                .iter()
+                .map(|class| format!("\"{class}\": {}", counts.get(*class).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&format!("    \"{name}\": {{ {} }}", fields.join(", ")));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses the JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text)?;
+        let Json::Object(top) = value else {
+            return Err("baseline: top level must be an object".to_string());
+        };
+        let mut baseline = Baseline::default();
+        for (key, value) in top {
+            match (key.as_str(), value) {
+                ("_doc", Json::String(doc)) => drop(doc),
+                ("server_request_path", Json::Number(n)) => {
+                    baseline.server_request_path = n;
+                }
+                ("crates", Json::Object(crates)) => {
+                    for (name, counts) in crates {
+                        let Json::Object(fields) = counts else {
+                            return Err(format!("baseline: crate `{name}` must be an object"));
+                        };
+                        let mut parsed = ClassCounts::new();
+                        for (class, count) in fields {
+                            let Json::Number(n) = count else {
+                                return Err(format!(
+                                    "baseline: `{name}.{class}` must be an integer"
+                                ));
+                            };
+                            if !CLASSES.contains(&class.as_str()) {
+                                return Err(format!(
+                                    "baseline: unknown class `{class}` for crate `{name}`"
+                                ));
+                            }
+                            parsed.insert(class, n);
+                        }
+                        baseline.crates.insert(name, parsed);
+                    }
+                }
+                (other, _) => return Err(format!("baseline: unknown key `{other}`")),
+            }
+        }
+        Ok(baseline)
+    }
+}
+
+/// The subset of JSON the baseline uses: objects, strings and
+/// non-negative integers.
+#[derive(Debug)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    String(String),
+    Number(usize),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut at = 0;
+        let value = parse_value(&chars, &mut at)?;
+        skip_ws(&chars, &mut at);
+        if at != chars.len() {
+            return Err(format!("baseline: trailing content at offset {at}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(chars: &[char], at: &mut usize) {
+    while chars.get(*at).is_some_and(|c| c.is_whitespace()) {
+        *at += 1;
+    }
+}
+
+fn expect_char(chars: &[char], at: &mut usize, want: char) -> Result<(), String> {
+    skip_ws(chars, at);
+    if chars.get(*at) == Some(&want) {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "baseline: expected `{want}` at offset {at}, found {:?}",
+            chars.get(*at)
+        ))
+    }
+}
+
+fn parse_value(chars: &[char], at: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, at);
+    match chars.get(*at) {
+        Some('{') => parse_object(chars, at),
+        Some('"') => Ok(Json::String(parse_string(chars, at)?)),
+        Some(c) if c.is_ascii_digit() => {
+            let mut n: usize = 0;
+            while let Some(d) = chars.get(*at).and_then(|c| c.to_digit(10)) {
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(d as usize))
+                    .ok_or_else(|| "baseline: integer overflow".to_string())?;
+                *at += 1;
+            }
+            Ok(Json::Number(n))
+        }
+        other => Err(format!("baseline: unexpected {other:?} at offset {at}")),
+    }
+}
+
+fn parse_object(chars: &[char], at: &mut usize) -> Result<Json, String> {
+    expect_char(chars, at, '{')?;
+    let mut fields = Vec::new();
+    skip_ws(chars, at);
+    if chars.get(*at) == Some(&'}') {
+        *at += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(chars, at);
+        let key = parse_string(chars, at)?;
+        expect_char(chars, at, ':')?;
+        let value = parse_value(chars, at)?;
+        fields.push((key, value));
+        skip_ws(chars, at);
+        match chars.get(*at) {
+            Some(',') => *at += 1,
+            Some('}') => {
+                *at += 1;
+                return Ok(Json::Object(fields));
+            }
+            other => return Err(format!("baseline: expected `,` or `}}`, found {other:?}")),
+        }
+    }
+}
+
+fn parse_string(chars: &[char], at: &mut usize) -> Result<String, String> {
+    expect_char(chars, at, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.get(*at) {
+            Some('"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                // The baseline never needs exotic escapes; keep the
+                // escaped character verbatim.
+                if let Some(&next) = chars.get(*at + 1) {
+                    out.push(next);
+                    *at += 2;
+                } else {
+                    return Err("baseline: dangling escape".to_string());
+                }
+            }
+            Some(&c) => {
+                out.push(c);
+                *at += 1;
+            }
+            None => return Err("baseline: unterminated string".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        let mut baseline = Baseline::default();
+        let mut counts = ClassCounts::new();
+        for class in CLASSES {
+            counts.insert((*class).to_string(), 0);
+        }
+        counts.insert("unwrap".to_string(), 3);
+        counts.insert("index".to_string(), 17);
+        baseline.crates.insert("core".to_string(), counts.clone());
+        counts.insert("unwrap".to_string(), 1);
+        baseline.crates.insert("model".to_string(), counts);
+        baseline
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let baseline = sample();
+        let json = baseline.to_json();
+        assert_eq!(Baseline::from_json(&json).unwrap(), baseline);
+    }
+
+    #[test]
+    fn rendered_json_is_stable_and_readable() {
+        let json = sample().to_json();
+        assert!(json.contains("\"server_request_path\": 0"));
+        assert!(json.contains("\"core\": { \"unwrap\": 3, \"expect\": 0, \"panic\": 0, \"unreachable\": 0, \"index\": 17 }"));
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        assert!(Baseline::from_json("[]").is_err());
+        assert!(Baseline::from_json("{\"nope\": 1}").is_err());
+        assert!(Baseline::from_json("{\"crates\": {\"x\": {\"bogus\": 1}}}").is_err());
+        assert!(Baseline::from_json("{\"crates\": {\"x\": {\"unwrap\": \"one\"}}}").is_err());
+        assert!(Baseline::from_json("{} trailing").is_err());
+    }
+}

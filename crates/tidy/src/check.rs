@@ -1,0 +1,197 @@
+//! The check framework: [`Diagnostic`], the [`Check`] trait, and the
+//! identifier-aware matching helpers every check builds on.
+
+use std::fmt;
+
+use crate::scan::{Line, ScannedFile};
+
+/// One finding, printed as `file:line: [check] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The reporting check's name (the `tidy:allow(...)` key).
+    pub check: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.check, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.check, self.message
+            )
+        }
+    }
+}
+
+/// A named rule run over the whole scanned workspace.
+pub trait Check {
+    /// The check's name — also its `tidy:allow(...)` suppression key.
+    fn name(&self) -> &'static str;
+    /// Scans `files` and appends findings to `out`. Implementations
+    /// must honor per-line suppressions via [`allowed`].
+    fn run(&self, files: &[ScannedFile], out: &mut Vec<Diagnostic>);
+}
+
+/// Whether `line` suppresses `check` via `tidy:allow(...)`.
+#[must_use]
+pub fn allowed(line: &Line, check: &str) -> bool {
+    line.allows.iter().any(|a| a == check)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `pattern` in `code` as a token, not a substring: the match
+/// must not butt up against identifier characters on either side, so
+/// `Instant` does not match `Instantiate` and `panic!` does not match
+/// `should_panic`. Patterns may contain `::` path segments. Returns
+/// the byte offset of the first such match.
+#[must_use]
+pub fn find_token(code: &str, pattern: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(pattern) {
+        let at = from + rel;
+        let before_ok = code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let after_ok = code[at + pattern.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident_char(c));
+        // A pattern ending in a non-ident char (e.g. `.expect(`,
+        // `env::`) imposes no boundary on its right side; one starting
+        // with `.` imposes none on its left.
+        let tail_is_ident = pattern.chars().next_back().is_some_and(is_ident_char);
+        let head_is_ident = pattern.chars().next().is_some_and(is_ident_char);
+        if (before_ok || !head_is_ident) && (after_ok || !tail_is_ident) {
+            return Some(at);
+        }
+        from = at + pattern.len().max(1);
+    }
+    None
+}
+
+/// Counts slice/array index expressions on a code line: a `[` whose
+/// previous meaningful token is a value (identifier, `)`, `]`, `?` or
+/// a string literal), which is the panicking `Index` operator — as
+/// opposed to array types `&[u8]`, attributes `#[...]`, macros
+/// `vec![...]` or slice patterns `let [a, b] = ...`.
+#[must_use]
+pub fn index_sites(code: &str) -> usize {
+    let chars: Vec<char> = code.chars().collect();
+    let mut count = 0;
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        // Walk back over whitespace to the previous token.
+        let mut j = i;
+        while j > 0 && chars[j - 1] == ' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = chars[j - 1];
+        if prev == ')' || prev == ']' || prev == '?' || prev == '"' {
+            count += 1;
+            continue;
+        }
+        if !is_ident_char(prev) {
+            continue;
+        }
+        // Read the full identifier; keywords (`let [a, b] = ...`,
+        // `for [x, y] in ...`) introduce patterns, not indexing —
+        // unless preceded by `.`, which makes them field-position
+        // (`foo.await[0]` is an index).
+        let end = j;
+        while j > 0 && is_ident_char(chars[j - 1]) {
+            j -= 1;
+        }
+        let ident: String = chars[j..end].iter().collect();
+        // A lifetime (`&'a [u8]`) is a type position, not a value.
+        if j > 0 && chars[j - 1] == '\'' {
+            continue;
+        }
+        let keyword = matches!(
+            ident.as_str(),
+            "let"
+                | "in"
+                | "return"
+                | "break"
+                | "else"
+                | "match"
+                | "mut"
+                | "ref"
+                | "move"
+                | "if"
+                | "while"
+                | "for"
+                | "loop"
+                | "box"
+                | "yield"
+                | "static"
+                | "const"
+        );
+        if keyword && (j == 0 || chars[j - 1] != '.') {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_boundaries_are_respected() {
+        assert!(find_token("use std::collections::HashMap;", "HashMap").is_some());
+        assert!(find_token("let m: MyHashMap = x;", "HashMap").is_none());
+        assert!(find_token("HashMapLike", "HashMap").is_none());
+        assert!(find_token("panic!(\"\")", "panic!").is_some());
+        assert!(find_token("#[should_panic]", "panic!").is_none());
+        assert!(find_token("x.unwrap_or(0)", ".unwrap()").is_none());
+        assert!(find_token("x.unwrap()", ".unwrap()").is_some());
+        assert!(find_token("x.expect_err(\"\")", ".expect(").is_none());
+        assert!(find_token("x.expect(\"\")", ".expect(").is_some());
+        assert!(find_token("std::env::var_os(\"X\")", "env::").is_some());
+        assert!(find_token("my_env::thing()", "env::").is_none());
+        assert!(find_token("Instant::now()", "Instant").is_some());
+        assert!(find_token("Instantiate::now()", "Instant").is_none());
+    }
+
+    #[test]
+    fn index_sites_count_value_indexing_only() {
+        assert_eq!(index_sites("let x = buf[0];"), 1);
+        assert_eq!(index_sites("let x = self.owner[job as usize];"), 1);
+        assert_eq!(index_sites("foo()[1] + bar[2]"), 2);
+        assert_eq!(index_sites("m[k][0]"), 2);
+        assert_eq!(index_sites("x?[0]"), 1);
+        assert_eq!(index_sites("fn f(b: &[u8]) -> [u8; 4] {"), 0);
+        assert_eq!(index_sites("#[derive(Debug)]"), 0);
+        assert_eq!(index_sites("#![forbid(unsafe_code)]"), 0);
+        assert_eq!(index_sites("vec![0u8; 16]"), 0);
+        assert_eq!(index_sites("let [a, b] = pair;"), 0);
+        assert_eq!(index_sites("for [x, y] in pairs {"), 0);
+        assert_eq!(index_sites("let a = [0u8; 4];"), 0);
+        assert_eq!(index_sites("Vec<[u8; 4]>"), 0);
+        assert_eq!(
+            index_sites("fn take(&mut self) -> Result<&'a [u8], E> {"),
+            0
+        );
+        assert_eq!(index_sites("buf: &'a [u8],"), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Hygiene checks: `#![forbid(unsafe_code)]` presence, leftover debug
+//! macros, and artifact-path discipline.
+
+use std::collections::BTreeSet;
+
+use crate::check::{allowed, find_token, Check, Diagnostic};
+use crate::scan::{FileKind, ScannedFile};
+
+/// Every crate root must carry `#![forbid(unsafe_code)]` — the
+/// workspace has zero `unsafe` and intends to keep it that way (the
+/// `[workspace.lints]` table enforces it at build time; this check
+/// keeps the attribute visible at the top of every crate).
+#[derive(Debug)]
+pub struct ForbidUnsafe;
+
+/// Crate-root files: `src/lib.rs`, or `src/main.rs` for binary-only
+/// crates.
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs") || path.ends_with("src/main.rs")
+}
+
+impl Check for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn run(&self, files: &[ScannedFile], out: &mut Vec<Diagnostic>) {
+        // A crate with both lib.rs and main.rs only needs the
+        // attribute in lib.rs (main.rs links against the lib).
+        let has_lib: BTreeSet<&str> = files
+            .iter()
+            .filter(|f| f.path.ends_with("src/lib.rs"))
+            .map(|f| f.crate_name.as_str())
+            .collect();
+        for file in files {
+            if !is_crate_root(&file.path) {
+                continue;
+            }
+            if file.path.ends_with("src/main.rs") && has_lib.contains(file.crate_name.as_str()) {
+                continue;
+            }
+            let present = file
+                .lines
+                .iter()
+                .any(|l| l.code.replace(' ', "").contains("#![forbid(unsafe_code)]"));
+            if !present {
+                out.push(Diagnostic {
+                    check: self.name(),
+                    file: file.path.clone(),
+                    line: 0,
+                    message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// No `dbg!`/`todo!`/`unimplemented!` anywhere — including tests:
+/// they are leftovers, not API.
+#[derive(Debug)]
+pub struct NoDebugMacros;
+
+impl Check for NoDebugMacros {
+    fn name(&self) -> &'static str {
+        "no-debug-macros"
+    }
+
+    fn run(&self, files: &[ScannedFile], out: &mut Vec<Diagnostic>) {
+        for file in files {
+            if file.kind == FileKind::Vendor {
+                continue;
+            }
+            for (lineno, line) in file.numbered() {
+                if allowed(line, self.name()) {
+                    continue;
+                }
+                for pattern in ["dbg!", "todo!", "unimplemented!"] {
+                    if find_token(&line.code, pattern).is_some() {
+                        out.push(Diagnostic {
+                            check: self.name(),
+                            file: file.path.clone(),
+                            line: lineno,
+                            message: format!("leftover `{pattern}` — remove before committing"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Artifact-path discipline: the `target/figures` fallback is decided
+/// exactly once, in `coserve_metrics::output`; figure binaries write
+/// through the shared `write_csv`/`write_json` helpers rather than
+/// rolling their own `fs` calls.
+#[derive(Debug)]
+pub struct OutDir;
+
+/// The single file allowed to name the default artifact directory.
+const OUT_DIR_OWNER: &str = "crates/metrics/src/output.rs";
+
+impl Check for OutDir {
+    fn name(&self) -> &'static str {
+        "out-dir"
+    }
+
+    fn run(&self, files: &[ScannedFile], out: &mut Vec<Diagnostic>) {
+        for file in files {
+            if file.kind == FileKind::Vendor {
+                continue;
+            }
+            let is_fig_bin = file.path.starts_with("crates/bench/src/bin/")
+                && file
+                    .path
+                    .rsplit('/')
+                    .next()
+                    .is_some_and(|name| name.starts_with("fig") || name.starts_with("table"));
+            for (lineno, line) in file.numbered() {
+                if line.in_test || allowed(line, self.name()) {
+                    continue;
+                }
+                // The probe itself must name the forbidden path.
+                // tidy:allow(out-dir)
+                if file.path != OUT_DIR_OWNER && line.literals.contains("target/figures") {
+                    out.push(Diagnostic {
+                        check: self.name(),
+                        file: file.path.clone(),
+                        line: lineno,
+                        // The diagnostic must name the path it forbids.
+                        // tidy:allow(out-dir)
+                        message: "hardcoded `target/figures` path — resolve it through \
+                                  coserve_metrics::output::out_dir instead"
+                            .to_string(),
+                    });
+                }
+                if is_fig_bin {
+                    for pattern in ["fs::write", "File::create", "create_dir", "OpenOptions"] {
+                        if find_token(&line.code, pattern).is_some() {
+                            out.push(Diagnostic {
+                                check: self.name(),
+                                file: file.path.clone(),
+                                line: lineno,
+                                message: format!(
+                                    "figure binary writes files directly (`{pattern}`) — \
+                                     go through coserve_bench::write_csv/write_json so \
+                                     COSERVE_OUT_DIR and the workspace anchor apply"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_forbid_unsafe_is_flagged_at_file_level() {
+        let file = ScannedFile::parse(
+            "crates/core/src/lib.rs",
+            "core",
+            FileKind::Src,
+            "//! docs\npub mod engine;\n",
+        );
+        let mut out = Vec::new();
+        ForbidUnsafe.run(&[file], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 0);
+    }
+
+    #[test]
+    fn present_forbid_unsafe_passes_and_main_defers_to_lib() {
+        let lib = ScannedFile::parse(
+            "crates/server/src/lib.rs",
+            "server",
+            FileKind::Src,
+            "#![forbid(unsafe_code)]\npub mod server;\n",
+        );
+        let main = ScannedFile::parse(
+            "crates/server/src/main.rs",
+            "server",
+            FileKind::Src,
+            "fn main() {}\n",
+        );
+        let mut out = Vec::new();
+        ForbidUnsafe.run(&[lib, main], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn debug_macros_are_flagged_even_in_tests() {
+        let file = ScannedFile::parse(
+            "crates/core/src/engine.rs",
+            "core",
+            FileKind::Src,
+            "#[cfg(test)]\nmod tests { fn t() { dbg!(1); } }\n",
+        );
+        let mut out = Vec::new();
+        NoDebugMacros.run(&[file], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn hardcoded_figures_path_is_flagged_outside_the_owner() {
+        let rogue = ScannedFile::parse(
+            "crates/bench/src/lib.rs",
+            "bench",
+            FileKind::Src,
+            "let p = \"target/figures\";\n",
+        );
+        let owner = ScannedFile::parse(
+            OUT_DIR_OWNER,
+            "metrics",
+            FileKind::Src,
+            ".join(\"target/figures\")\n",
+        );
+        let mut out = Vec::new();
+        OutDir.run(&[rogue, owner], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].file.contains("bench"));
+    }
+
+    #[test]
+    fn figure_binaries_must_not_write_directly() {
+        let file = ScannedFile::parse(
+            "crates/bench/src/bin/fig99_new.rs",
+            "bench",
+            FileKind::Src,
+            "std::fs::write(path, data).ok();\n",
+        );
+        let mut out = Vec::new();
+        OutDir.run(&[file], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Panic-safety: site classification, the request-path hard-forbid,
+//! and the per-crate ratchet counts.
+//!
+//! A panic in `coserve-server`'s network path is a remote crash: one
+//! malformed frame takes a worker thread (and the poisoned core mutex
+//! takes the node). Those files are held to zero panic sites. The
+//! rest of the workspace is ratcheted: every crate's count of
+//! `unwrap`/`expect`/`panic!`/`unreachable!`/slice-index sites is
+//! pinned in `tidy_baseline.json` and may only go down.
+
+use std::collections::BTreeMap;
+
+use crate::check::{allowed, find_token, index_sites, Check, Diagnostic};
+use crate::scan::{FileKind, ScannedFile};
+
+/// Files on the server's network request path: untrusted bytes in,
+/// zero panic sites allowed (check `panic-path`).
+pub const REQUEST_PATH_FILES: &[&str] = &[
+    "crates/server/src/protocol.rs",
+    "crates/server/src/server.rs",
+    "crates/server/src/service.rs",
+    "crates/server/src/admin.rs",
+];
+
+/// The panic-site classes the ratchet tracks, in baseline-JSON order.
+pub const CLASSES: &[&str] = &["unwrap", "expect", "panic", "unreachable", "index"];
+
+/// Panic-site counts for one crate, keyed by class name.
+pub type ClassCounts = BTreeMap<String, usize>;
+
+/// Classifies one scanned code line. Returns `(class, count)` pairs
+/// for every class present.
+fn classify_line(code: &str) -> Vec<(&'static str, usize)> {
+    let mut found = Vec::new();
+    for (class, pattern) in [
+        ("unwrap", ".unwrap()"),
+        ("expect", ".expect("),
+        ("panic", "panic!"),
+        ("unreachable", "unreachable!"),
+    ] {
+        let mut n = 0;
+        let mut rest = code;
+        while let Some(at) = find_token(rest, pattern) {
+            n += 1;
+            rest = &rest[at + pattern.len()..];
+        }
+        if n > 0 {
+            found.push((class, n));
+        }
+    }
+    let idx = index_sites(code);
+    if idx > 0 {
+        found.push(("index", idx));
+    }
+    found
+}
+
+/// Whether `path` is on the server request path.
+#[must_use]
+pub fn on_request_path(path: &str) -> bool {
+    REQUEST_PATH_FILES.contains(&path)
+}
+
+/// Hard-forbids panic sites in the server's network request path.
+#[derive(Debug)]
+pub struct PanicPath;
+
+impl Check for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn run(&self, files: &[ScannedFile], out: &mut Vec<Diagnostic>) {
+        for file in files {
+            if !on_request_path(&file.path) {
+                continue;
+            }
+            for (lineno, line) in file.numbered() {
+                if line.in_test || allowed(line, self.name()) {
+                    continue;
+                }
+                for (class, n) in classify_line(&line.code) {
+                    out.push(Diagnostic {
+                        check: self.name(),
+                        file: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "{n} `{class}` site(s) on the network request path: malformed \
+                             input must surface as a typed ProtocolError, never a panic"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Counts ratchet-tracked panic sites per crate, over non-test `src/`
+/// code of first-party crates, excluding the request-path files
+/// (those are hard-forbidden by [`PanicPath`], not ratcheted).
+/// Sites suppressed with `tidy:allow(panic-ratchet)` are not counted.
+#[must_use]
+pub fn ratchet_counts(files: &[ScannedFile]) -> BTreeMap<String, ClassCounts> {
+    let mut per_crate: BTreeMap<String, ClassCounts> = BTreeMap::new();
+    for file in files {
+        if file.kind != FileKind::Src {
+            continue;
+        }
+        let counts = per_crate.entry(file.crate_name.clone()).or_insert_with(|| {
+            CLASSES
+                .iter()
+                .map(|c| ((*c).to_string(), 0))
+                .collect::<ClassCounts>()
+        });
+        if on_request_path(&file.path) {
+            continue;
+        }
+        for (_lineno, line) in file.numbered() {
+            if line.in_test || allowed(line, "panic-ratchet") {
+                continue;
+            }
+            for (class, n) in classify_line(&line.code) {
+                *counts.entry(class.to_string()).or_default() += n;
+            }
+        }
+    }
+    per_crate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_every_class() {
+        let found = classify_line("a.unwrap(); b.expect(\"x\"); panic!(); unreachable!(); c[0]");
+        let map: BTreeMap<_, _> = found.into_iter().collect();
+        assert_eq!(map.len(), 5);
+        assert!(CLASSES.iter().all(|c| map[c] == 1), "{map:?}");
+    }
+
+    #[test]
+    fn request_path_sites_are_hard_errors() {
+        let file = ScannedFile::parse(
+            "crates/server/src/protocol.rs",
+            "server",
+            FileKind::Src,
+            "let x = payload[0];\nlet y = n.unwrap();\n",
+        );
+        let mut out = Vec::new();
+        PanicPath.run(&[file], &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].to_string().contains("protocol.rs:1"));
+    }
+
+    #[test]
+    fn request_path_tests_and_suppressions_are_exempt() {
+        let file = ScannedFile::parse(
+            "crates/server/src/server.rs",
+            "server",
+            FileKind::Src,
+            concat!(
+                "let a = x.max(1); // fine\n",
+                "let b = y[0]; // tidy:allow(panic-path) length pinned by bind above\n",
+                "#[cfg(test)]\n",
+                "mod tests { fn t() { z.unwrap(); } }\n",
+            ),
+        );
+        let mut out = Vec::new();
+        PanicPath.run(&[file], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn ratchet_counts_split_per_crate_and_class() {
+        let a = ScannedFile::parse(
+            "crates/core/src/engine.rs",
+            "core",
+            FileKind::Src,
+            "x.unwrap();\ny.unwrap();\nbuf[0];\n#[cfg(test)]\nmod t { z.unwrap(); }\n",
+        );
+        let b = ScannedFile::parse(
+            "crates/model/src/coe.rs",
+            "model",
+            FileKind::Src,
+            "panic!(\"bad\");\n",
+        );
+        let counts = ratchet_counts(&[a, b]);
+        assert_eq!(counts["core"]["unwrap"], 2);
+        assert_eq!(counts["core"]["index"], 1);
+        assert_eq!(counts["core"]["panic"], 0);
+        assert_eq!(counts["model"]["panic"], 1);
+    }
+
+    #[test]
+    fn request_path_files_are_excluded_from_the_ratchet() {
+        let file = ScannedFile::parse(
+            "crates/server/src/protocol.rs",
+            "server",
+            FileKind::Src,
+            "x.unwrap();\n",
+        );
+        let counts = ratchet_counts(&[file]);
+        assert_eq!(counts["server"]["unwrap"], 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The `coserve-tidy` binary: scan the workspace, run every check,
+//! compare the panic ratchet against `tidy_baseline.json`, and report.
+//!
+//! ```text
+//! cargo run -p coserve-tidy            # check; nonzero exit on findings
+//! cargo run -p coserve-tidy -- --bless # rewrite tidy_baseline.json
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use coserve_tidy::baseline::Baseline;
+use coserve_tidy::runner;
+use coserve_tidy::workspace;
+
+fn main() -> ExitCode {
+    let mut bless = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--help" | "-h" => {
+                eprintln!("usage: coserve-tidy [--bless]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = workspace::workspace_root();
+    let files = match workspace::scan_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("tidy: cannot scan workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baseline_path = root.join("tidy_baseline.json");
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::from_json(&text) {
+            Ok(baseline) => Some(baseline),
+            Err(e) => {
+                eprintln!("tidy: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => None,
+    };
+
+    let outcome = runner::run(&files, baseline.as_ref());
+
+    if bless {
+        // Hard findings (everything except ratchet drift) still fail a
+        // bless: the baseline records justified debt, it does not
+        // launder request-path panics or determinism breaks.
+        let hard: Vec<_> = outcome
+            .diagnostics
+            .iter()
+            .filter(|d| d.check != "panic-ratchet")
+            .collect();
+        for d in &hard {
+            eprintln!("{d}");
+        }
+        if !hard.is_empty() {
+            eprintln!(
+                "tidy: {} finding(s) must be fixed before blessing",
+                hard.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        let json = outcome.fresh_baseline.to_json();
+        if let Err(e) = fs::write(&baseline_path, json) {
+            eprintln!("tidy: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("tidy: blessed {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &outcome.diagnostics {
+        eprintln!("{d}");
+    }
+    if outcome.is_clean() {
+        println!(
+            "tidy: OK ({} files scanned, {} crates ratcheted)",
+            files.len(),
+            outcome.fresh_baseline.crates.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tidy: {} finding(s)", outcome.diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

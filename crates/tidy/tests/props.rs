@@ -1,0 +1,105 @@
+//! Property tests for the tidy scanner: forbidden tokens that live
+//! inside string literals or comments must never produce findings —
+//! the whole point of scanning token-aware instead of grepping.
+
+use coserve_tidy::check::{Check, Diagnostic};
+use coserve_tidy::checks::determinism::Determinism;
+use coserve_tidy::checks::hygiene::NoDebugMacros;
+use coserve_tidy::checks::panic::PanicPath;
+use coserve_tidy::scan::{FileKind, ScannedFile};
+use proptest::prelude::*;
+
+/// Tokens every check in the battery would flag in code position.
+const FORBIDDEN: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "RandomState",
+    "Instant",
+    "SystemTime",
+    "std::env::var",
+    "thread_rng",
+    ".unwrap()",
+    ".expect(\\\"x\\\")",
+    "panic!",
+    "unreachable!",
+    "dbg!",
+    "todo!",
+    "buf[0]",
+];
+
+/// Renders one source line that mentions `token` only inside a
+/// comment or a string literal, per `shape`.
+fn camouflaged_line(shape: u8, token: &str) -> String {
+    match shape % 6 {
+        0 => format!("// note: {token} is forbidden here"),
+        1 => format!("let s = \"{token}\"; // literal"),
+        2 => format!("/* {token} */ let x = 1;"),
+        3 => format!("let r = r#\"{token}\"#;"),
+        4 => format!("/// docs may cite {token} freely"),
+        _ => format!("let b = b\"{token}\";"),
+    }
+}
+
+/// Every check that matches tokens (determinism, panic-path,
+/// no-debug-macros) run over `file`, findings collected.
+fn token_findings(file: ScannedFile) -> Vec<Diagnostic> {
+    let files = [file];
+    let mut out = Vec::new();
+    Determinism.run(&files, &mut out);
+    PanicPath.run(&files, &mut out);
+    NoDebugMacros.run(&files, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any mix of forbidden tokens, each hidden inside a comment or
+    /// string literal, scans clean — in a deterministic crate AND on
+    /// the server request path, where every one of them would
+    /// otherwise fire.
+    #[test]
+    fn findings_never_originate_inside_literals_or_comments(
+        lines in proptest::collection::vec((0u8..6, 0usize..FORBIDDEN.len()), 1..40),
+    ) {
+        let body: String = lines
+            .iter()
+            .map(|&(shape, which)| camouflaged_line(shape, FORBIDDEN[which]) + "\n")
+            .collect();
+        for path in ["crates/core/src/generated.rs", "crates/server/src/protocol.rs"] {
+            let crate_name = if path.contains("core") { "core" } else { "server" };
+            let file = ScannedFile::parse(path, crate_name, FileKind::Src, &body);
+            let found = token_findings(file);
+            prop_assert!(found.is_empty(), "false positives on {path}: {found:?}");
+        }
+    }
+
+    /// The same tokens in code position on the same lines DO fire:
+    /// camouflage is load-bearing, not the checks being inert. Scanned
+    /// as both a deterministic-crate file and a request-path file so
+    /// every token class (determinism, panic, debug-macro) has a check
+    /// that covers it.
+    #[test]
+    fn code_position_tokens_still_fire(
+        which in 0usize..FORBIDDEN.len(),
+        shape in 0u8..6,
+    ) {
+        let token = FORBIDDEN[which];
+        let body = format!("{}\nlet v = {token};\n", camouflaged_line(shape, token));
+        let mut found = Vec::new();
+        for (path, crate_name) in [
+            ("crates/core/src/generated.rs", "core"),
+            ("crates/server/src/protocol.rs", "server"),
+        ] {
+            found.extend(token_findings(ScannedFile::parse(
+                path, crate_name, FileKind::Src, &body,
+            )));
+        }
+        prop_assert!(!found.is_empty(), "no finding for `{token}` in code position");
+        // And every finding points at the code line, never the
+        // camouflaged one.
+        for d in &found {
+            prop_assert_eq!(d.line, 2, "{:?}", d);
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! `cargo bench` runs, prints a per-benchmark mean, and exercises exactly the
 //! same code paths the real harness would.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

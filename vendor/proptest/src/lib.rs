@@ -17,6 +17,7 @@
 //! shrinking: a failing case panics with the drawn inputs printed, which is
 //! enough signal for the deterministic simulation code under test here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;
