@@ -1,7 +1,63 @@
 //! Regenerates every table and figure of the paper in order.
-use coserve_bench::{emit, emit_json, figures};
+//!
+//! `--trace PATH` additionally runs the CoServe configuration on the
+//! first (device, task) cell with tracing enabled and writes the
+//! Chrome trace-event JSON to `PATH` (open it in Perfetto). The traced
+//! run is an extra pass: every figure output stays byte-identical to
+//! an untraced invocation.
+use coserve_bench::{emit, emit_json, figures, Bench};
+
+fn trace_path_arg() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--trace" => Some(path.into()),
+        [flag] if flag == "--trace" => {
+            eprintln!("missing value for --trace");
+            std::process::exit(2);
+        }
+        _ => {
+            eprintln!("usage: all_figures [--trace PATH]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One traced CoServe run on the first paper cell: writes the Perfetto
+/// dump and prints the trace-derived attribution and heat tables.
+fn emit_trace(path: &std::path::Path) {
+    let device = coserve_bench::paper_devices().remove(0);
+    let task = coserve_bench::paper_tasks().remove(0);
+    let bench = Bench::prepare(device, task);
+    let config = coserve_core::presets::coserve(&bench.device);
+    let (report, events) = bench.run_traced(&config);
+    println!(
+        "traced run: {} — {} events from {} requests",
+        report.summary_line(),
+        events.len(),
+        report.submitted,
+    );
+    let attribution = coserve_metrics::attribution::LatencyAttribution::from_events(&events);
+    print!("{}", attribution.table().render());
+    let heat = coserve_metrics::attribution::ExpertHeat::from_events(&events);
+    print!("{}", heat.table().render());
+    let json = coserve_trace::chrome_trace_json(&events);
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, &json)
+    };
+    match write() {
+        Ok(()) => println!("[trace] {}", path.display()),
+        Err(err) => eprintln!("[trace] failed to write {}: {err}", path.display()),
+    }
+}
 
 fn main() {
+    let trace_path = trace_path_arg();
     emit(&figures::table1_hardware(), "table1_hardware");
     emit(&figures::fig01_switch_share(), "fig01_switch_share");
     emit(&figures::fig05_avg_latency(), "fig05_avg_latency");
@@ -31,5 +87,8 @@ fn main() {
     emit(&recovery, "fig22_failure_recovery");
     for (stem, json) in &artifacts {
         emit_json(json, stem);
+    }
+    if let Some(path) = trace_path {
+        emit_trace(&path);
     }
 }

@@ -6,7 +6,7 @@
 //! coserve-loadgen --addr HOST:PORT [--admin-addr HOST:PORT]
 //!                 [--task a1|a2|b1|b2] [--scale F] [--requests N]
 //!                 [--mode closed|open] [--rate RPS] [--seed S]
-//!                 [--verify] [--shutdown]
+//!                 [--verify] [--trace-summary] [--shutdown]
 //! ```
 //!
 //! * **closed** (default): one request in flight — submit, pump, poll,
@@ -19,8 +19,13 @@
 //!   `coserve_workload::arrivals::ArrivalProcess`) and submitted
 //!   up-front regardless of completions.
 //!
-//! `--shutdown` asks the server's admin port to shut down afterwards —
-//! the CI smoke test uses this for a clean end-to-end pass.
+//! `--trace-summary` drains the server's admin `/trace` dump after the
+//! run and prints the per-stage latency-attribution table (mean/p95
+//! for queue, switch, stall and exec) — the server must be running
+//! with `--trace`, otherwise the dump is empty and the summary says
+//! so. `--shutdown` asks the server's admin port to shut down
+//! afterwards — the CI smoke test uses this for a clean end-to-end
+//! pass.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -53,6 +58,7 @@ struct Args {
     rate: Option<f64>,
     seed: u64,
     verify: bool,
+    trace_summary: bool,
     shutdown: bool,
 }
 
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         rate: None,
         seed: 7,
         verify: false,
+        trace_summary: false,
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -121,12 +128,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--verify" => args.verify = true,
+            "--trace-summary" => args.trace_summary = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: coserve-loadgen --addr A [--admin-addr A] [--task a1|a2|b1|b2] \
                      [--scale F] [--requests N] [--mode closed|open] [--rate RPS] [--seed S] \
-                     [--verify] [--shutdown]"
+                     [--verify] [--trace-summary] [--shutdown]"
                         .into(),
                 );
             }
@@ -373,6 +381,9 @@ fn run() -> Result<(), String> {
         let stats = admin_get(admin, "/stats")?;
         let body = stats.split("\r\n\r\n").nth(1).unwrap_or("");
         println!("admin stats: {body}");
+        if args.trace_summary {
+            print_trace_summary(admin)?;
+        }
         if args.shutdown {
             let bye = admin_get(admin, "/shutdown")?;
             if !bye.starts_with("HTTP/1.0 200") {
@@ -382,7 +393,36 @@ fn run() -> Result<(), String> {
         }
     } else if args.shutdown {
         return Err("--shutdown needs --admin-addr".into());
+    } else if args.trace_summary {
+        return Err("--trace-summary needs --admin-addr".into());
     }
+    Ok(())
+}
+
+/// Drains the server's `/trace` dump and prints the latency
+/// attribution (mean/p95 per stage component) rebuilt from its
+/// `stage-done` records.
+fn print_trace_summary(admin: SocketAddr) -> Result<(), String> {
+    let dump = admin_get(admin, "/trace")?;
+    let body = dump.split("\r\n\r\n").nth(1).unwrap_or("");
+    let events = coserve_trace::parse_chrome_stage_done(body);
+    if events.is_empty() {
+        println!("trace summary: no stage-done events (is the server running with --trace?)");
+        return Ok(());
+    }
+    let attribution = coserve_metrics::attribution::LatencyAttribution::from_events(&events);
+    print!("{}", attribution.table().render());
+    // The dump only carries stage-done records here, so of the heat
+    // summary only the execution counts are meaningful — print the
+    // hottest experts as one line instead of the full residency table.
+    let heat = coserve_metrics::attribution::ExpertHeat::from_events(&events);
+    let hottest: Vec<String> = heat
+        .rows()
+        .iter()
+        .take(10)
+        .map(|r| format!("e{}×{}", r.expert.index(), r.stages))
+        .collect();
+    println!("hottest experts: {}", hottest.join("  "));
     Ok(())
 }
 

@@ -46,6 +46,7 @@ use coserve_model::expert::ExpertId;
 use coserve_sim::network::NodeId;
 use coserve_sim::time::{SimSpan, SimTime};
 use coserve_sim::transfer::TransferRoute;
+use coserve_trace::{NoopTracer, TraceEvent, TraceKind, Tracer};
 use coserve_workload::stream::{Job, JobId, RequestStream};
 
 use crate::dispatch::{Dispatcher, FeedbackMode, NodeLoadModel, Routing};
@@ -286,6 +287,28 @@ impl ClusterSystem {
     /// or a tick of zero length is supplied.
     #[must_use]
     pub fn serve_runtime(&self, stream: &RequestStream, options: &RuntimeOptions) -> ClusterReport {
+        let mut noop = NoopTracer;
+        self.serve_runtime_traced(stream, options, &mut noop)
+    }
+
+    /// [`ClusterSystem::serve_runtime`] with a structured-event
+    /// collector: fleet control actions — kills, revivals, migration
+    /// start/land, re-plans, front-end sheds — are recorded into
+    /// `tracer`, stamped with their node and simulation time. With a
+    /// disabled tracer this is exactly `serve_runtime` (every emission
+    /// site is guarded by `enabled()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the failure schedule names a node outside the fleet
+    /// or a tick of zero length is supplied.
+    #[must_use]
+    pub fn serve_runtime_traced(
+        &self,
+        stream: &RequestStream,
+        options: &RuntimeOptions,
+        tracer: &mut dyn Tracer,
+    ) -> ClusterReport {
         if let Some(max) = options.failures.max_node() {
             assert!(
                 max < self.num_nodes(),
@@ -296,7 +319,7 @@ impl ClusterSystem {
         if let Some(tick) = options.tick {
             assert!(tick > SimSpan::ZERO, "control tick must be positive");
         }
-        let mut runtime = Runtime::new(self, options);
+        let mut runtime = Runtime::new(self, options, tracer);
         runtime.run(stream)
     }
 }
@@ -325,10 +348,17 @@ struct Runtime<'a> {
     tick_routed: usize,
     tick_routing_dropped: usize,
     tick_latencies: Vec<SimSpan>,
+    /// Fleet-event sink; every emission guarded by `enabled()` so a
+    /// [`NoopTracer`] keeps the run bit-identical to the untraced path.
+    tracer: &'a mut (dyn Tracer + 'a),
 }
 
 impl<'a> Runtime<'a> {
-    fn new(sys: &'a ClusterSystem, options: &'a RuntimeOptions) -> Self {
+    fn new(
+        sys: &'a ClusterSystem,
+        options: &'a RuntimeOptions,
+        tracer: &'a mut (dyn Tracer + 'a),
+    ) -> Self {
         let n = sys.num_nodes();
         let loads: Vec<NodeLoadModel<'a>> = sys
             .nodes()
@@ -376,7 +406,14 @@ impl<'a> Runtime<'a> {
             tick_routed: 0,
             tick_routing_dropped: 0,
             tick_latencies: Vec::new(),
+            tracer,
         }
+    }
+
+    /// Records one fleet event; call sites guard with
+    /// `tracer.enabled()` so the disabled path constructs nothing.
+    fn emit(&mut self, at: SimTime, node: u32, kind: TraceKind) {
+        self.tracer.record(TraceEvent { at, node, kind });
     }
 
     fn run(&mut self, stream: &RequestStream) -> ClusterReport {
@@ -437,6 +474,16 @@ impl<'a> Runtime<'a> {
         if !self.alive.iter().any(|&a| a) {
             self.dynamics.routing_dropped += 1;
             self.tick_routing_dropped += 1;
+            if self.tracer.enabled() {
+                self.emit(
+                    job.arrival,
+                    0,
+                    TraceKind::Shed {
+                        job: job.id.0,
+                        paced: false,
+                    },
+                );
+            }
             return;
         }
         if let Some(at) = floor {
@@ -465,10 +512,30 @@ impl<'a> Runtime<'a> {
             Routing::Unhosted { .. } => {
                 self.dynamics.routing_dropped += 1;
                 self.tick_routing_dropped += 1;
+                if self.tracer.enabled() {
+                    self.emit(
+                        job.arrival,
+                        0,
+                        TraceKind::Shed {
+                            job: job.id.0,
+                            paced: false,
+                        },
+                    );
+                }
             }
             Routing::Paced => {
                 self.dynamics.paced_shed += 1;
                 self.tick_routing_dropped += 1;
+                if self.tracer.enabled() {
+                    self.emit(
+                        job.arrival,
+                        0,
+                        TraceKind::Shed {
+                            job: job.id.0,
+                            paced: true,
+                        },
+                    );
+                }
             }
         }
     }
@@ -496,6 +563,15 @@ impl<'a> Runtime<'a> {
         // instant (the re-route cannot happen before the failure is
         // observed).
         let pulled: Vec<Job> = self.buffers[node].drain(..).collect();
+        if self.tracer.enabled() {
+            self.emit(
+                at,
+                node as u32,
+                TraceKind::NodeKilled {
+                    rerouted: pulled.len() as u32,
+                },
+            );
+        }
         // Re-replicate the orphaned shard before re-routing, so pulled
         // requests whose experts lived only here stay servable.
         let recovered_at = if self.replaces() && self.alive.iter().any(|&a| a) {
@@ -524,6 +600,9 @@ impl<'a> Runtime<'a> {
             return;
         }
         self.alive[node] = true;
+        if self.tracer.enabled() {
+            self.emit(at, node as u32, TraceKind::NodeRevived);
+        }
         if self.replaces() {
             // The node comes back empty: rebalance the layout onto the
             // restored fleet and ship it its share.
@@ -551,6 +630,16 @@ impl<'a> Runtime<'a> {
     /// donors, local checkpoint reloads when none survives — and
     /// returns when the last copy lands.
     fn migrate(&mut self, migration: &MigrationPlan, new_version: u64, at: SimTime) -> SimTime {
+        if self.tracer.enabled() {
+            self.emit(
+                at,
+                0,
+                TraceKind::Replanned {
+                    version: new_version,
+                    moves: migration.moves.len() as u32,
+                },
+            );
+        }
         let mut done_latest = at;
         for mv in &migration.moves {
             let bytes = self.sys.model().weight_bytes(mv.expert);
@@ -575,6 +664,22 @@ impl<'a> Runtime<'a> {
             self.dispatcher.add_busy(mv.to, at, duration);
             let ready = self.available_at.entry(mv.expert).or_insert(done);
             *ready = (*ready).max(done);
+            if self.tracer.enabled() {
+                self.emit(
+                    at,
+                    mv.to as u32,
+                    TraceKind::MigrationStarted {
+                        expert: mv.expert,
+                        donor: mv.from.map(|f| f as u32),
+                        span: duration,
+                    },
+                );
+                self.emit(
+                    done,
+                    mv.to as u32,
+                    TraceKind::MigrationLanded { expert: mv.expert },
+                );
+            }
         }
         self.dynamics.plan_versions = new_version;
         done_latest
@@ -996,6 +1101,57 @@ mod tests {
             p50(&paced),
             p50(&corrected)
         );
+    }
+
+    #[test]
+    fn traced_runtime_matches_untraced_and_records_fleet_events() {
+        use coserve_trace::RingTracer;
+        let (cluster, stream) = fleet(4);
+        let at = mid(&stream);
+        let back = at + SimSpan::from_millis(40);
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(50))
+            .failures(FailureSchedule::new().kill(2, at).revive(2, back));
+        let untraced = cluster.serve_runtime(&stream, &options);
+
+        let mut tracer = RingTracer::new();
+        let traced = cluster.serve_runtime_traced(&stream, &options, &mut tracer);
+        assert_eq!(untraced, traced, "tracing must not perturb the run");
+        let events = tracer.drain();
+
+        let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count();
+        assert_eq!(count("node-killed"), 1);
+        assert_eq!(count("node-revived"), 1);
+        assert!(count("replanned") >= 2, "kill + revival both re-plan");
+        assert_eq!(count("migration-start"), count("migration-land"));
+        assert_eq!(count("migration-start") as u64, traced.dynamics.migrations);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::NodeKilled { .. }) && e.node == 2 && e.at == at));
+
+        // Determinism: a second traced run records identical events.
+        let mut tracer2 = RingTracer::new();
+        let traced2 = cluster.serve_runtime_traced(&stream, &options, &mut tracer2);
+        assert_eq!(traced, traced2);
+        assert_eq!(events, tracer2.drain());
+    }
+
+    #[test]
+    fn traced_static_runtime_records_sheds() {
+        use coserve_trace::RingTracer;
+        let (cluster, stream) = fleet(4);
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(60))
+            .failures(FailureSchedule::new().kill(1, mid(&stream)))
+            .replacement(ReplacementPolicy::Static);
+        let mut tracer = RingTracer::new();
+        let report = cluster.serve_runtime_traced(&stream, &options, &mut tracer);
+        let sheds = tracer
+            .events()
+            .filter(|e| matches!(e.kind, TraceKind::Shed { paced: false, .. }))
+            .count();
+        assert_eq!(sheds, report.dynamics.routing_dropped);
+        assert!(sheds > 0, "orphaned shard must shed chains");
     }
 
     #[test]

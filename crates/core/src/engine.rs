@@ -27,6 +27,7 @@ use coserve_sim::memory::{Bytes, MemoryTier};
 use coserve_sim::resource::{FifoResource, PooledResource};
 use coserve_sim::time::{SimSpan, SimTime};
 use coserve_sim::transfer::TransferRoute;
+use coserve_trace::{NoopTracer, TraceEvent, TraceKind, Tracer};
 use coserve_workload::stream::RequestStream;
 
 use crate::config::{ArrangePolicy, AssignPolicy, SystemConfig};
@@ -362,6 +363,12 @@ struct InFlight {
     batch: Vec<PendingRequest>,
     legs: std::collections::VecDeque<Leg>,
     switch: Option<PendingSwitch>,
+    /// Latency-attribution milestones: when the batch was popped off
+    /// the queue, when its expert switch finished (== `started` when
+    /// the expert was resident), and when compute actually began.
+    started: SimTime,
+    switch_done: SimTime,
+    exec_start: SimTime,
 }
 
 #[derive(Debug)]
@@ -521,6 +528,13 @@ pub struct EngineSession<'a> {
     evict_scratch: EvictionScratch,
     /// Reusable protected-expert set for eviction calls.
     protected_scratch: BTreeSet<ExpertId>,
+    /// Structured-event sink; [`NoopTracer`] unless a collector was
+    /// installed with [`EngineSession::set_tracer`]. Every emission
+    /// site is guarded by `enabled()`, so the disabled path never
+    /// constructs an event and stays bit-identical.
+    tracer: Box<dyn Tracer>,
+    /// Node id stamped on emitted events (`0` outside cluster runs).
+    trace_node: u32,
 }
 
 impl fmt::Debug for EngineSession<'_> {
@@ -597,6 +611,8 @@ impl<'a> EngineSession<'a> {
             batch_pool: Vec::new(),
             evict_scratch: EvictionScratch::new(),
             protected_scratch: BTreeSet::new(),
+            tracer: Box::new(NoopTracer),
+            trace_node: 0,
         };
         if engine.config.preload {
             run.preload();
@@ -687,6 +703,15 @@ impl<'a> EngineSession<'a> {
         });
         self.jobs.push(JobState::default());
         self.events.push(arrival, Ev::Arrive { job, stage: 0 });
+        if self.tracer.enabled() {
+            self.emit(
+                arrival,
+                TraceKind::Arrived {
+                    job,
+                    stages: stages.len() as u8,
+                },
+            );
+        }
         Ok(job)
     }
 
@@ -736,6 +761,48 @@ impl<'a> EngineSession<'a> {
         std::mem::take(&mut self.completions)
     }
 
+    /// Installs a structured-event collector. When the new tracer is
+    /// enabled, the current pool residency is snapshotted as
+    /// [`TraceKind::Preloaded`] events so the exported timeline starts
+    /// from a known state. Returns the previous tracer.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) -> Box<dyn Tracer> {
+        let old = std::mem::replace(&mut self.tracer, tracer);
+        if self.tracer.enabled() {
+            let now = self.events.now();
+            let resident: Vec<(u32, ExpertId)> = self
+                .execs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, e)| e.pool.residents().map(move |(ex, _)| (i as u32, ex)))
+                .collect();
+            for (exec, expert) in resident {
+                self.emit(now, TraceKind::Preloaded { exec, expert });
+            }
+        }
+        old
+    }
+
+    /// Stamps subsequently emitted events with `node` (cluster wiring;
+    /// single-node sessions keep the default `0`).
+    pub fn set_trace_node(&mut self, node: u32) {
+        self.trace_node = node;
+    }
+
+    /// The session's event collector (e.g. to drain or inspect it).
+    pub fn tracer_mut(&mut self) -> &mut dyn Tracer {
+        &mut *self.tracer
+    }
+
+    /// Records one event; call sites guard with `tracer.enabled()` so
+    /// the disabled path never constructs a [`TraceEvent`].
+    fn emit(&mut self, at: SimTime, kind: TraceKind) {
+        self.tracer.record(TraceEvent {
+            at,
+            node: self.trace_node,
+            kind,
+        });
+    }
+
     /// Live counters without consuming the session or cloning latency
     /// ledgers.
     #[must_use]
@@ -769,6 +836,16 @@ impl<'a> EngineSession<'a> {
         self.sched_latencies
             .push(res.end.saturating_since(res.start));
         self.events.push(res.end, Ev::Sched { job, stage });
+        if self.tracer.enabled() {
+            self.emit(
+                res.start,
+                TraceKind::Scheduled {
+                    job,
+                    stage,
+                    span: res.end.saturating_since(res.start),
+                },
+            );
+        }
     }
 
     fn on_sched(&mut self, job: u32, stage: u8, now: SimTime) {
@@ -790,6 +867,16 @@ impl<'a> EngineSession<'a> {
                         finished_at: now,
                         latency: now.saturating_since(meta.arrival),
                     });
+                    if self.tracer.enabled() {
+                        self.emit(
+                            now,
+                            TraceKind::Dropped {
+                                job,
+                                stage,
+                                latency: now.saturating_since(meta.arrival),
+                            },
+                        );
+                    }
                 }
                 return;
             }
@@ -811,6 +898,17 @@ impl<'a> EngineSession<'a> {
             (ArrangePolicy::Fcfs, _) => self.execs[exec_idx].queue.push_back(req),
         };
         self.apply_insert_delta(exec_idx, delta);
+        if self.tracer.enabled() {
+            self.emit(
+                now,
+                TraceKind::Assigned {
+                    job,
+                    stage,
+                    expert,
+                    exec: exec_idx as u32,
+                },
+            );
+        }
         self.try_start(exec_idx, now);
     }
 
@@ -827,16 +925,32 @@ impl<'a> EngineSession<'a> {
             self.finish_batch(exec_idx, now);
             return;
         };
+        let mut finished_switch = None;
+        let mut compute_batch = None;
         if leg.channel == LegChannel::Compute {
             // The switch (if any) finished when compute becomes ready.
-            if let Some(sw) = inf.switch.take() {
-                self.switch_events.push(SwitchEvent {
-                    at: sw.started,
-                    executor: exec_idx,
-                    expert: sw.expert,
-                    source: sw.source,
-                    duration: now.saturating_since(sw.started),
-                });
+            inf.switch_done = now;
+            compute_batch = Some((inf.batch.first().map(|r| r.expert), inf.batch.len() as u32));
+            finished_switch = inf.switch.take();
+        }
+        if let Some(sw) = finished_switch {
+            self.switch_events.push(SwitchEvent {
+                at: sw.started,
+                executor: exec_idx,
+                expert: sw.expert,
+                source: sw.source,
+                duration: now.saturating_since(sw.started),
+            });
+            if self.tracer.enabled() {
+                self.emit(
+                    sw.started,
+                    TraceKind::Switch {
+                        exec: exec_idx as u32,
+                        expert: sw.expert,
+                        source: sw.source,
+                        span: now.saturating_since(sw.started),
+                    },
+                );
             }
         }
         let remaining: SimSpan = self.execs[exec_idx]
@@ -847,36 +961,75 @@ impl<'a> EngineSession<'a> {
             .iter()
             .map(|l| l.span)
             .sum();
-        let end = match leg.channel {
-            LegChannel::Ssd => self.ssd.reserve(now, leg.span).end,
-            LegChannel::Dma => self.dma.reserve(now, leg.span).end,
+        let res = match leg.channel {
+            LegChannel::Ssd => self.ssd.reserve(now, leg.span),
+            LegChannel::Dma => self.dma.reserve(now, leg.span),
             // Framework work runs on the host-CPU pool: per-executor,
             // but only `host_work_slots` run concurrently device-wide.
-            LegChannel::Local => self.host_work.reserve(now, leg.span).end,
+            LegChannel::Local => self.host_work.reserve(now, leg.span),
             LegChannel::Compute => match processor {
-                ProcessorKind::Gpu => self.gpu_compute.reserve(now, leg.span).end,
-                ProcessorKind::Cpu => self.cpu_compute.reserve(now, leg.span).end,
+                ProcessorKind::Gpu => self.gpu_compute.reserve(now, leg.span),
+                ProcessorKind::Cpu => self.cpu_compute.reserve(now, leg.span),
             },
         };
-        self.execs[exec_idx].busy_until = end + remaining;
-        self.events.push(end, Ev::Leg { exec: exec_idx });
+        if let Some((expert, items)) = compute_batch {
+            if let Some(inf) = self.execs[exec_idx].in_flight.as_mut() {
+                // Compute may stall behind the shared FIFO channel;
+                // attribution charges that separately from execution.
+                inf.exec_start = res.start;
+            }
+            if self.tracer.enabled() {
+                if let Some(expert) = expert {
+                    self.emit(
+                        res.start,
+                        TraceKind::Exec {
+                            exec: exec_idx as u32,
+                            expert,
+                            items,
+                            span: leg.span,
+                        },
+                    );
+                }
+            }
+        }
+        self.execs[exec_idx].busy_until = res.end + remaining;
+        self.events.push(res.end, Ev::Leg { exec: exec_idx });
     }
 
     fn finish_batch(&mut self, exec_idx: usize, now: SimTime) {
-        let mut batch = self.execs[exec_idx]
+        let inf = self.execs[exec_idx]
             .in_flight
             .take()
-            .expect("finish without in-flight batch")
-            .batch;
+            .expect("finish without in-flight batch");
+        let mut batch = inf.batch;
         self.execs[exec_idx].finished_at = now;
         self.execs[exec_idx].busy_until = now;
         self.stages_executed += batch.len();
         self.last_done = self.last_done.max(now);
+        let tracing = self.tracer.enabled();
         for req in batch.drain(..) {
             self.stage_latencies
                 .entry(req.stage)
                 .or_default()
                 .push(now.saturating_since(req.ready_at));
+            if tracing {
+                // The four components partition the stage sojourn:
+                // queue wait until the batch was popped, then the
+                // batch-wide switch / compute-stall / execution spans.
+                self.emit(
+                    now,
+                    TraceKind::StageDone {
+                        job: req.job.0,
+                        stage: req.stage,
+                        exec: exec_idx as u32,
+                        expert: req.expert,
+                        queue: inf.started.saturating_since(req.ready_at),
+                        switch: inf.switch_done.saturating_since(inf.started),
+                        stall: inf.exec_start.saturating_since(inf.switch_done),
+                        exec_span: now.saturating_since(inf.exec_start),
+                    },
+                );
+            }
             let meta = self.submitted_jobs[req.job.index()];
             let next_stage = req.stage + 1;
             if next_stage < meta.num_stages {
@@ -900,6 +1053,15 @@ impl<'a> EngineSession<'a> {
                         finished_at: now,
                         latency,
                     });
+                    if tracing {
+                        self.emit(
+                            now,
+                            TraceKind::Completed {
+                                job: req.job.0,
+                                latency,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -1240,6 +1402,16 @@ impl<'a> EngineSession<'a> {
                     .pool
                     .remove(victim)
                     .expect("victims are resident");
+                if self.tracer.enabled() {
+                    self.emit(
+                        now,
+                        TraceKind::Evicted {
+                            exec: exec_idx as u32,
+                            expert: victim,
+                            demoted: self.cache.is_some(),
+                        },
+                    );
+                }
                 if self.cache.is_some() {
                     if processor == ProcessorKind::Gpu {
                         // Demote over the DMA channel into the staging
@@ -1304,6 +1476,16 @@ impl<'a> EngineSession<'a> {
                 source,
                 started: now,
             });
+            if self.tracer.enabled() {
+                self.emit(
+                    now,
+                    TraceKind::Loaded {
+                        exec: exec_idx as u32,
+                        expert,
+                        source,
+                    },
+                );
+            }
         }
 
         // Execute on the processor's compute channel (ground truth
@@ -1328,6 +1510,9 @@ impl<'a> EngineSession<'a> {
             batch,
             legs,
             switch: pending_switch,
+            started: now,
+            switch_done: now,
+            exec_start: now,
         });
         self.events.push(now, Ev::Leg { exec: exec_idx });
         true
@@ -1346,6 +1531,15 @@ impl<'a> EngineSession<'a> {
                     finished_at: now,
                     latency: now.saturating_since(arrival),
                 });
+                if self.tracer.enabled() {
+                    self.emit(
+                        now,
+                        TraceKind::Failed {
+                            job: req.job.0,
+                            latency: now.saturating_since(arrival),
+                        },
+                    );
+                }
             }
         }
     }
@@ -1363,6 +1557,7 @@ impl<'a> EngineSession<'a> {
         if bytes > cache.capacity() {
             return;
         }
+        let mut cache_evicted: Vec<ExpertId> = Vec::new();
         while !cache.fits(bytes) {
             let lru = cache
                 .residents()
@@ -1370,10 +1565,19 @@ impl<'a> EngineSession<'a> {
                 .map(|(e, _)| e)
                 .expect("cache is non-empty while it does not fit");
             cache.remove(lru);
+            if self.tracer.enabled() {
+                cache_evicted.push(lru);
+            }
         }
         cache
             .insert(expert, bytes, now)
             .expect("fits after eviction");
+        if self.tracer.enabled() {
+            for victim in cache_evicted {
+                self.emit(now, TraceKind::CacheEvicted { expert: victim });
+            }
+            self.emit(now, TraceKind::CacheInserted { expert });
+        }
         // Staging-cache membership changed: any executor's queued
         // experts may now load from a different tier.
         self.mark_all_switch_dirty();
@@ -1518,6 +1722,56 @@ mod proptests {
             let again = engine.run(&stream);
             prop_assert_eq!(report, again);
         }
+
+        /// Observability: live snapshots taken between arbitrary
+        /// `pump_until` chunks are monotone (ledgers only grow), and
+        /// the final snapshot is exactly the consumed report's.
+        #[test]
+        fn snapshot_is_monotone_across_pump_chunks(
+            seed in 0u64..1_000,
+            chunks in proptest::collection::vec(1u64..400, 1..12),
+        ) {
+            let board = BoardSpec::synthetic("prop", 12, 2, 1.2, 20.0, 0.5);
+            let model = board.build_model().expect("valid board");
+            let device = coserve_model::devices::numa_rtx3080ti();
+            let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+            let stream = RequestStream::generate(
+                "prop", &board, &model, 40,
+                SimSpan::from_millis(4), StreamOrder::Iid, seed,
+            );
+            let config = SystemConfig::builder("prop").gpu_executors(2).build();
+            let engine = Engine::new(&device, &model, &perf, &config).expect("valid");
+
+            let mut session = engine.session(stream.name());
+            for job in stream.jobs() {
+                session.submit(job.arrival, &job.stages).expect("stream fits model");
+            }
+            let mut prev = session.snapshot();
+            let mut watermark = SimTime::ZERO;
+            for delta_ms in chunks {
+                watermark += SimSpan::from_millis(delta_ms);
+                session.pump_until(watermark);
+                let cur = session.snapshot();
+                prop_assert_eq!(cur.submitted, prev.submitted);
+                prop_assert!(cur.completed >= prev.completed);
+                prop_assert!(cur.failed >= prev.failed);
+                prop_assert!(cur.admitted >= prev.admitted);
+                prop_assert!(cur.dropped >= prev.dropped);
+                prop_assert!(cur.stages_executed >= prev.stages_executed);
+                prop_assert!(cur.makespan >= prev.makespan);
+                prop_assert!(cur.expert_switches >= prev.expert_switches);
+                prop_assert!(cur.switch_time_total >= prev.switch_time_total);
+                prop_assert!(cur.exec_time_total >= prev.exec_time_total);
+                let lat_count = |s: &RunSnapshot| s.latency.map_or(0, |l| l.count);
+                prop_assert!(lat_count(&cur) >= lat_count(&prev));
+                prev = cur;
+            }
+            session.pump();
+            let last = session.snapshot();
+            prop_assert_eq!(last.pending_events, 0);
+            let report = session.into_report();
+            prop_assert_eq!(last, report.snapshot());
+        }
     }
 }
 
@@ -1597,6 +1851,90 @@ mod tests {
             .all(|c| c.status == CompletionStatus::Completed));
         let report = session.into_report();
         assert_eq!(batch, report);
+    }
+
+    #[test]
+    fn traced_session_matches_untraced_and_attribution_partitions_latency() {
+        let (device, model, perf, stream) = setup(30, 120);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let untraced = engine.run(&stream);
+
+        let run_traced = || {
+            let mut session = engine.session(stream.name());
+            session.set_tracer(Box::new(coserve_trace::RingTracer::new()));
+            for job in stream.jobs() {
+                session.submit(job.arrival, &job.stages).unwrap();
+            }
+            session.pump();
+            let events = session.tracer_mut().drain();
+            (session.into_report(), events)
+        };
+        let (report, events) = run_traced();
+        assert_eq!(untraced, report, "tracing must not perturb results");
+
+        // Counts line up with the report's aggregates.
+        let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count();
+        assert_eq!(count("arrived"), report.submitted);
+        assert_eq!(count("completed"), report.completed);
+        assert_eq!(count("stage-done"), report.stages_executed);
+        assert_eq!(count("switch") as u64, report.expert_switches());
+        assert!(count("preloaded") > 0, "residency snapshot on install");
+
+        // Attribution: per stage index, the queue/switch/stall/exec
+        // components sum to exactly the stage-latency ledger entries,
+        // in ledger order.
+        let mut sums: BTreeMap<u8, Vec<SimSpan>> = BTreeMap::new();
+        for e in &events {
+            if let TraceKind::StageDone {
+                stage,
+                queue,
+                switch,
+                stall,
+                exec_span,
+                ..
+            } = e.kind
+            {
+                sums.entry(stage)
+                    .or_default()
+                    .push(queue + switch + stall + exec_span);
+            }
+        }
+        assert_eq!(sums, report.stage_latencies);
+
+        // Determinism: a second traced run reproduces the events and
+        // the exported bytes exactly.
+        let (report2, events2) = run_traced();
+        assert_eq!(report, report2);
+        assert_eq!(events, events2);
+        assert_eq!(
+            coserve_trace::chrome_trace_json(&events),
+            coserve_trace::chrome_trace_json(&events2)
+        );
+    }
+
+    #[test]
+    fn trace_covers_drops_under_admission_control() {
+        let (device, model, perf, stream) = setup(30, 300);
+        let config = SystemConfig::builder("CoServe")
+            .gpu_executors(1)
+            .admission(crate::config::AdmissionControl::with_queue_capacity(2))
+            .build();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let mut session = engine.session(stream.name());
+        session.set_tracer(Box::new(coserve_trace::RingTracer::new()));
+        for job in stream.jobs() {
+            session.submit(job.arrival, &job.stages).unwrap();
+        }
+        session.pump();
+        let events = session.tracer_mut().drain();
+        let report = session.into_report();
+        assert!(report.dropped > 0, "setup should overload the queue");
+        let dropped = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Dropped { .. }))
+            .count();
+        assert_eq!(dropped, report.dropped);
     }
 
     #[test]

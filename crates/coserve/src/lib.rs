@@ -17,7 +17,8 @@
 //! * [`baselines`] — the Samba-CoE baselines and evaluation suite;
 //! * [`cluster`] — cluster-scale serving: expert placement planning,
 //!   network-fabric costs and multi-node dispatch;
-//! * [`metrics`] — run reports, statistics and table rendering.
+//! * [`metrics`] — run reports, statistics and table rendering;
+//! * [`trace`] — structured sim-time tracing and Perfetto export.
 //!
 //! [`serve`] adds what the paper's closed evaluation cannot express:
 //! open-loop online serving with Poisson/bursty arrivals, bounded
@@ -57,6 +58,7 @@ pub use coserve_core as core;
 pub use coserve_metrics as metrics;
 pub use coserve_model as model;
 pub use coserve_sim as sim;
+pub use coserve_trace as trace;
 pub use coserve_workload as workload;
 
 pub mod serve;

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attribution;
 pub mod cluster;
 pub mod output;
 pub mod report;
@@ -20,6 +21,9 @@ pub mod timeline;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::attribution::{
+        kind_counts, ExpertHeat, ExpertHeatRow, LatencyAttribution, StageAttribution,
+    };
     pub use crate::cluster::{
         ClusterReport, ClusterSnapshot, FailureRecord, FleetDynamics, TickStat,
     };

@@ -22,7 +22,8 @@
 //!                    │                           │ Mutex         │
 //!                    │                           ▼               │
 //!                    │                     EngineSession         │
-//!   TCP admin port ─▶│ admin: /healthz /stats /shutdown          │
+//!   TCP admin port ─▶│ admin: /healthz /stats /metrics           │
+//!                    │        /trace /shutdown                   │
 //!                    └───────────────────────────────────────────┘
 //! ```
 //!

@@ -5,6 +5,7 @@
 //! ```text
 //! coserve-server [--addr 127.0.0.1:7600] [--admin-addr 127.0.0.1:7601]
 //!                [--workers 2] [--task a1|a2|b1|b2] [--scale 1.0]
+//!                [--trace trace.json]
 //! ```
 //!
 //! Port 0 binds a free port; the real addresses are printed on stdout
@@ -12,6 +13,11 @@
 //! smoke test, `coserve-loadgen --boot` — can read them back. On
 //! shutdown the final engine report summary is printed and a
 //! `RunReport` JSON artifact is written next to the figure CSVs.
+//!
+//! `--trace <path>` installs a ring tracer on the engine session and,
+//! on shutdown, writes whatever the admin `/trace` endpoint has not
+//! already drained as Chrome trace-event JSON (open it in Perfetto or
+//! `chrome://tracing`).
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -28,6 +34,7 @@ struct Args {
     workers: usize,
     task: String,
     scale: f64,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         task: "a1".to_string(),
         scale: 1.0,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --workers: {e}"))?;
             }
             "--task" => args.task = value("--task")?,
+            "--trace" => args.trace = Some(value("--trace")?.into()),
             "--scale" => {
                 args.scale = value("--scale")?
                     .parse()
@@ -69,7 +78,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: coserve-server [--addr A] [--admin-addr A] [--workers N] \
-                     [--task a1|a2|b1|b2] [--scale F]"
+                     [--task a1|a2|b1|b2] [--scale F] [--trace PATH]"
                         .into(),
                 );
             }
@@ -148,10 +157,34 @@ fn main() -> ExitCode {
         args.workers,
     );
 
-    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    let mut session = system.session("CoServe");
+    if args.trace.is_some() {
+        let _ = session.set_tracer(Box::new(coserve_trace::RingTracer::new()));
+        println!("tracing: on (ring buffer, drain via admin /trace)");
+    }
+    let core = ServiceCore::new(session, system.model().num_experts());
     if let Err(e) = server.run(&core) {
         eprintln!("server error: {e}");
         return ExitCode::FAILURE;
+    }
+
+    if let Some(trace_path) = &args.trace {
+        // Flush the engine first so the final window includes every
+        // event, then export whatever `/trace` has not already drained.
+        core.pump_all();
+        let trace_json = core.drain_trace_json();
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = trace_path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(trace_path, &trace_json)
+        };
+        match write() {
+            Ok(()) => println!("[trace] {}", trace_path.display()),
+            Err(e) => eprintln!("[trace] failed to write {}: {e}", trace_path.display()),
+        }
     }
 
     let report = core.into_report();

@@ -57,8 +57,13 @@ pub struct ServerCounters {
     pub accepted: AtomicU64,
     /// Request frames decoded and handled.
     pub frames: AtomicU64,
-    /// Connections dropped on a malformed frame.
+    /// Protocol failures of either kind (`frame_errors` +
+    /// `decode_errors`), kept as a single headline counter.
     pub protocol_errors: AtomicU64,
+    /// Connections dropped on malformed framing (bad length prefix).
+    pub frame_errors: AtomicU64,
+    /// Well-framed payloads that failed to decode as a request.
+    pub decode_errors: AtomicU64,
 }
 
 /// A bound (but not yet running) server.
@@ -259,6 +264,7 @@ impl Server {
                         self.counters
                             .protocol_errors
                             .fetch_add(1, Ordering::Relaxed);
+                        self.counters.frame_errors.fetch_add(1, Ordering::Relaxed);
                         break 'conn;
                     }
                 };
@@ -271,6 +277,7 @@ impl Server {
                         self.counters
                             .protocol_errors
                             .fetch_add(1, Ordering::Relaxed);
+                        self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
                         Response::Error {
                             code: ErrorCode::BadRequest,
                             message: e.to_string(),

@@ -20,6 +20,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use coserve_core::engine::EngineSession;
 use coserve_metrics::report::{RunReport, RunSnapshot};
+use coserve_trace::{chrome_trace_json, TraceEvent};
 
 use crate::protocol::{ErrorCode, Request, Response, WireCompletion};
 
@@ -173,6 +174,54 @@ impl<'a> ServiceCore<'a> {
     pub fn counters(&self) -> (u64, u64, u64) {
         let inner = self.locked();
         (inner.opened, inner.conns.len() as u64, inner.delivered)
+    }
+
+    /// Undelivered completions buffered per open connection, as
+    /// `(connection id, buffered completions)` in id order.
+    #[must_use]
+    pub fn pending_completions(&self) -> Vec<(u32, u64)> {
+        let inner = self.locked();
+        inner
+            .conns
+            .iter()
+            .map(|(&id, buf)| (id, buf.len() as u64))
+            .collect()
+    }
+
+    /// Tracer lifetime counters: `(recorded, dropped, buffered)`.
+    /// All zero when the session runs the default no-op tracer.
+    #[must_use]
+    pub fn trace_counters(&self) -> (u64, u64, u64) {
+        let mut inner = self.locked();
+        let t = inner.session.tracer_mut();
+        (t.recorded(), t.dropped(), t.len() as u64)
+    }
+
+    /// Drains every buffered trace event out of the session's tracer.
+    /// The dump is destructive by design — each event is exported
+    /// exactly once, so repeated `/trace` requests stream disjoint
+    /// windows of the run.
+    #[must_use]
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        let mut inner = self.locked();
+        inner.session.tracer_mut().drain()
+    }
+
+    /// The drained trace as Chrome trace-event JSON (see
+    /// [`chrome_trace_json`]). An idle or untraced session yields a
+    /// valid document with an empty `traceEvents` array.
+    #[must_use]
+    pub fn drain_trace_json(&self) -> String {
+        chrome_trace_json(&self.drain_trace())
+    }
+
+    /// Pumps the engine to completion and routes the resulting
+    /// completions, without consuming the core. Idempotent; used by
+    /// the binary to flush the final trace window before export.
+    pub fn pump_all(&self) {
+        let mut inner = self.locked();
+        inner.session.pump();
+        inner.route_completions();
     }
 
     /// Drains any remaining events and consumes the core into the

@@ -236,7 +236,7 @@ fn admin_port_serves_live_stats_and_shutdown() {
 fn malformed_frames_do_not_wedge_the_server() {
     let (system, _) = tiny_setup();
     let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
-    with_server(&core, 2, |data, _admin| {
+    with_server(&core, 2, |data, admin| {
         // A valid frame with a garbage opcode: server answers Error.
         let mut stream = TcpStream::connect(data).unwrap();
         stream
@@ -271,6 +271,85 @@ fn malformed_frames_do_not_wedge_the_server() {
         let mut client = Client::connect(data).unwrap();
         let hello = client.call(&Request::Hello).unwrap();
         assert!(matches!(hello, Response::Hello { .. }), "{hello:?}");
+        client.call(&Request::Finish).unwrap();
+
+        // The two failure modes are counted separately and surfaced
+        // on the admin port: one decode error (garbage opcode), one
+        // frame error (oversized length prefix).
+        let stats = admin_get(admin, "/stats");
+        let body = stats.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("\"protocol_errors\":2"), "{body}");
+        assert!(body.contains("\"frame_errors\":1"), "{body}");
+        assert!(body.contains("\"decode_errors\":1"), "{body}");
+    });
+}
+
+/// `/metrics` serves flat counters, `/trace` drains the session's
+/// tracer as Chrome trace-event JSON, and `/stats` reports the
+/// per-connection completion backlog.
+#[test]
+fn admin_trace_and_metrics_endpoints() {
+    let (system, stream) = tiny_setup();
+    let mut session = system.session("CoServe");
+    let _ = session.set_tracer(Box::new(coserve_trace::RingTracer::new()));
+    let core = ServiceCore::new(session, system.model().num_experts());
+
+    with_server(&core, 2, |data, admin| {
+        let mut client = Client::connect(data).unwrap();
+        client.call(&Request::Hello).unwrap();
+        for job in stream.jobs() {
+            client
+                .call(&Request::Submit {
+                    arrival: job.arrival,
+                    stages: job.stages.clone(),
+                })
+                .unwrap();
+        }
+        client.call(&Request::Pump { limit: None }).unwrap();
+
+        // /stats surfaces the undelivered-completion backlog while the
+        // connection has pumped but not yet polled.
+        let stats = admin_get(admin, "/stats");
+        let body = stats.split("\r\n\r\n").nth(1).unwrap();
+        let backlog = format!("\"completions_pending\":{}", stream.len());
+        assert!(body.contains(&backlog), "{body}");
+        let conn = format!("{{\"conn\":0,\"pending\":{}}}", stream.len());
+        assert!(body.contains(&conn), "{body}");
+
+        // /metrics: flat `name value` lines, Pelikan style.
+        let metrics = admin_get(admin, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200"), "{metrics}");
+        let body = metrics.split("\r\n\r\n").nth(1).unwrap();
+        let value = |name: &str| -> u64 {
+            body.lines()
+                .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+                .unwrap_or_else(|| panic!("missing counter {name} in {body}"))
+        };
+        assert_eq!(value("engine_submitted "), stream.len() as u64);
+        assert_eq!(value("engine_completed "), stream.len() as u64);
+        assert_eq!(value("server_frame_errors "), 0);
+        assert!(value("trace_events_recorded ") > 0);
+        assert_eq!(
+            value("trace_events_buffered "),
+            value("trace_events_recorded ")
+        );
+
+        // /trace drains the buffer: the first dump carries the run...
+        let trace = admin_get(admin, "/trace");
+        assert!(trace.starts_with("HTTP/1.0 200"), "{trace}");
+        assert!(trace.contains("application/json"), "{trace}");
+        let body = trace.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with("{\"displayTimeUnit\": \"ms\""), "{body}");
+        assert!(body.contains("\"stage-done\""), "{body}");
+        assert!(body.contains("\"completed\""), "{body}");
+
+        // ...and the second is a valid, empty document.
+        let again = admin_get(admin, "/trace");
+        let body = again.split("\r\n\r\n").nth(1).unwrap();
+        assert!(!body.contains("\"stage-done\""), "{body}");
+        assert!(body.trim_end().ends_with("]}"), "{body}");
+
+        client.call(&Request::Poll).unwrap();
         client.call(&Request::Finish).unwrap();
     });
 }

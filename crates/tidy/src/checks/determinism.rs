@@ -20,6 +20,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "cluster",
     "metrics",
     "baselines",
+    "trace",
 ];
 
 /// `(pattern, what to do instead)` pairs; patterns are token-matched

@@ -1,5 +1,6 @@
 //! Hygiene checks: `#![forbid(unsafe_code)]` presence, leftover debug
-//! macros, and artifact-path discipline.
+//! macros, stdout/stderr discipline in libraries, and artifact-path
+//! discipline.
 
 use std::collections::BTreeSet;
 
@@ -81,6 +82,52 @@ impl Check for NoDebugMacros {
                             file: file.path.clone(),
                             line: lineno,
                             message: format!("leftover `{pattern}` — remove before committing"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Library code must not print: now that the stack carries a real
+/// tracing channel (`coserve-trace`) and the metrics crate renders
+/// tables on demand, ad-hoc `println!`/`eprintln!` in a library is
+/// either debug residue or output that belongs to a caller. Binaries
+/// (`src/main.rs`, `src/bin/*`) own their stdout and are exempt, as is
+/// test code.
+#[derive(Debug)]
+pub struct TraceHygiene;
+
+/// Binary targets own their stdout/stderr.
+fn is_binary(path: &str) -> bool {
+    path.ends_with("src/main.rs") || path.contains("/src/bin/")
+}
+
+impl Check for TraceHygiene {
+    fn name(&self) -> &'static str {
+        "trace-hygiene"
+    }
+
+    fn run(&self, files: &[ScannedFile], out: &mut Vec<Diagnostic>) {
+        for file in files {
+            if file.kind != FileKind::Src || is_binary(&file.path) {
+                continue;
+            }
+            for (lineno, line) in file.numbered() {
+                if line.in_test || allowed(line, self.name()) {
+                    continue;
+                }
+                for pattern in ["println!", "eprintln!"] {
+                    if find_token(&line.code, pattern).is_some() {
+                        out.push(Diagnostic {
+                            check: self.name(),
+                            file: file.path.clone(),
+                            line: lineno,
+                            message: format!(
+                                "`{pattern}` in library code — emit a trace event or \
+                                 return the text to the caller; printing is for binaries"
+                            ),
                         });
                     }
                 }
@@ -202,6 +249,62 @@ mod tests {
         let mut out = Vec::new();
         NoDebugMacros.run(&[file], &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn library_prints_are_flagged_but_binaries_and_tests_pass() {
+        let lib = ScannedFile::parse(
+            "crates/core/src/engine.rs",
+            "core",
+            FileKind::Src,
+            "println!(\"debug\");\neprintln!(\"oops\");\n",
+        );
+        let mut out = Vec::new();
+        TraceHygiene.run(&[lib], &mut out);
+        assert_eq!(out.len(), 2);
+
+        let exempt = [
+            ScannedFile::parse(
+                "crates/server/src/main.rs",
+                "server",
+                FileKind::Src,
+                "println!(\"listening\");\n",
+            ),
+            ScannedFile::parse(
+                "crates/bench/src/bin/fig01.rs",
+                "bench",
+                FileKind::Src,
+                "println!(\"row\");\n",
+            ),
+            ScannedFile::parse(
+                "crates/core/src/pool.rs",
+                "core",
+                FileKind::Src,
+                "#[cfg(test)]\nmod tests { fn t() { println!(\"ok\"); } }\n",
+            ),
+            ScannedFile::parse(
+                "crates/core/tests/e2e.rs",
+                "core",
+                FileKind::TestDir,
+                "println!(\"ok\");\n",
+            ),
+        ];
+        let mut out = Vec::new();
+        TraceHygiene.run(&exempt, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn trace_hygiene_suppression_works() {
+        let file = ScannedFile::parse(
+            "crates/bench/src/lib.rs",
+            "bench",
+            FileKind::Src,
+            "println!(\"[csv] {}\", p); // tidy:allow(trace-hygiene) harness output\n",
+        );
+        let mut out = Vec::new();
+        TraceHygiene.run(&[file], &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

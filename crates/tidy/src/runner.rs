@@ -4,7 +4,7 @@
 use crate::baseline::Baseline;
 use crate::check::{Check, Diagnostic};
 use crate::checks::determinism::Determinism;
-use crate::checks::hygiene::{ForbidUnsafe, NoDebugMacros, OutDir};
+use crate::checks::hygiene::{ForbidUnsafe, NoDebugMacros, OutDir, TraceHygiene};
 use crate::checks::panic::{ratchet_counts, PanicPath, CLASSES};
 use crate::scan::ScannedFile;
 
@@ -16,6 +16,7 @@ pub fn all_checks() -> Vec<Box<dyn Check>> {
         Box::new(PanicPath),
         Box::new(ForbidUnsafe),
         Box::new(NoDebugMacros),
+        Box::new(TraceHygiene),
         Box::new(OutDir),
     ]
 }

@@ -1,0 +1,41 @@
+//! # coserve-trace
+//!
+//! Deterministic, sim-time-only structured tracing for the CoServe
+//! stack. The engine, the cluster runtime and the network server emit
+//! typed [`TraceEvent`]s — request lifecycle spans, expert-pool
+//! residency transitions, fleet control actions — into a [`Tracer`].
+//! Two implementations exist:
+//!
+//! * [`NoopTracer`] — the default everywhere; `enabled()` is `false`,
+//!   so instrumented code never constructs an event. The disabled path
+//!   is bit-identical to an un-instrumented build.
+//! * [`RingTracer`] — a bounded ring buffer; once full, the oldest
+//!   events are overwritten and counted as dropped, so a long run can
+//!   keep tracing its recent past at fixed memory cost.
+//!
+//! Everything is stamped with [`SimTime`](coserve_sim::time::SimTime)
+//! — never the wall clock — and carries causal ids (request, expert,
+//! node, executor, plan version). Two identical runs therefore produce
+//! byte-identical traces, and a trace diff *is* a behaviour diff.
+//!
+//! [`export::chrome_trace_json`] renders a drained event list in the
+//! Chrome trace-event format (one pid per node, one tid per executor,
+//! timestamps in sim-time microseconds), loadable in Perfetto or
+//! `chrome://tracing`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod export;
+pub mod tracer;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::event::{TraceEvent, TraceKind};
+    pub use crate::export::{chrome_trace_json, parse_chrome_stage_done};
+    pub use crate::tracer::{NoopTracer, RingTracer, Tracer};
+}
+
+pub use prelude::*;

@@ -1,0 +1,252 @@
+//! Trace collectors.
+//!
+//! Instrumented code holds a `&mut dyn Tracer` (or a boxed one) and
+//! guards every emission with [`Tracer::enabled`] so the disabled path
+//! never even constructs a [`TraceEvent`]. [`NoopTracer`] is that
+//! disabled path; [`RingTracer`] is the real collector — a bounded
+//! ring that overwrites its oldest events once full, counting what it
+//! dropped so consumers know the window is partial.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::event::TraceEvent;
+
+/// A sink for trace events.
+///
+/// Implementations must be deterministic: recording the same event
+/// sequence twice must leave the tracer in the same state. (Both
+/// built-in tracers are plain in-memory state machines, so this holds
+/// trivially.)
+pub trait Tracer: Send + fmt::Debug {
+    /// Whether recording is on. Instrumented code checks this before
+    /// constructing an event, so a disabled tracer costs one virtual
+    /// call and a branch per site.
+    fn enabled(&self) -> bool;
+
+    /// Records one event. Called only when [`Tracer::enabled`] is
+    /// `true`, but implementations must tolerate being called anyway.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Removes and returns every buffered event in record order.
+    fn drain(&mut self) -> Vec<TraceEvent>;
+
+    /// Events currently buffered.
+    fn len(&self) -> usize;
+
+    /// Whether the buffer is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever offered to [`Tracer::record`].
+    fn recorded(&self) -> u64;
+
+    /// Events lost to capacity (overwritten before being drained).
+    fn dropped(&self) -> u64;
+}
+
+/// The disabled tracer: records nothing, reports `enabled() == false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn recorded(&self) -> u64 {
+        0
+    }
+
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A bounded in-memory collector.
+///
+/// Holds at most `capacity` events; recording into a full ring evicts
+/// the oldest buffered event and bumps [`RingTracer::dropped`]. A long
+/// run therefore keeps tracing its recent past at a fixed memory cost
+/// instead of growing without bound or going silent.
+#[derive(Debug, Clone)]
+pub struct RingTracer {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl RingTracer {
+    /// Default ring capacity: enough for every event of the bundled
+    /// figures while bounding a runaway run to a few MiB.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a tracer with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a tracer holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingTracer {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The ring's capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The buffered events in record order, without consuming them.
+    /// Use this for live summaries that must not disturb a later
+    /// drainable dump.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+}
+
+impl Default for RingTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer for RingTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+        self.recorded += 1;
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+    use coserve_sim::time::SimTime;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(n),
+            node: 0,
+            kind: TraceKind::Arrived {
+                job: n as u32,
+                stages: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn noop_records_nothing() {
+        let mut t = NoopTracer;
+        assert!(!t.enabled());
+        t.record(ev(1));
+        assert!(t.is_empty());
+        assert_eq!(t.drain(), Vec::new());
+        assert_eq!((t.recorded(), t.dropped()), (0, 0));
+    }
+
+    #[test]
+    fn ring_keeps_order() {
+        let mut t = RingTracer::with_capacity(8);
+        assert!(t.enabled());
+        for n in 0..5 {
+            t.record(ev(n));
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 0);
+        let drained = t.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(drained.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 5, "drain keeps the lifetime counter");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut t = RingTracer::with_capacity(3);
+        for n in 0..5 {
+            t.record(ev(n));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+        let kept: Vec<u64> = t.drain().into_iter().map(|e| e.at.nanos()).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest events were evicted");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut t = RingTracer::with_capacity(0);
+        assert_eq!(t.capacity(), 1);
+        t.record(ev(1));
+        t.record(ev(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn events_does_not_consume() {
+        let mut t = RingTracer::with_capacity(4);
+        t.record(ev(7));
+        assert_eq!(t.events().count(), 1);
+        assert_eq!(t.events().count(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.drain().len(), 1);
+    }
+
+    #[test]
+    fn identical_sequences_leave_identical_state() {
+        let mut a = RingTracer::with_capacity(4);
+        let mut b = RingTracer::with_capacity(4);
+        for n in 0..9 {
+            a.record(ev(n));
+            b.record(ev(n));
+        }
+        assert_eq!(a.drain(), b.drain());
+        assert_eq!((a.recorded(), a.dropped()), (b.recorded(), b.dropped()));
+    }
+}

@@ -45,6 +45,36 @@ fn fresh_serving_systems_reproduce_reports_bit_for_bit() {
     assert_eq!(a, b);
 }
 
+/// Tracing rides the same guarantee: two fresh traced runs of the same
+/// configuration must export byte-identical Perfetto documents, and
+/// the traced report must equal the untraced one (the tracer observes,
+/// it never perturbs).
+#[test]
+fn exported_trace_is_bit_identical_across_runs() {
+    let traced_run = || {
+        let task = TaskSpec::a1().scaled(0.08);
+        let model = task.build_model().unwrap();
+        let device = devices::numa_rtx3080ti();
+        let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+        let stream = task.stream(&model);
+        let config = presets::coserve(&device);
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let untraced = engine.run(&stream);
+        let mut session = engine.session(stream.name());
+        session.set_tracer(Box::new(coserve::trace::RingTracer::new()));
+        for job in stream.jobs() {
+            session.submit(job.arrival, &job.stages).unwrap();
+        }
+        session.pump();
+        let events = session.tracer_mut().drain();
+        assert_eq!(untraced, session.into_report(), "tracing perturbed the run");
+        coserve::trace::chrome_trace_json(&events)
+    };
+    let (a, b) = (traced_run(), traced_run());
+    assert!(!a.is_empty() && a.contains("\"stage-done\""));
+    assert_eq!(a, b, "exported trace differs between identical runs");
+}
+
 #[test]
 fn different_seeds_change_the_schedule() {
     let task = TaskSpec::a1().scaled(0.08);
