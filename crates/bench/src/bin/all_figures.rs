@@ -88,6 +88,11 @@ fn main() {
     for (stem, json) in &artifacts {
         emit_json(json, stem);
     }
+    let (faults, artifacts) = figures::fig24_fault_matrix();
+    emit(&faults, "fig24_fault_matrix");
+    for (stem, json) in &artifacts {
+        emit_json(json, stem);
+    }
     if let Some(path) = trace_path {
         emit_trace(&path);
     }

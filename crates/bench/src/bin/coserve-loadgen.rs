@@ -6,7 +6,8 @@
 //! coserve-loadgen --addr HOST:PORT [--admin-addr HOST:PORT]
 //!                 [--task a1|a2|b1|b2] [--scale F] [--requests N]
 //!                 [--mode closed|open] [--rate RPS] [--seed S]
-//!                 [--verify] [--trace-summary] [--shutdown]
+//!                 [--retry-budget N] [--verify] [--trace-summary]
+//!                 [--shutdown]
 //! ```
 //!
 //! * **closed** (default): one request in flight — submit, pump, poll,
@@ -18,6 +19,14 @@
 //!   a Poisson process at `--rate` via
 //!   `coserve_workload::arrivals::ArrivalProcess`) and submitted
 //!   up-front regardless of completions.
+//!
+//! A server armed with `--busy-limit` sheds excess submits with a
+//! typed `Busy`/retry-after answer. The generator honours it with a
+//! retry budget: each busy answer backs off exponentially from the
+//! server's `retry_after` hint (pumping the engine forward so the
+//! backlog actually drains) and resubmits, giving up only once
+//! `--retry-budget` attempts are spent — a given-up request is counted
+//! as shed, not an error.
 //!
 //! `--trace-summary` drains the server's admin `/trace` dump after the
 //! run and prints the per-stage latency-attribution table (mean/p95
@@ -57,6 +66,7 @@ struct Args {
     mode: Mode,
     rate: Option<f64>,
     seed: u64,
+    retry_budget: u32,
     verify: bool,
     trace_summary: bool,
     shutdown: bool,
@@ -72,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         mode: Mode::Closed,
         rate: None,
         seed: 7,
+        retry_budget: 8,
         verify: false,
         trace_summary: false,
         shutdown: false,
@@ -127,6 +138,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--retry-budget" => {
+                args.retry_budget = value("--retry-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --retry-budget: {e}"))?;
+            }
             "--verify" => args.verify = true,
             "--trace-summary" => args.trace_summary = true,
             "--shutdown" => args.shutdown = true,
@@ -134,7 +150,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: coserve-loadgen --addr A [--admin-addr A] [--task a1|a2|b1|b2] \
                      [--scale F] [--requests N] [--mode closed|open] [--rate RPS] [--seed S] \
-                     [--verify] [--trace-summary] [--shutdown]"
+                     [--retry-budget N] [--verify] [--trace-summary] [--shutdown]"
                         .into(),
                 );
             }
@@ -181,20 +197,63 @@ fn build_stream(task: &TaskSpec, args: &Args) -> RequestStream {
     stream
 }
 
+/// Busy-retry accounting for one run.
+#[derive(Debug, Default)]
+struct RetryStats {
+    /// Busy answers that were retried after a backoff.
+    busy_retries: u64,
+    /// Submits abandoned with the retry budget exhausted.
+    gave_up: u64,
+}
+
+/// One admitted job id, or `None` when the retry budget ran out.
 fn submit(
     client: &mut Client,
     arrival: SimTime,
     stages: &[coserve_model::expert::ExpertId],
-) -> Result<u32, String> {
+    budget: u32,
+    stats: &mut RetryStats,
+) -> Result<Option<u32>, String> {
+    let mut attempt = 0u32;
+    loop {
+        let resp = client
+            .call(&Request::Submit {
+                arrival,
+                stages: stages.to_vec(),
+            })
+            .map_err(|e| format!("submit failed: {e}"))?;
+        match resp {
+            Response::Submit { job } => return Ok(Some(job)),
+            Response::Busy { retry_after } => {
+                if attempt >= budget {
+                    stats.gave_up += 1;
+                    return Ok(None);
+                }
+                // Exponential backoff from the server's hint, realized
+                // on the simulated clock: pump the engine forward by
+                // the wait so the backlog actually drains.
+                let wait = SimSpan::from_nanos(
+                    retry_after.nanos().saturating_mul(1u64 << attempt.min(20)),
+                );
+                let now = pump_until(client, SimTime::ZERO)?.0;
+                pump_until(client, now + wait)?;
+                stats.busy_retries += 1;
+                attempt += 1;
+            }
+            other => return Err(format!("unexpected submit response: {other:?}")),
+        }
+    }
+}
+
+/// Pumps the engine up to `limit` (a `limit` already in the past just
+/// reads the clock back).
+fn pump_until(client: &mut Client, limit: SimTime) -> Result<(SimTime, u32), String> {
     let resp = client
-        .call(&Request::Submit {
-            arrival,
-            stages: stages.to_vec(),
-        })
-        .map_err(|e| format!("submit failed: {e}"))?;
+        .call(&Request::Pump { limit: Some(limit) })
+        .map_err(|e| format!("pump failed: {e}"))?;
     match resp {
-        Response::Submit { job } => Ok(job),
-        other => Err(format!("unexpected submit response: {other:?}")),
+        Response::Pump { now, pending, .. } => Ok((now, pending)),
+        other => Err(format!("unexpected pump response: {other:?}")),
     }
 }
 
@@ -223,6 +282,8 @@ fn poll(client: &mut Client) -> Result<Vec<WireCompletion>, String> {
 fn run_closed(
     client: &mut Client,
     stream: &RequestStream,
+    budget: u32,
+    stats: &mut RetryStats,
 ) -> Result<(Vec<WireCompletion>, Vec<Job>), String> {
     let mut completions = Vec::with_capacity(stream.len());
     let mut realized = Vec::with_capacity(stream.len());
@@ -231,7 +292,9 @@ fn run_closed(
         // Submitting at ZERO lets the server floor the arrival to the
         // engine's current time — i.e. "the moment the previous
         // request finished", which is what closed loop means.
-        submit(client, SimTime::ZERO, &job.stages)?;
+        if submit(client, SimTime::ZERO, &job.stages, budget, stats)?.is_none() {
+            continue;
+        }
         realized.push(Job {
             arrival: now,
             ..job.clone()
@@ -247,9 +310,14 @@ fn run_closed(
 }
 
 /// Open loop: the whole schedule is submitted up-front, then drained.
-fn run_open(client: &mut Client, stream: &RequestStream) -> Result<Vec<WireCompletion>, String> {
+fn run_open(
+    client: &mut Client,
+    stream: &RequestStream,
+    budget: u32,
+    stats: &mut RetryStats,
+) -> Result<Vec<WireCompletion>, String> {
     for job in stream.jobs() {
-        submit(client, job.arrival, &job.stages)?;
+        submit(client, job.arrival, &job.stages, budget, stats)?;
     }
     let (_, pending) = pump(client)?;
     if pending != 0 {
@@ -333,12 +401,17 @@ fn run() -> Result<(), String> {
     };
     println!("connected: conn {conn}, system {system}, {num_experts} experts");
 
+    let mut retry_stats = RetryStats::default();
     let (completions, realized) = match args.mode {
         Mode::Closed => {
-            let (completions, realized) = run_closed(&mut client, &stream)?;
+            let (completions, realized) =
+                run_closed(&mut client, &stream, args.retry_budget, &mut retry_stats)?;
             (completions, Some(realized))
         }
-        Mode::Open => (run_open(&mut client, &stream)?, None),
+        Mode::Open => (
+            run_open(&mut client, &stream, args.retry_budget, &mut retry_stats)?,
+            None,
+        ),
     };
 
     let completed = completions
@@ -358,10 +431,16 @@ fn run() -> Result<(), String> {
             summary.p50, summary.p95, summary.p99, summary.max,
         );
     }
-    if completions.len() != stream.len() {
+    if retry_stats.busy_retries > 0 || retry_stats.gave_up > 0 {
+        println!(
+            "busy backoff: {} retries, {} requests gave up (budget {})",
+            retry_stats.busy_retries, retry_stats.gave_up, args.retry_budget,
+        );
+    }
+    let admitted = stream.len() - retry_stats.gave_up as usize;
+    if completions.len() != admitted {
         return Err(format!(
-            "lost jobs: submitted {} but got {} completions",
-            stream.len(),
+            "lost jobs: admitted {admitted} but got {} completions",
             completions.len()
         ));
     }

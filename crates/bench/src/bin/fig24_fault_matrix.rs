@@ -1,0 +1,9 @@
+//! Robustness extension: the deterministic fault matrix — fault class
+//! × intensity × recovery policy, with `FaultLedger` accounting.
+fn main() {
+    let (table, artifacts) = coserve_bench::figures::fig24_fault_matrix();
+    coserve_bench::emit(&table, "fig24_fault_matrix");
+    for (stem, json) in &artifacts {
+        coserve_bench::emit_json(json, stem);
+    }
+}

@@ -21,7 +21,10 @@ use coserve_core::config::AdmissionControl;
 use coserve_core::engine::Engine;
 use coserve_core::presets;
 use coserve_core::profiler::Profiler;
+use coserve_core::system::ServingSystem;
+use coserve_faults::{FaultPlan, FaultWindow, RetryPolicy};
 use coserve_metrics::cluster::ClusterReport;
+use coserve_metrics::faults::FaultLedger;
 use coserve_metrics::table::{fmt_f64, Table};
 use coserve_model::arch::{ArchSpec, RESNET101};
 use coserve_sim::device::ProcessorKind;
@@ -834,6 +837,329 @@ pub fn fig22_failure_recovery() -> (Table, Vec<(String, String)>) {
         ]);
     }
     (t, artifacts)
+}
+
+/// Figure 24 (extension): the deterministic fault matrix — fault class
+/// × intensity × recovery policy, with the `FaultLedger` partitioning
+/// the damage. Four classes: `load` (expert loads fail in the engine;
+/// recovery = bounded retry with exponential backoff), `link` (fabric
+/// dilation and partitions; recovery = hedged re-route vs local-reload
+/// degradation), `node` (control-tick service dilation; absorbed),
+/// `conn` (server sheds submits with a typed Busy/retry-after answer;
+/// recovery = the client's retry budget). Every fault is scheduled on
+/// the simulated clock from a fixed seed, so the matrix is
+/// reproducible bit for bit.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn fig24_fault_matrix() -> (Table, Vec<(String, String)>) {
+    let mut t = Table::new(
+        "Figure 24 (extension): Fault matrix — class × intensity × recovery (A1)",
+        &[
+            "fault",
+            "intensity",
+            "recovery",
+            "goodput_ips",
+            "injected",
+            "retries",
+            "recovered",
+            "lost",
+            "overhead_ms",
+            "recovery_ms",
+            "p95_ms",
+        ],
+    );
+    let requests = ((240.0 * scale()).round() as usize).max(80);
+    let recovery_cell = |l: &FaultLedger| match l.recovery_span() {
+        Some(s) => fmt_f64(s.as_millis_f64(), 1),
+        None if l.injected() > 0 => "inf".to_string(),
+        None => "-".to_string(),
+    };
+    let overhead_ms =
+        |l: &FaultLedger| (l.wasted_time + l.backoff_time + l.degraded_time).as_millis_f64();
+    let p95_cell = |s: Option<coserve_metrics::stats::Summary>| {
+        s.map_or_else(|| "-".into(), |s| fmt_f64(s.p95, 1))
+    };
+    let mut artifacts = Vec::new();
+
+    // ── load: expert-load failures in the engine pool path ──────────
+    let run_load = |fail_rate: f64, retry: RetryPolicy| {
+        let device = paper_devices().remove(0);
+        let task = paper_tasks().remove(0);
+        let model = task.build_model().expect("built-in boards validate");
+        let config = presets::coserve(&device);
+        let system = ServingSystem::new(device, model, config).expect("harness systems are valid");
+        let stream = task.stream(system.model()).truncated(requests);
+        let mut session = system.session("CoServe");
+        session.set_faults(
+            FaultPlan::seeded(24).with_expert_load(fail_rate, 0.0, 1.0, FaultWindow::ALWAYS),
+            retry,
+        );
+        for job in stream.jobs() {
+            let _ = session.submit(job.arrival, &job.stages);
+        }
+        session.pump();
+        let ledger = *session.fault_ledger();
+        (session.into_report(), ledger)
+    };
+    let retry_policy = RetryPolicy::retries(16, SimSpan::from_micros(50));
+    for (intensity, fail_rate) in [("fail 10%", 0.10), ("fail 30%", 0.30)] {
+        let cells = [
+            ("none", RetryPolicy::none()),
+            ("retry+backoff", retry_policy),
+        ]
+        .map(|(recovery, policy)| (recovery, run_load(fail_rate, policy)));
+        // Goodput over a common horizon: a run that failed jobs also
+        // finished early, so completions-per-own-makespan would
+        // flatter giving up.
+        let span = cells
+            .iter()
+            .map(|(_, (r, _))| r.makespan)
+            .max()
+            .unwrap_or(SimSpan::ZERO)
+            .as_secs_f64();
+        for (recovery, (r, ledger)) in cells {
+            if fail_rate > 0.2 && recovery != "none" {
+                artifacts.push((
+                    "fig24_fault_matrix_load_retry_ledger".to_string(),
+                    ledger.to_json(),
+                ));
+            }
+            let goodput = if span > 0.0 {
+                r.completed as f64 / span
+            } else {
+                0.0
+            };
+            t.row(vec![
+                "load".into(),
+                intensity.into(),
+                recovery.into(),
+                fmt_f64(goodput, 1),
+                ledger.injected().to_string(),
+                ledger.retries.to_string(),
+                ledger.recovered().to_string(),
+                r.failed.to_string(),
+                fmt_f64(overhead_ms(&ledger), 1),
+                recovery_cell(&ledger),
+                p95_cell(r.latency_summary()),
+            ]);
+        }
+    }
+
+    // ── link + node: fabric and cluster-runtime faults ──────────────
+    let cluster_stream = {
+        let task = paper_tasks().remove(0);
+        let model = task.build_model().expect("built-in boards validate");
+        RequestStream::generate_open_loop(
+            format!("{} poisson 150/s", task.name()),
+            task.board(),
+            &model,
+            requests,
+            ArrivalProcess::poisson(150.0),
+            StreamOrder::Iid,
+            7,
+        )
+    };
+    let horizon = cluster_stream
+        .last_arrival()
+        .saturating_since(SimTime::ZERO);
+    let tick = SimSpan::from_millis_f64((horizon.as_millis_f64() / 12.0).max(1.0));
+    let run_cluster = |plan: FaultPlan, hedge: bool| {
+        let device = paper_devices().remove(0);
+        let task = paper_tasks().remove(0);
+        let model = task.build_model().expect("built-in boards validate");
+        let config = presets::coserve(&device);
+        // Sharded placement + round-robin routing: chain stages
+        // routinely pull activations across the fabric, and jobs land
+        // on nodes regardless of residency — link faults sit on the
+        // critical path and a cut-off target has reachable
+        // alternatives for hedging.
+        let cluster = ClusterSystem::homogeneous(
+            4,
+            &device,
+            &config,
+            &model,
+            LinkProfile::ethernet_10g(),
+            ClusterOptions::default()
+                .placement(PlacementStrategy::Sharded)
+                .route(RoutePolicy::RoundRobin),
+        )
+        .expect("harness clusters are valid");
+        let options = RuntimeOptions::default()
+            .tick(tick)
+            .faults(plan)
+            .hedge(hedge);
+        cluster.serve_runtime(&cluster_stream, &options)
+    };
+    let all_links_from_zero = vec![(0, 1), (0, 2), (0, 3)];
+    let link_cells: [(&str, FaultPlan, bool); 3] = [
+        (
+            "dilate x4",
+            FaultPlan::seeded(24).with_link(0.5, 4.0, Vec::new(), FaultWindow::ALWAYS),
+            false,
+        ),
+        (
+            "partition",
+            FaultPlan::seeded(24).with_link(
+                0.0,
+                1.0,
+                all_links_from_zero.clone(),
+                FaultWindow::ALWAYS,
+            ),
+            false,
+        ),
+        (
+            "partition",
+            FaultPlan::seeded(24).with_link(0.0, 1.0, all_links_from_zero, FaultWindow::ALWAYS),
+            true,
+        ),
+    ];
+    for (intensity, plan, hedge) in link_cells {
+        let r = run_cluster(plan, hedge);
+        let ledger = r.dynamics.faults;
+        if hedge {
+            artifacts.push((
+                "fig24_fault_matrix_partition_hedge_report".to_string(),
+                r.to_json(),
+            ));
+        }
+        t.row(vec![
+            "link".into(),
+            intensity.into(),
+            if hedge { "hedge" } else { "degrade" }.into(),
+            fmt_f64(r.throughput_ips(), 1),
+            ledger.injected().to_string(),
+            ledger.retries.to_string(),
+            ledger.recovered().to_string(),
+            (r.submitted - r.completed).to_string(),
+            fmt_f64(overhead_ms(&ledger), 1),
+            recovery_cell(&ledger),
+            p95_cell(r.latency_summary()),
+        ]);
+    }
+    for (intensity, factor) in [("slow x2", 2.0), ("slow x6", 6.0)] {
+        let plan = FaultPlan::seeded(24).with_slow_nodes(vec![0], factor, FaultWindow::ALWAYS);
+        let r = run_cluster(plan, true);
+        let ledger = r.dynamics.faults;
+        t.row(vec![
+            "node".into(),
+            intensity.into(),
+            "absorb".into(),
+            fmt_f64(r.throughput_ips(), 1),
+            ledger.injected().to_string(),
+            ledger.retries.to_string(),
+            ledger.recovered().to_string(),
+            (r.submitted - r.completed).to_string(),
+            fmt_f64(overhead_ms(&ledger), 1),
+            recovery_cell(&ledger),
+            p95_cell(r.latency_summary()),
+        ]);
+    }
+
+    // ── conn: server-side busy shedding vs client retry budget ──────
+    for (intensity, limit) in [("limit 4", 4usize), ("limit 16", 16usize)] {
+        let cells = [("none", 0u32), ("retry+backoff", 10)]
+            .map(|(recovery, budget)| (recovery, run_conn_cell(requests, limit, budget)));
+        let span = cells
+            .iter()
+            .map(|(_, (r, _, _))| r.makespan)
+            .max()
+            .unwrap_or(SimSpan::ZERO)
+            .as_secs_f64();
+        for (recovery, (r, ledger, gave_up)) in cells {
+            if limit == 4 && recovery != "none" {
+                artifacts.push((
+                    "fig24_fault_matrix_conn_retry_ledger".to_string(),
+                    ledger.to_json(),
+                ));
+            }
+            let goodput = if span > 0.0 {
+                r.completed as f64 / span
+            } else {
+                0.0
+            };
+            let retried = ledger.busy_shed - gave_up;
+            t.row(vec![
+                "conn".into(),
+                intensity.into(),
+                recovery.into(),
+                fmt_f64(goodput, 1),
+                ledger.injected().to_string(),
+                retried.to_string(),
+                retried.to_string(),
+                gave_up.to_string(),
+                fmt_f64(overhead_ms(&ledger), 1),
+                recovery_cell(&ledger),
+                p95_cell(r.latency_summary()),
+            ]);
+        }
+    }
+    (t, artifacts)
+}
+
+/// One `conn` cell of [`fig24_fault_matrix`]: an in-process
+/// [`ServiceCore`] armed with a busy limit, driven open-loop by a
+/// client that retries busy answers with an exponential backoff (or
+/// gives up immediately when `budget` is zero).
+fn run_conn_cell(
+    requests: usize,
+    limit: usize,
+    budget: u32,
+) -> (coserve_metrics::report::RunReport, FaultLedger, u64) {
+    use coserve_server::protocol::{Request, Response};
+    use coserve_server::service::ServiceCore;
+
+    let device = paper_devices().remove(0);
+    let task = paper_tasks().remove(0);
+    let model = task.build_model().expect("built-in boards validate");
+    let config = presets::coserve(&device);
+    let system = ServingSystem::new(device, model, config).expect("harness systems are valid");
+    let stream = task.stream(system.model()).truncated(requests);
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    // A retry-after hint in the same order as one request's service
+    // time: ten doubling backoffs from here give the backlog seconds
+    // to drain before the client gives up.
+    core.set_busy_limit(limit, SimSpan::from_millis(5));
+
+    let mut conn = None;
+    core.handle(&mut conn, Request::Hello);
+    let pump_now = |conn: &mut Option<u32>, until: SimTime| -> SimTime {
+        match core.handle(conn, Request::Pump { limit: Some(until) }) {
+            Response::Pump { now, .. } => now,
+            other => panic!("pump answered {other:?}"),
+        }
+    };
+    let mut gave_up = 0u64;
+    for job in stream.jobs() {
+        let mut attempt = 0u32;
+        loop {
+            let resp = core.handle(
+                &mut conn,
+                Request::Submit {
+                    arrival: job.arrival,
+                    stages: job.stages.clone(),
+                },
+            );
+            match resp {
+                Response::Submit { .. } => break,
+                Response::Busy { retry_after } => {
+                    if attempt >= budget {
+                        gave_up += 1;
+                        break;
+                    }
+                    let wait = SimSpan::from_nanos(
+                        retry_after.nanos().saturating_mul(1u64 << attempt.min(20)),
+                    );
+                    let now = pump_now(&mut conn, SimTime::ZERO);
+                    pump_now(&mut conn, now + wait);
+                    attempt += 1;
+                }
+                other => panic!("submit answered {other:?}"),
+            }
+        }
+    }
+    core.handle(&mut conn, Request::Pump { limit: None });
+    let ledger = core.fault_ledger();
+    (core.into_report(), ledger, gave_up)
 }
 
 /// Figure 19: scheduling latency vs inference latency, and the

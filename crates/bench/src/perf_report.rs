@@ -242,6 +242,14 @@ pub fn collect(emit_artifacts: bool) -> PerfReport {
             emit_json(json, stem);
         }
     }
+    let s = Instant::now();
+    let (faults, artifacts) = figures::fig24_fault_matrix();
+    record("fig24_fault_matrix", s, one("fig24_fault_matrix", faults));
+    if emit_artifacts {
+        for (stem, json) in &artifacts {
+            emit_json(json, stem);
+        }
+    }
     let all_figures_wall_ms = suite_start.elapsed().as_secs_f64() * 1e3;
 
     // End-to-end engine throughput: the CoServe preset serving the

@@ -32,6 +32,8 @@
 use std::fmt;
 
 use coserve_core::perf::PerfMatrix;
+use coserve_faults::{FaultPlan, LinkOutcome};
+use coserve_metrics::faults::FaultLedger;
 use coserve_model::coe::CoeModel;
 use coserve_model::expert::ExpertId;
 use coserve_sim::device::ProcessorKind;
@@ -345,6 +347,31 @@ impl Dispatcher {
         nodes: &[NodeLoadModel<'_>],
         alive: &[bool],
     ) -> Routing {
+        self.route_job_with_faults(job, model, plan, fabric, nodes, alive, None)
+    }
+
+    /// [`Dispatcher::route_job`] with a deterministic fault plan applied
+    /// to the fabric: dilated links stretch the charged hops, and when a
+    /// partition cuts the chosen target off from every live holder of a
+    /// stage, recovery either hedges the job to the best reachable
+    /// candidate ([`RouteFaults::hedge`]) or degrades that stage to the
+    /// target's local checkpoint. With `faults` `None` this is exactly
+    /// `route_job` — the plan is never consulted and no float math runs.
+    ///
+    /// # Panics
+    ///
+    /// As [`Dispatcher::route_job`].
+    #[allow(clippy::too_many_arguments)] // route_job + one fault context
+    pub fn route_job_with_faults(
+        &mut self,
+        job: &Job,
+        model: &CoeModel,
+        plan: &PlacementPlan,
+        fabric: &Fabric,
+        nodes: &[NodeLoadModel<'_>],
+        alive: &[bool],
+        mut faults: Option<RouteFaults<'_>>,
+    ) -> Routing {
         let n = self.num_nodes();
         assert_eq!(plan.num_nodes(), n, "plan/node count mismatch");
         assert_eq!(fabric.len(), n, "fabric/node count mismatch");
@@ -387,48 +414,122 @@ impl Dispatcher {
             return Routing::Paced;
         }
         let start = seq % n;
-        let mut rotated = (0..n)
-            .map(|k| (start + k) % n)
-            .filter(|&node| alive[node] && paced_ok(node));
-        let residency = &self.residency;
-        let busy_until = &self.busy_until;
-        let target = match self.route {
-            RoutePolicy::RoundRobin => rotated.next(),
-            RoutePolicy::ResidencyFirst => rotated.min_by_key(|&node| {
-                (
-                    std::cmp::Reverse(residency[node]),
-                    busy_until[node].saturating_since(job.arrival),
-                )
-            }),
-            RoutePolicy::LeastLoaded => rotated.min_by_key(|&node| {
-                (
-                    busy_until[node].saturating_since(job.arrival),
-                    std::cmp::Reverse(residency[node]),
-                )
-            }),
-        }
+        let mut target = select_target(
+            self.route,
+            (0..n)
+                .map(|k| (start + k) % n)
+                .filter(|&node| alive[node] && paced_ok(node)),
+            &self.residency,
+            &self.busy_until,
+            job.arrival,
+        )
         .expect("at least one live node");
+
+        // Partition recovery: when the picked target is cut off from
+        // every live holder of some chain stage, hedge the job to the
+        // best candidate (same policy, same scan order) that can reach
+        // all of its stages. A fleet-wide partition leaves no such
+        // candidate; the job stays put and degrades per stage below.
+        if let Some(f) = faults.as_mut() {
+            let fault_plan = f.plan;
+            let unreachable_stages = |t: usize| -> usize {
+                job.stages
+                    .iter()
+                    .filter(|&&e| {
+                        if plan.is_placed(t, e) {
+                            return false;
+                        }
+                        let mut live = plan.holders(e).iter().filter(|&&h| alive[h]).peekable();
+                        live.peek().is_some()
+                            && live.all(|&h| fault_plan.partitioned(h, t, job.arrival))
+                    })
+                    .count()
+            };
+            if unreachable_stages(target) > 0 {
+                f.ledger.note_fault(job.arrival);
+                if f.hedge {
+                    let alt = select_target(
+                        self.route,
+                        (0..n).map(|k| (start + k) % n).filter(|&node| {
+                            alive[node] && paced_ok(node) && unreachable_stages(node) == 0
+                        }),
+                        &self.residency,
+                        &self.busy_until,
+                        job.arrival,
+                    );
+                    if let Some(alt) = alt {
+                        f.ledger.hedged_reroutes += 1;
+                        f.ledger.note_recovery(job.arrival);
+                        target = alt;
+                    }
+                }
+            }
+        }
         self.tick_sent[target] += 1;
 
         // Fabric charge: every chain stage whose expert lives elsewhere
-        // ships its activations from the nearest live holder.
+        // ships its activations from the nearest live holder, over the
+        // link's (possibly degraded) current condition.
         let mut delay = SimSpan::ZERO;
         for &expert in &job.stages {
             if plan.is_placed(target, expert) {
                 continue;
             }
-            let nearest = plan
-                .holders(expert)
-                .iter()
-                .filter(|&&h| alive[h])
-                .map(|&h| {
-                    fabric.transfer_duration(self.activation_bytes, NodeId(h), NodeId(target))
-                })
-                .min();
-            if let Some(hop) = nearest {
-                self.cross_node_hops += 1;
-                self.fabric_time_total += hop;
-                delay += hop;
+            let mut nearest: Option<(SimSpan, SimSpan)> = None; // (hop, fault extra)
+            let mut live_holders = 0u64;
+            let mut cut_links = 0u64;
+            for &h in plan.holders(expert) {
+                if !alive[h] {
+                    continue;
+                }
+                live_holders += 1;
+                let raw =
+                    fabric.transfer_duration(self.activation_bytes, NodeId(h), NodeId(target));
+                let (hop, extra) =
+                    match faults.as_ref().map(|f| f.plan.link(h, target, job.arrival)) {
+                        None | Some(LinkOutcome::Healthy) => (raw, SimSpan::ZERO),
+                        Some(LinkOutcome::Dilated(factor)) => {
+                            let hop =
+                                SimSpan::from_nanos((raw.nanos() as f64 * factor).round() as u64);
+                            (hop, hop.saturating_sub(raw))
+                        }
+                        Some(LinkOutcome::Partitioned) => {
+                            cut_links += 1;
+                            continue;
+                        }
+                    };
+                if nearest.is_none_or(|(best, _)| hop < best) {
+                    nearest = Some((hop, extra));
+                }
+            }
+            match nearest {
+                Some((hop, extra)) => {
+                    self.cross_node_hops += 1;
+                    self.fabric_time_total += hop;
+                    delay += hop;
+                    if !extra.is_zero() {
+                        if let Some(f) = faults.as_mut() {
+                            f.ledger.link_dilated += 1;
+                            f.ledger.degraded_time += extra;
+                            f.ledger.note_fault(job.arrival);
+                            f.ledger.note_recovery(job.arrival + delay);
+                        }
+                    }
+                }
+                None if live_holders > 0 => {
+                    // Every live holder is partitioned away from the
+                    // target: graceful degradation — the stage is served
+                    // from the target's local SSD checkpoint, so no
+                    // fabric hop is charged; the cost is counted on the
+                    // ledger and lands in node service time.
+                    if let Some(f) = faults.as_mut() {
+                        f.ledger.link_partitioned += cut_links;
+                        f.ledger.degraded_local += 1;
+                        f.ledger.note_fault(job.arrival);
+                        f.ledger.note_recovery(job.arrival);
+                    }
+                }
+                None => {}
             }
         }
 
@@ -518,6 +619,46 @@ impl Dispatcher {
     /// Panics when `node` is out of range.
     pub fn add_busy(&mut self, node: usize, at: SimTime, span: SimSpan) {
         self.busy_until[node] = self.busy_until[node].max(at) + span;
+    }
+}
+
+/// Fault context for one routing pass: the armed plan plus the ledger
+/// charged for what injection and recovery do to this dispatch.
+#[derive(Debug)]
+pub struct RouteFaults<'a> {
+    /// The armed fault plan; link outcomes are sampled at each job's
+    /// arrival time, so partitions and dilation windows open and close
+    /// as simulated time advances.
+    pub plan: &'a FaultPlan,
+    /// Accounting for dilated hops, cut links and recovery actions.
+    pub ledger: &'a mut FaultLedger,
+    /// Whether partition recovery hedges to a reachable candidate
+    /// instead of degrading the stage to a local checkpoint read.
+    pub hedge: bool,
+}
+
+/// Applies `route`'s tie-breaking rule over `scan`'s candidate order.
+fn select_target(
+    route: RoutePolicy,
+    mut scan: impl Iterator<Item = usize>,
+    residency: &[usize],
+    busy_until: &[SimTime],
+    arrival: SimTime,
+) -> Option<usize> {
+    match route {
+        RoutePolicy::RoundRobin => scan.next(),
+        RoutePolicy::ResidencyFirst => scan.min_by_key(|&node| {
+            (
+                std::cmp::Reverse(residency[node]),
+                busy_until[node].saturating_since(arrival),
+            )
+        }),
+        RoutePolicy::LeastLoaded => scan.min_by_key(|&node| {
+            (
+                busy_until[node].saturating_since(arrival),
+                std::cmp::Reverse(residency[node]),
+            )
+        }),
     }
 }
 
@@ -977,5 +1118,202 @@ mod tests {
         assert_eq!(RoutePolicy::RoundRobin.to_string(), "round-robin");
         assert_eq!(FeedbackMode::OpenLoop.to_string(), "open-loop");
         assert_eq!(FeedbackMode::Corrected.to_string(), "feedback");
+    }
+
+    #[test]
+    fn corrected_feedback_steers_off_a_slow_node() {
+        let (model, perf, stream, fabric) = setup(3);
+        let plan = plan_placement(&model, &perf, 3, PlacementStrategy::Replicated, 7);
+        let nodes = load_models(&perf, 3);
+        let alive = vec![true; 3];
+        let mut d = Dispatcher::new(
+            3,
+            RoutePolicy::LeastLoaded,
+            Bytes::mib(8),
+            FeedbackMode::Corrected,
+            false,
+        );
+        // One burst: every job arrives at once, so the work-left
+        // estimates actually accumulate instead of draining between
+        // arrivals (spread-out arrivals leave every node idle and tied).
+        let jobs: Vec<Job> = stream
+            .jobs()
+            .iter()
+            .map(|j| Job {
+                id: j.id,
+                class: j.class,
+                arrival: SimTime::ZERO,
+                stages: j.stages.clone(),
+            })
+            .collect();
+        let (warmup, measured) = jobs.split_at(60);
+        for job in warmup {
+            d.route_job(job, &model, &plan, &fabric, &nodes, &alive);
+        }
+        // Telemetry for the warmup tick: node 0 spent far more busy
+        // time than predicted (a slow node), the others far less. The
+        // correction EWMA must steer the next tick's jobs away from 0.
+        let finish = SimTime::ZERO + SimSpan::from_millis(500);
+        d.observe(0, finish, SimSpan::from_secs(100));
+        d.observe(1, finish, SimSpan::ZERO);
+        d.observe(2, finish, SimSpan::ZERO);
+        let mut counts = [0usize; 3];
+        for job in measured {
+            if let Routing::Routed { node, .. } =
+                d.route_job(job, &model, &plan, &fabric, &nodes, &alive)
+            {
+                counts[node] += 1;
+            }
+        }
+        assert!(
+            counts[0] < counts[1] && counts[0] < counts[2],
+            "slow node must receive the least work: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_fault_plan_routes_bit_identically() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::Sharded, 7);
+        let nodes = load_models(&perf, 4);
+        let alive = vec![true; 4];
+        let mut plain = Dispatcher::new(
+            4,
+            RoutePolicy::ResidencyFirst,
+            Bytes::mib(8),
+            FeedbackMode::OpenLoop,
+            false,
+        );
+        let mut faulted = plain.clone();
+        let disabled = coserve_faults::FaultPlan::disabled();
+        let mut ledger = FaultLedger::default();
+        for job in stream.jobs() {
+            let a = plain.route_job(job, &model, &plan, &fabric, &nodes, &alive);
+            let b = faulted.route_job_with_faults(
+                job,
+                &model,
+                &plan,
+                &fabric,
+                &nodes,
+                &alive,
+                Some(RouteFaults {
+                    plan: &disabled,
+                    ledger: &mut ledger,
+                    hedge: true,
+                }),
+            );
+            assert_eq!(a, b, "a disabled plan must not change any decision");
+        }
+        assert_eq!(plain.fabric_time_total(), faulted.fabric_time_total());
+        assert!(ledger.is_empty(), "nothing may be charged without faults");
+    }
+
+    #[test]
+    fn dilated_links_stretch_charged_hops() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::Sharded, 7);
+        let nodes = load_models(&perf, 4);
+        let alive = vec![true; 4];
+        let fresh = || {
+            Dispatcher::new(
+                4,
+                RoutePolicy::RoundRobin,
+                Bytes::mib(8),
+                FeedbackMode::OpenLoop,
+                false,
+            )
+        };
+        let mut baseline = fresh();
+        for job in stream.jobs() {
+            baseline.route_job(job, &model, &plan, &fabric, &nodes, &alive);
+        }
+        let fault_plan = coserve_faults::FaultPlan::seeded(5).with_link(
+            0.9,
+            4.0,
+            Vec::new(),
+            coserve_faults::FaultWindow::ALWAYS,
+        );
+        let mut ledger = FaultLedger::default();
+        let mut slow = fresh();
+        for job in stream.jobs() {
+            slow.route_job_with_faults(
+                job,
+                &model,
+                &plan,
+                &fabric,
+                &nodes,
+                &alive,
+                Some(RouteFaults {
+                    plan: &fault_plan,
+                    ledger: &mut ledger,
+                    hedge: false,
+                }),
+            );
+        }
+        assert!(ledger.link_dilated > 0, "rate 0.9 must dilate some hops");
+        assert!(ledger.degraded_time > SimSpan::ZERO);
+        assert!(
+            slow.fabric_time_total() > baseline.fabric_time_total(),
+            "4x dilation must stretch total fabric time"
+        );
+    }
+
+    #[test]
+    fn partitions_hedge_when_enabled_and_degrade_when_not() {
+        let (model, perf, stream, fabric) = setup(4);
+        let plan = plan_placement(&model, &perf, 4, PlacementStrategy::Sharded, 7);
+        let nodes = load_models(&perf, 4);
+        let alive = vec![true; 4];
+        // Node 0 is cut off from everyone: any job it would take with
+        // off-node stages needs recovery.
+        let cuts = vec![(0, 1), (0, 2), (0, 3)];
+        let run = |hedge: bool| {
+            let fault_plan = coserve_faults::FaultPlan::seeded(5).with_link(
+                0.0,
+                1.0,
+                cuts.clone(),
+                coserve_faults::FaultWindow::ALWAYS,
+            );
+            let mut ledger = FaultLedger::default();
+            let mut d = Dispatcher::new(
+                4,
+                RoutePolicy::RoundRobin,
+                Bytes::mib(8),
+                FeedbackMode::OpenLoop,
+                false,
+            );
+            let mut to_zero = 0usize;
+            for job in stream.jobs() {
+                if let Routing::Routed { node, .. } = d.route_job_with_faults(
+                    job,
+                    &model,
+                    &plan,
+                    &fabric,
+                    &nodes,
+                    &alive,
+                    Some(RouteFaults {
+                        plan: &fault_plan,
+                        ledger: &mut ledger,
+                        hedge,
+                    }),
+                ) {
+                    if node == 0 {
+                        to_zero += 1;
+                    }
+                }
+            }
+            (ledger, to_zero)
+        };
+        let (hedged, _) = run(true);
+        assert!(hedged.hedged_reroutes > 0, "hedging must fire on cuts");
+        assert!(hedged.recovery_span().is_some());
+        let (degraded, to_zero) = run(false);
+        assert_eq!(degraded.hedged_reroutes, 0);
+        assert!(
+            degraded.degraded_local > 0,
+            "without hedging, cut stages fall back to local checkpoints"
+        );
+        assert!(degraded.link_partitioned > 0);
+        assert!(to_zero > 0, "degraded jobs stay on the cut node");
     }
 }

@@ -39,7 +39,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use coserve_core::config::{AdmissionControl, SystemConfig};
+use coserve_faults::{FaultPlan, LinkOutcome};
 use coserve_metrics::cluster::{ClusterReport, FailureRecord, FleetDynamics, TickStat};
+use coserve_metrics::faults::FaultLedger;
 use coserve_metrics::report::RunReport;
 use coserve_metrics::stats::Summary;
 use coserve_model::expert::ExpertId;
@@ -49,7 +51,7 @@ use coserve_sim::transfer::TransferRoute;
 use coserve_trace::{NoopTracer, TraceEvent, TraceKind, Tracer};
 use coserve_workload::stream::{Job, JobId, RequestStream};
 
-use crate::dispatch::{Dispatcher, FeedbackMode, NodeLoadModel, Routing};
+use crate::dispatch::{Dispatcher, FeedbackMode, NodeLoadModel, RouteFaults, Routing};
 use crate::placement::{migration_plan, MigrationPlan, PlacementPlan};
 use crate::ClusterSystem;
 
@@ -203,6 +205,18 @@ pub struct RuntimeOptions {
     /// [`Dispatcher::observe_admission`]). Off by default — pacing off
     /// is bit-identical to the un-paced runtime.
     pub pacing: bool,
+    /// Deterministic fault schedule for the fabric (link dilation and
+    /// partitions, sampled per routed job and per migration move) and
+    /// the fleet (slow-node service dilation, sampled per tick). A
+    /// disabled plan (the default) is never consulted, keeping the run
+    /// bit-identical to a fault-free one.
+    pub faults: FaultPlan,
+    /// Partition recovery at the front-end: when the chosen route
+    /// target is cut off from every live holder of a chain stage, hedge
+    /// the job to the best reachable candidate instead of degrading the
+    /// stage to a local checkpoint read. On by default; only consulted
+    /// while a fault plan is armed.
+    pub hedge: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -218,6 +232,8 @@ impl Default for RuntimeOptions {
             slo: SimSpan::from_millis(250),
             online: None,
             pacing: false,
+            faults: FaultPlan::disabled(),
+            hedge: true,
         }
     }
 }
@@ -269,6 +285,20 @@ impl RuntimeOptions {
     #[must_use]
     pub fn pacing(mut self, pacing: bool) -> Self {
         self.pacing = pacing;
+        self
+    }
+
+    /// Arms a fault plan.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables (or disables) hedged re-routing around partitions.
+    #[must_use]
+    pub fn hedge(mut self, hedge: bool) -> Self {
+        self.hedge = hedge;
         self
     }
 }
@@ -351,6 +381,12 @@ struct Runtime<'a> {
     /// Fleet-event sink; every emission guarded by `enabled()` so a
     /// [`NoopTracer`] keeps the run bit-identical to the untraced path.
     tracer: &'a mut (dyn Tracer + 'a),
+    /// The armed fault plan; `None` when the options carry a disabled
+    /// plan, so the fault-free path never consults it.
+    faults: Option<&'a FaultPlan>,
+    /// Injection/recovery accounting; lands in the report's
+    /// [`FleetDynamics::faults`].
+    ledger: FaultLedger,
 }
 
 impl<'a> Runtime<'a> {
@@ -407,6 +443,8 @@ impl<'a> Runtime<'a> {
             tick_routing_dropped: 0,
             tick_latencies: Vec::new(),
             tracer,
+            faults: (!options.faults.is_disabled()).then_some(&options.faults),
+            ledger: FaultLedger::default(),
         }
     }
 
@@ -489,13 +527,20 @@ impl<'a> Runtime<'a> {
         if let Some(at) = floor {
             job.arrival = job.arrival.max(at);
         }
-        match self.dispatcher.route_job(
+        let hedge = self.options.hedge;
+        let route_faults = self.faults.map(|plan| RouteFaults {
+            plan,
+            ledger: &mut self.ledger,
+            hedge,
+        });
+        match self.dispatcher.route_job_with_faults(
             &job,
             self.sys.model(),
             &self.plan,
             self.sys.fabric(),
             &self.loads,
             &self.alive,
+            route_faults,
         ) {
             Routing::Routed { node, mut job } => {
                 // A chain touching an in-flight migrated expert waits
@@ -643,16 +688,72 @@ impl<'a> Runtime<'a> {
         let mut done_latest = at;
         for mv in &migration.moves {
             let bytes = self.sys.model().weight_bytes(mv.expert);
-            let duration = match mv.from {
-                Some(from) => {
-                    self.dynamics.migration_hops += 1;
-                    self.sys
-                        .fabric()
-                        .transfer_duration(bytes, NodeId(from), NodeId(mv.to))
-                }
-                None => self.sys.nodes()[mv.to]
+            // A partitioned donor link degrades the move to a local
+            // checkpoint reload on the receiver; a dilated one stretches
+            // the copy. Healthy links (and no plan) charge the profiled
+            // fabric transfer exactly as before.
+            let link = match mv.from {
+                Some(from) => self
+                    .faults
+                    .map_or(LinkOutcome::Healthy, |p| p.link(from, mv.to, at)),
+                None => LinkOutcome::Healthy,
+            };
+            let duration = match (mv.from, link) {
+                (None, _) => self.sys.nodes()[mv.to]
                     .device()
                     .transfer_duration(bytes, TransferRoute::SsdToCpu),
+                (Some(from), LinkOutcome::Partitioned) => {
+                    self.ledger.link_partitioned += 1;
+                    self.ledger.degraded_local += 1;
+                    self.ledger.note_fault(at);
+                    self.ledger.note_recovery(at);
+                    if self.tracer.enabled() {
+                        self.emit(
+                            at,
+                            mv.to as u32,
+                            TraceKind::LinkFault {
+                                from: from as u32,
+                                to: mv.to as u32,
+                                partitioned: true,
+                                extra: SimSpan::ZERO,
+                            },
+                        );
+                    }
+                    self.sys.nodes()[mv.to]
+                        .device()
+                        .transfer_duration(bytes, TransferRoute::SsdToCpu)
+                }
+                (Some(from), healthy_or_dilated) => {
+                    self.dynamics.migration_hops += 1;
+                    let raw =
+                        self.sys
+                            .fabric()
+                            .transfer_duration(bytes, NodeId(from), NodeId(mv.to));
+                    match healthy_or_dilated {
+                        LinkOutcome::Dilated(factor) => {
+                            let slowed = dilate_span(raw, factor);
+                            let extra = slowed.saturating_sub(raw);
+                            self.ledger.link_dilated += 1;
+                            self.ledger.degraded_time += extra;
+                            self.ledger.note_fault(at);
+                            self.ledger.note_recovery(at + slowed);
+                            if self.tracer.enabled() {
+                                self.emit(
+                                    at,
+                                    mv.to as u32,
+                                    TraceKind::LinkFault {
+                                        from: from as u32,
+                                        to: mv.to as u32,
+                                        partitioned: false,
+                                        extra,
+                                    },
+                                );
+                            }
+                            slowed
+                        }
+                        _ => raw,
+                    }
+                }
             };
             let done = at + duration;
             done_latest = done_latest.max(done);
@@ -740,12 +841,33 @@ impl<'a> Runtime<'a> {
             let report = self.sys.nodes()[node]
                 .serve_configured(&node_stream, &self.configs[node])
                 .expect("validated at cluster construction");
-            let finish = SimTime::ZERO + report.makespan;
-            self.dispatcher.observe(
-                node,
-                finish,
-                report.exec_time_total + report.switch_time_total,
-            );
+            // A slow-node window dilates everything the node's service
+            // shows the control loop this tick: its finish time, its
+            // busy time and its latency samples. Under feedback the
+            // inflated busy/predicted ratio raises the node's service
+            // scale and steers traffic away — the recovery path.
+            let dilation = self.faults.map_or(1.0, |p| p.node_dilation(node, start));
+            let (finish, busy) = if dilation > 1.0 {
+                let makespan = dilate_span(report.makespan, dilation);
+                let extra = makespan.saturating_sub(report.makespan);
+                self.ledger.slow_node_ticks += 1;
+                self.ledger.degraded_time += extra;
+                self.ledger.note_fault(start);
+                self.ledger.note_recovery(SimTime::ZERO + makespan);
+                if self.tracer.enabled() {
+                    self.emit(start, node as u32, TraceKind::SlowNode { extra });
+                }
+                (
+                    SimTime::ZERO + makespan,
+                    dilate_span(report.exec_time_total + report.switch_time_total, dilation),
+                )
+            } else {
+                (
+                    SimTime::ZERO + report.makespan,
+                    report.exec_time_total + report.switch_time_total,
+                )
+            };
+            self.dispatcher.observe(node, finish, busy);
             self.dispatcher.observe_admission(
                 node,
                 report.admitted,
@@ -755,12 +877,22 @@ impl<'a> Runtime<'a> {
             );
             completed += report.completed;
             dropped += report.dropped;
-            slo_met += report
-                .job_latencies
-                .iter()
-                .filter(|&&l| l <= self.options.slo)
-                .count();
-            self.tick_latencies.extend(report.job_latencies.iter());
+            if dilation > 1.0 {
+                for &l in &report.job_latencies {
+                    let slowed = dilate_span(l, dilation);
+                    if slowed <= self.options.slo {
+                        slo_met += 1;
+                    }
+                    self.tick_latencies.push(slowed);
+                }
+            } else {
+                slo_met += report
+                    .job_latencies
+                    .iter()
+                    .filter(|&&l| l <= self.options.slo)
+                    .count();
+                self.tick_latencies.extend(report.job_latencies.iter());
+            }
             match &mut self.merged[node] {
                 Some(merged) => merged.absorb(report),
                 None => self.merged[node] = Some(report),
@@ -831,9 +963,15 @@ impl<'a> Runtime<'a> {
         report.submitted += front_end;
         report.dropped += front_end;
         self.dynamics.estimate_error_ms = self.dispatcher.estimate_error_ms();
+        self.dynamics.faults = self.ledger;
         report.dynamics = std::mem::take(&mut self.dynamics);
         report
     }
+}
+
+/// `span` stretched by `factor` (≥ 1), rounding to whole nanoseconds.
+fn dilate_span(span: SimSpan, factor: f64) -> SimSpan {
+    SimSpan::from_nanos((span.nanos() as f64 * factor).round() as u64)
 }
 
 #[cfg(test)]
@@ -1179,5 +1317,102 @@ mod tests {
         let options =
             RuntimeOptions::default().failures(FailureSchedule::new().kill(7, SimTime::ZERO));
         let _ = cluster.serve_runtime(&stream, &options);
+    }
+
+    #[test]
+    fn disabled_fault_plan_serves_bit_identically() {
+        let (cluster, stream) = fleet(3);
+        let options = RuntimeOptions::default().tick(SimSpan::from_millis(120));
+        let plain = cluster.serve_runtime(&stream, &options);
+        let armed_disabled = cluster.serve_runtime(
+            &stream,
+            &options
+                .clone()
+                .faults(coserve_faults::FaultPlan::disabled())
+                .hedge(false),
+        );
+        assert_eq!(plain, armed_disabled);
+        assert!(plain.dynamics.faults.is_empty());
+    }
+
+    #[test]
+    fn slow_node_windows_are_accounted_and_traced() {
+        let (cluster, stream) = fleet(3);
+        let plan = coserve_faults::FaultPlan::seeded(11).with_slow_nodes(
+            vec![0],
+            5.0,
+            coserve_faults::FaultWindow::ALWAYS,
+        );
+        let base = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(30))
+            .faults(plan);
+        let mut tracer = coserve_trace::RingTracer::new();
+        let report = cluster.serve_runtime_traced(&stream, &base, &mut tracer);
+        let faults = report.dynamics.faults;
+        assert!(faults.slow_node_ticks > 0, "always-on window must fire");
+        assert!(faults.degraded_time > SimSpan::ZERO);
+        assert!(faults.recovery_span().is_some());
+        let events = tracer.drain();
+        let slow_events = events
+            .iter()
+            .filter(|e| e.kind.name() == "slow-node")
+            .count() as u64;
+        assert_eq!(slow_events, faults.slow_node_ticks);
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.kind.name() == "slow-node")
+                .all(|e| e.node == 0),
+            "only node 0 is in the slow window"
+        );
+        // The dilation shows up in the control loop's latency ledger.
+        let plain = cluster.serve_runtime(
+            &stream,
+            &RuntimeOptions::default().tick(SimSpan::from_millis(30)),
+        );
+        let p95 = |r: &ClusterReport| {
+            r.dynamics
+                .ticks
+                .iter()
+                .filter_map(|t| t.p95_ms)
+                .fold(0.0f64, f64::max)
+        };
+        assert!(
+            p95(&report) > p95(&plain),
+            "5x dilation must raise the worst tick p95"
+        );
+    }
+
+    #[test]
+    fn partitioned_migration_degrades_to_local_reload() {
+        let (cluster, stream) = fleet(3);
+        let at = mid(&stream);
+        let back = at + SimSpan::from_millis(40);
+        // Node 1 dies and later revives. The rebalance onto the revived
+        // node ships its share from live donors — but with both donor
+        // links cut, every copy degrades to a local checkpoint reload.
+        let plan = coserve_faults::FaultPlan::seeded(11).with_link(
+            0.0,
+            1.0,
+            vec![(0, 1), (1, 2)],
+            coserve_faults::FaultWindow::ALWAYS,
+        );
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(30))
+            .failures(FailureSchedule::new().kill(1, at).revive(1, back))
+            .faults(plan);
+        let report = cluster.serve_runtime(&stream, &options);
+        let faults = report.dynamics.faults;
+        assert!(
+            faults.degraded_local > 0,
+            "cut donor links must force local reloads"
+        );
+        assert!(faults.link_partitioned > 0);
+        assert!(faults.recovery_span().is_some());
+        assert_eq!(
+            report.completed + report.failed + report.dropped,
+            report.submitted,
+            "degradation must not lose jobs"
+        );
     }
 }

@@ -18,6 +18,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use coserve_faults::{FaultPlan, LoadOutcome, RetryPolicy};
+use coserve_metrics::faults::FaultLedger;
 use coserve_metrics::report::{ChannelReport, ExecutorReport, RunReport, RunSnapshot, SwitchEvent};
 use coserve_model::coe::CoeModel;
 use coserve_model::expert::ExpertId;
@@ -535,6 +537,14 @@ pub struct EngineSession<'a> {
     tracer: Box<dyn Tracer>,
     /// Node id stamped on emitted events (`0` outside cluster runs).
     trace_node: u32,
+    /// Deterministic fault schedule for the expert-load path; `None`
+    /// unless installed with [`EngineSession::set_faults`] — the
+    /// default path never queries a plan and stays bit-identical.
+    faults: Option<FaultPlan>,
+    /// Recovery policy for injected load faults.
+    retry: RetryPolicy,
+    /// Injection/recovery accounting for this session.
+    fault_ledger: FaultLedger,
 }
 
 impl fmt::Debug for EngineSession<'_> {
@@ -613,6 +623,9 @@ impl<'a> EngineSession<'a> {
             protected_scratch: BTreeSet::new(),
             tracer: Box::new(NoopTracer),
             trace_node: 0,
+            faults: None,
+            retry: RetryPolicy::none(),
+            fault_ledger: FaultLedger::default(),
         };
         if engine.config.preload {
             run.preload();
@@ -786,6 +799,22 @@ impl<'a> EngineSession<'a> {
     /// single-node sessions keep the default `0`).
     pub fn set_trace_node(&mut self, node: u32) {
         self.trace_node = node;
+    }
+
+    /// Arms deterministic expert-load fault injection with the given
+    /// recovery policy. A [`FaultPlan::is_disabled`] plan is treated as
+    /// no plan at all, so the hot path stays byte-identical to a
+    /// session that never called this.
+    pub fn set_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.faults = if plan.is_disabled() { None } else { Some(plan) };
+        self.retry = retry;
+    }
+
+    /// Injection/recovery accounting accumulated so far. All-zero when
+    /// no fault plan is armed.
+    #[must_use]
+    pub fn fault_ledger(&self) -> &FaultLedger {
+        &self.fault_ledger
     }
 
     /// The session's event collector (e.g. to drain or inspect it).
@@ -1365,11 +1394,71 @@ impl<'a> EngineSession<'a> {
         };
         let mut pending_switch = None;
 
+        // Failed SSD/tier read attempts charged before the successful
+        // load, and a slowdown factor applied to its transfer stages.
+        // Both stay zero/1.0 — and the plan is never consulted — when
+        // no faults are armed, keeping that path bit-identical.
+        let mut fault_retries = 0u32;
+        let mut fault_slow = 1.0f64;
+
         if !self.execs[exec_idx].pool.contains(expert) {
             if weights > self.execs[exec_idx].pool.capacity() {
                 self.fail_batch(&batch, now);
                 self.recycle_batch(batch);
                 return false;
+            }
+            if let Some(plan) = &self.faults {
+                match plan.expert_load(self.trace_node, exec_idx as u32, expert.0, now) {
+                    LoadOutcome::Healthy => {}
+                    LoadOutcome::Slow(factor) => fault_slow = factor,
+                    LoadOutcome::Fail { failures } => {
+                        self.fault_ledger.load_faults += 1;
+                        self.fault_ledger.note_fault(now);
+                        // Estimate one read attempt from the tier the
+                        // load would come from right now (pre-eviction
+                        // cache state; good enough for the deadline).
+                        let cached_now = self.cache.as_ref().is_some_and(|c| c.contains(expert));
+                        let est_route = match (processor, cached_now) {
+                            (ProcessorKind::Gpu, true) => Some(TransferRoute::CpuToGpu),
+                            (ProcessorKind::Gpu, false) => Some(TransferRoute::SsdToGpu),
+                            (ProcessorKind::Cpu, true) => None,
+                            (ProcessorKind::Cpu, false) => Some(TransferRoute::SsdToCpu),
+                        };
+                        let read_est = est_route
+                            .map(|r| self.engine.device.transfer_stages(weights, r).ssd)
+                            .unwrap_or(SimSpan::ZERO);
+                        let retry = self.retry;
+                        let recovery_cost = SimSpan::from_nanos(
+                            read_est.nanos().saturating_mul(u64::from(failures)),
+                        ) + retry.total_backoff(failures);
+                        if failures > retry.max_retries || !retry.within_deadline(recovery_cost) {
+                            // Recovery exhausted: every attempt the
+                            // policy allowed was spent for nothing.
+                            let spent = failures.min(retry.max_retries);
+                            self.fault_ledger.retries += u64::from(spent);
+                            self.fault_ledger.load_exhausted += 1;
+                            self.fault_ledger.wasted_time += SimSpan::from_nanos(
+                                read_est.nanos().saturating_mul(u64::from(spent) + 1),
+                            );
+                            self.fault_ledger.backoff_time += retry.total_backoff(spent);
+                            if self.tracer.enabled() {
+                                self.emit(
+                                    now,
+                                    TraceKind::LoadFault {
+                                        exec: exec_idx as u32,
+                                        expert,
+                                        failures,
+                                        recovered: false,
+                                    },
+                                );
+                            }
+                            self.fail_batch(&batch, now);
+                            self.recycle_batch(batch);
+                            return false;
+                        }
+                        fault_retries = failures;
+                    }
+                }
             }
             // Free space via the configured eviction policy. The
             // protected set, candidate ordering and victim list all
@@ -1442,14 +1531,71 @@ impl<'a> EngineSession<'a> {
                 (ProcessorKind::Cpu, true) => None,
                 (ProcessorKind::Cpu, false) => Some(TransferRoute::SsdToCpu),
             };
-            if let Some(route) = route {
-                let stages = self.engine.device.transfer_stages(weights, route);
+            let stages = route.map(|r| self.engine.device.transfer_stages(weights, r));
+            // Charge each failed attempt as a full read on the storage
+            // channel (the read fails at the tier, after occupying it)
+            // followed by exponential backoff on the executor's own
+            // timeline. Staging-cache hits on a CPU executor have no
+            // transfer, so their retries cost backoff only.
+            let retry_read = stages.map_or(SimSpan::ZERO, |s| s.ssd);
+            for attempt in 0..fault_retries {
+                push_leg(&mut legs, &mut switch_busy, LegChannel::Ssd, retry_read);
+                let pause = self.retry.backoff(attempt);
+                push_leg(&mut legs, &mut switch_busy, LegChannel::Local, pause);
+                self.fault_ledger.wasted_time += retry_read;
+                self.fault_ledger.backoff_time += pause;
+            }
+            if fault_retries > 0 {
+                self.fault_ledger.retries += u64::from(fault_retries);
+                self.fault_ledger.load_recovered += 1;
+                if self.tracer.enabled() {
+                    self.emit(
+                        now,
+                        TraceKind::LoadFault {
+                            exec: exec_idx as u32,
+                            expert,
+                            failures: fault_retries,
+                            recovered: true,
+                        },
+                    );
+                }
+            }
+            if let Some(mut stages) = stages {
+                if fault_slow > 1.0 {
+                    // A degraded (but live) tier: every stage of the
+                    // successful read is dilated.
+                    let dilate = |s: SimSpan| {
+                        SimSpan::from_nanos((s.nanos() as f64 * fault_slow).round() as u64)
+                    };
+                    let raw = stages.ssd + stages.local + stages.dma;
+                    stages.ssd = dilate(stages.ssd);
+                    stages.local = dilate(stages.local);
+                    stages.dma = dilate(stages.dma);
+                    let extra = (stages.ssd + stages.local + stages.dma).saturating_sub(raw);
+                    self.fault_ledger.slow_loads += 1;
+                    self.fault_ledger.note_fault(now);
+                    self.fault_ledger.degraded_time += extra;
+                    if self.tracer.enabled() {
+                        self.emit(
+                            now,
+                            TraceKind::SlowLoad {
+                                exec: exec_idx as u32,
+                                expert,
+                                extra,
+                            },
+                        );
+                    }
+                }
                 push_leg(&mut legs, &mut switch_busy, LegChannel::Ssd, stages.ssd);
                 // Deserialization/reorganization is per-executor CPU
                 // work: it occupies this executor's timeline but no
                 // shared channel, so concurrent executors overlap it.
                 push_leg(&mut legs, &mut switch_busy, LegChannel::Local, stages.local);
                 push_leg(&mut legs, &mut switch_busy, LegChannel::Dma, stages.dma);
+            }
+            if fault_retries > 0 || (fault_slow > 1.0 && route.is_some()) {
+                // The recovery completes when the switch legs drain.
+                self.fault_ledger.note_recovery(now + switch_busy);
             }
             if let Some(c) = &mut self.cache {
                 if cached {
@@ -2494,5 +2640,104 @@ mod tests {
         let gap =
             (fast_r.throughput_ips() - slow_r.throughput_ips()).abs() / fast_r.throughput_ips();
         assert!(gap < 0.2, "scheduling overhead gap {gap:.3}");
+    }
+
+    fn run_with_faults(plan: FaultPlan, retry: RetryPolicy) -> (RunReport, FaultLedger) {
+        let (device, model, perf, stream) = setup(30, 150);
+        let config = coserve_config();
+        let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+        let mut session = engine.session(stream.name());
+        session.set_faults(plan, retry);
+        for job in stream.jobs() {
+            session.submit(job.arrival, &job.stages).unwrap();
+        }
+        session.pump();
+        let ledger = *session.fault_ledger();
+        (session.into_report(), ledger)
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_bit_identical_to_no_plan() {
+        let (baseline, no_faults) = {
+            let (r, l) = run_with_faults(
+                FaultPlan::disabled(),
+                RetryPolicy::retries(4, SimSpan::from_millis(1)),
+            );
+            (r, l)
+        };
+        assert!(no_faults.is_empty(), "disabled plan must touch nothing");
+        let (device, model, perf, stream) = setup(30, 150);
+        let config = coserve_config();
+        let plain = Engine::new(&device, &model, &perf, &config)
+            .unwrap()
+            .run(&stream);
+        assert_eq!(plain, baseline, "disabled faults must not perturb results");
+    }
+
+    #[test]
+    fn load_faults_recover_under_retry_and_partition_the_ledger() {
+        let plan = coserve_faults::FaultPlan::seeded(7).with_expert_load(
+            0.25,
+            0.0,
+            1.0,
+            coserve_faults::FaultWindow::ALWAYS,
+        );
+        let (report, ledger) =
+            run_with_faults(plan, RetryPolicy::retries(16, SimSpan::from_micros(50)));
+        assert!(ledger.load_faults > 0, "fail rate 0.25 must inject");
+        assert_eq!(
+            ledger.load_faults,
+            ledger.load_recovered + ledger.load_exhausted,
+            "every fault is either recovered or exhausted"
+        );
+        assert_eq!(ledger.load_exhausted, 0, "16 retries absorb geometric runs");
+        assert!(ledger.retries > 0);
+        assert!(ledger.wasted_time > SimSpan::ZERO);
+        assert!(ledger.backoff_time > SimSpan::ZERO);
+        assert!(ledger.recovery_span().is_some());
+        assert_eq!(
+            report.completed, report.submitted,
+            "recovery saves all jobs"
+        );
+    }
+
+    #[test]
+    fn load_faults_without_recovery_fail_jobs() {
+        let plan = coserve_faults::FaultPlan::seeded(7).with_expert_load(
+            0.25,
+            0.0,
+            1.0,
+            coserve_faults::FaultWindow::ALWAYS,
+        );
+        let (report, ledger) = run_with_faults(plan, RetryPolicy::none());
+        assert!(
+            ledger.load_exhausted > 0,
+            "no retries: first fault is fatal"
+        );
+        assert_eq!(ledger.load_recovered, 0);
+        assert!(report.failed > 0);
+        assert!(
+            report.completed < report.submitted,
+            "goodput must drop without recovery"
+        );
+    }
+
+    #[test]
+    fn slow_loads_dilate_the_run_and_are_accounted() {
+        let plan = coserve_faults::FaultPlan::seeded(3).with_expert_load(
+            0.0,
+            0.9,
+            6.0,
+            coserve_faults::FaultWindow::ALWAYS,
+        );
+        let (slowed, ledger) = run_with_faults(plan, RetryPolicy::none());
+        let (baseline, _) = run_with_faults(FaultPlan::disabled(), RetryPolicy::none());
+        assert!(ledger.slow_loads > 0);
+        assert!(ledger.degraded_time > SimSpan::ZERO);
+        assert_eq!(slowed.completed, slowed.submitted, "slow loads still land");
+        assert!(
+            slowed.makespan > baseline.makespan,
+            "6x tier dilation must stretch the run"
+        );
     }
 }

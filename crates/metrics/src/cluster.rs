@@ -10,6 +10,7 @@
 use coserve_sim::memory::Bytes;
 use coserve_sim::time::{SimSpan, SimTime};
 
+use crate::faults::FaultLedger;
 use crate::report::{json_f64, json_str, json_summary, RunReport};
 use crate::stats::Summary;
 
@@ -108,6 +109,9 @@ pub struct FleetDynamics {
     pub estimate_error_ms: Option<f64>,
     /// Per-tick timeline (one entry per control tick that saw work).
     pub ticks: Vec<TickStat>,
+    /// Injected-fault and recovery accounting (all-zero — and absent
+    /// from the JSON — when no fault plan was armed).
+    pub faults: FaultLedger,
 }
 
 /// The outcome of one cluster serving run.
@@ -421,7 +425,7 @@ impl ClusterReport {
             "{{\"routing_dropped\":{},\"paced_shed\":{},\"rerouted\":{},\"migrations\":{},\
              \"migration_hops\":{},\"migration_bytes\":{},\"migration_time_ms\":{},\
              \"plan_versions\":{},\"estimate_error_ms\":{},\"recovery_ms\":{},\
-             \"unrecovered_failure\":{},\"failures\":[{}],\"ticks\":[{}]}}",
+             \"unrecovered_failure\":{},\"failures\":[{}],\"ticks\":[{}]{}}}",
             d.routing_dropped,
             d.paced_shed,
             d.rerouted,
@@ -437,6 +441,13 @@ impl ClusterReport {
             self.has_unrecovered_failure(),
             failures.join(","),
             ticks.join(","),
+            // Only faulted runs carry the ledger: the faults-off JSON
+            // stays byte-identical to what pre-fault builds emitted.
+            if d.faults.is_empty() {
+                String::new()
+            } else {
+                format!(",\"faults\":{}", d.faults.to_json())
+            },
         )
     }
 

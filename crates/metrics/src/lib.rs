@@ -12,6 +12,7 @@
 
 pub mod attribution;
 pub mod cluster;
+pub mod faults;
 pub mod output;
 pub mod report;
 pub mod series;
@@ -27,6 +28,7 @@ pub mod prelude {
     pub use crate::cluster::{
         ClusterReport, ClusterSnapshot, FailureRecord, FleetDynamics, TickStat,
     };
+    pub use crate::faults::FaultLedger;
     pub use crate::report::{ExecutorReport, RunReport, RunSnapshot, SwitchEvent};
     pub use crate::series::{FigureData, Series};
     pub use crate::stats::{linear_fit, percentile, LinFit, Summary};

@@ -9,6 +9,7 @@
 //! | `/stats`    | live JSON: server counters + engine `RunSnapshot`  |
 //! | `/metrics`  | Pelikan-style flat `name value` counter lines      |
 //! | `/trace`    | Chrome trace-event JSON; **drains** the tracer     |
+//! | `/drain`    | graceful drain: serve out open connections, then stop |
 //! | `/shutdown` | sets the shutdown flag and acknowledges            |
 //!
 //! `/stats` and `/metrics` are served mid-run without consuming or
@@ -44,6 +45,10 @@ pub(crate) fn serve_admin_connection(
         "/stats" => ("200 OK", stats_json(server, core)),
         "/metrics" => ("200 OK", metrics_text(server, core)),
         "/trace" => ("200 OK", core.drain_trace_json()),
+        "/drain" => {
+            server.drain();
+            ("200 OK", "draining\n".to_string())
+        }
         "/shutdown" => {
             server.shutdown();
             ("200 OK", "shutting down\n".to_string())
@@ -100,13 +105,17 @@ fn stats_json(server: &Server, core: &ServiceCore<'_>) -> String {
         "{{\"server\":{{\"accepted\":{},\"frames\":{},\"protocol_errors\":{},\
          \"frame_errors\":{},\"decode_errors\":{},\
          \"conns_opened\":{opened},\"conns_open\":{open},\"completions_delivered\":{delivered},\
-         \"completions_pending\":{pending_total},\"conns\":[{}]}},\
+         \"completions_pending\":{pending_total},\"busy_shed\":{},\"in_flight\":{},\
+         \"draining\":{},\"conns\":[{}]}},\
          \"engine\":{}}}",
         counters.accepted.load(Ordering::Relaxed),
         counters.frames.load(Ordering::Relaxed),
         counters.protocol_errors.load(Ordering::Relaxed),
         counters.frame_errors.load(Ordering::Relaxed),
         counters.decode_errors.load(Ordering::Relaxed),
+        core.busy_shed(),
+        core.in_flight(),
+        server.is_draining(),
         conns.join(","),
         core.snapshot().to_json(),
     )
@@ -146,6 +155,9 @@ fn metrics_text(server: &Server, core: &ServiceCore<'_>) -> String {
     line("conns_open", open);
     line("completions_delivered", delivered);
     line("completions_pending", pending_total);
+    line("server_busy_shed", core.busy_shed());
+    line("server_in_flight", core.in_flight());
+    line("server_draining", u64::from(server.is_draining()));
     line("engine_submitted", snap.submitted as u64);
     line("engine_admitted", snap.admitted as u64);
     line("engine_dropped", snap.dropped as u64);

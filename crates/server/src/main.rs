@@ -5,7 +5,7 @@
 //! ```text
 //! coserve-server [--addr 127.0.0.1:7600] [--admin-addr 127.0.0.1:7601]
 //!                [--workers 2] [--task a1|a2|b1|b2] [--scale 1.0]
-//!                [--trace trace.json]
+//!                [--trace trace.json] [--busy-limit N] [--retry-after-us U]
 //! ```
 //!
 //! Port 0 binds a free port; the real addresses are printed on stdout
@@ -35,6 +35,8 @@ struct Args {
     task: String,
     scale: f64,
     trace: Option<std::path::PathBuf>,
+    busy_limit: Option<usize>,
+    retry_after_us: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         task: "a1".to_string(),
         scale: 1.0,
         trace: None,
+        busy_limit: None,
+        retry_after_us: 500,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +71,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--task" => args.task = value("--task")?,
             "--trace" => args.trace = Some(value("--trace")?.into()),
+            "--busy-limit" => {
+                let limit: usize = value("--busy-limit")?
+                    .parse()
+                    .map_err(|e| format!("bad --busy-limit: {e}"))?;
+                if limit == 0 {
+                    return Err("--busy-limit must be at least 1".into());
+                }
+                args.busy_limit = Some(limit);
+            }
+            "--retry-after-us" => {
+                args.retry_after_us = value("--retry-after-us")?
+                    .parse()
+                    .map_err(|e| format!("bad --retry-after-us: {e}"))?;
+            }
             "--scale" => {
                 args.scale = value("--scale")?
                     .parse()
@@ -78,7 +96,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: coserve-server [--addr A] [--admin-addr A] [--workers N] \
-                     [--task a1|a2|b1|b2] [--scale F] [--trace PATH]"
+                     [--task a1|a2|b1|b2] [--scale F] [--trace PATH] \
+                     [--busy-limit N] [--retry-after-us U]"
                         .into(),
                 );
             }
@@ -135,6 +154,7 @@ fn main() -> ExitCode {
         addr: args.addr,
         admin_addr: args.admin_addr,
         workers: args.workers,
+        ..ServerConfig::default()
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -163,6 +183,16 @@ fn main() -> ExitCode {
         println!("tracing: on (ring buffer, drain via admin /trace)");
     }
     let core = ServiceCore::new(session, system.model().num_experts());
+    if let Some(limit) = args.busy_limit {
+        core.set_busy_limit(
+            limit,
+            coserve_sim::time::SimSpan::from_micros(args.retry_after_us),
+        );
+        println!(
+            "graceful degradation: busy limit {limit} in flight, retry-after {}us",
+            args.retry_after_us
+        );
+    }
     if let Err(e) = server.run(&core) {
         eprintln!("server error: {e}");
         return ExitCode::FAILURE;

@@ -121,6 +121,14 @@ pub enum Response {
         /// `RunSnapshot` as JSON.
         json: String,
     },
+    /// The server is saturated and shed this `Submit` at admission
+    /// (graceful degradation, not an error): nothing was enqueued, and
+    /// the client should back off at least `retry_after` of simulation
+    /// time before retrying.
+    Busy {
+        /// Suggested minimum backoff before the retry.
+        retry_after: SimSpan,
+    },
     /// Request failed.
     Error {
         /// Machine-readable error class.
@@ -180,6 +188,9 @@ const OP_POLL: u8 = 0x03;
 const OP_PUMP: u8 = 0x04;
 const OP_FINISH: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
+/// `Busy` is response-only (there is no 0x07 request); on the wire it
+/// travels as `RESP | OP_BUSY` = `0x87`.
+const OP_BUSY: u8 = 0x07;
 const RESP: u8 = 0x80;
 const OP_ERROR: u8 = 0xFF;
 
@@ -388,6 +399,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(RESP | OP_STATS);
             put_string(&mut out, json);
         }
+        Response::Busy { retry_after } => {
+            out.push(RESP | OP_BUSY);
+            out.extend_from_slice(&retry_after.nanos().to_le_bytes());
+        }
         Response::Error { code, message } => {
             out.push(OP_ERROR);
             out.push(*code as u8);
@@ -437,6 +452,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             open_conns: c.u32()?,
         },
         op if op == RESP | OP_STATS => Response::Stats { json: c.string()? },
+        op if op == RESP | OP_BUSY => Response::Busy {
+            retry_after: SimSpan::from_nanos(c.u64()?),
+        },
         OP_ERROR => {
             let code = c.u8()?;
             let code = ErrorCode::from_u8(code)
@@ -585,6 +603,9 @@ mod tests {
         round_trip_response(&Response::Finish { open_conns: 0 });
         round_trip_response(&Response::Stats {
             json: "{\"completed\":1}".into(),
+        });
+        round_trip_response(&Response::Busy {
+            retry_after: SimSpan::from_millis(8),
         });
         round_trip_response(&Response::Error {
             code: ErrorCode::Rejected,

@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use crate::admin;
 use crate::protocol::{
-    decode_request, encode_response, write_frame, ErrorCode, FrameBuffer, Response,
+    decode_request, encode_response, write_frame, ErrorCode, FrameBuffer, Request, Response,
 };
 use crate::service::ServiceCore;
 
@@ -38,6 +38,9 @@ pub struct ServerConfig {
     pub admin_addr: SocketAddr,
     /// Worker threads serving data connections (at least 1).
     pub workers: usize,
+    /// How long a graceful drain (`/drain` or [`Server::drain`]) waits
+    /// for in-flight connections to finish before forcing shutdown.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +49,7 @@ impl Default for ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             admin_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 2,
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
@@ -86,6 +90,11 @@ pub struct Server {
     admin: TcpListener,
     workers: usize,
     shutdown: AtomicBool,
+    /// Graceful-drain flag: stop accepting, serve out what's open.
+    draining: AtomicBool,
+    /// Data connections currently inside `serve_connection`.
+    active_conns: AtomicU64,
+    drain_grace: Duration,
     counters: ServerCounters,
 }
 
@@ -101,6 +110,9 @@ impl Server {
             admin: TcpListener::bind(config.admin_addr)?,
             workers: config.workers.max(1),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
+            drain_grace: config.drain_grace,
             counters: ServerCounters::default(),
         })
     }
@@ -133,6 +145,28 @@ impl Server {
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: the acceptor stops taking new
+    /// connections, open connections keep being served — `Pump`,
+    /// `Poll` and `Finish` still work, so clients can flush their
+    /// pending completions — but new `Submit`s are rejected with
+    /// [`ErrorCode::Shutdown`]. Once every connection has finished (or
+    /// the configured grace period elapses) the server shuts down.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a graceful drain has been requested.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Data connections currently being served.
+    #[must_use]
+    pub fn active_connections(&self) -> u64 {
+        self.active_conns.load(Ordering::SeqCst)
     }
 
     /// The server's monotone counters.
@@ -180,7 +214,7 @@ impl Server {
             }
 
             // The acceptor runs on the calling thread.
-            while !self.is_shutting_down() {
+            while !self.is_shutting_down() && !self.is_draining() {
                 match self.data.accept() {
                     Ok((stream, _peer)) => {
                         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
@@ -193,6 +227,16 @@ impl Server {
                     }
                     Err(_) => std::thread::sleep(POLL_INTERVAL),
                 }
+            }
+            // Graceful drain: wait for the open connections to finish
+            // (bounded by the grace period), then force the shutdown
+            // flag so the workers unwind.
+            if self.is_draining() && !self.is_shutting_down() {
+                let deadline = std::time::Instant::now() + self.drain_grace;
+                while self.active_connections() > 0 && std::time::Instant::now() < deadline {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                self.shutdown();
             }
             drop(tx); // workers drain the queue, then see the hangup
         });
@@ -226,6 +270,7 @@ impl Server {
     /// receive buffer, short read timeouts so the shutdown flag is
     /// polled even while a frame is partially received.
     fn serve_connection(&self, core: &ServiceCore<'_>, mut stream: TcpStream) {
+        self.active_conns.fetch_add(1, Ordering::SeqCst);
         let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
         let _ = stream.set_nodelay(true);
         let mut frames = FrameBuffer::new();
@@ -268,9 +313,23 @@ impl Server {
                         break 'conn;
                     }
                 };
+                let mut finishing = false;
                 let response = match decode_request(&payload) {
+                    // A draining server flushes what's in flight but
+                    // takes no new work: submits are refused with a
+                    // typed Shutdown error while Pump/Poll/Finish keep
+                    // working so the client can collect its
+                    // completions and leave.
+                    Ok(Request::Submit { .. }) if self.is_draining() => {
+                        self.counters.frames.fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            code: ErrorCode::Shutdown,
+                            message: "server draining".into(),
+                        }
+                    }
                     Ok(request) => {
                         self.counters.frames.fetch_add(1, Ordering::Relaxed);
+                        finishing = matches!(request, Request::Finish);
                         core.handle(&mut conn, request)
                     }
                     Err(e) => {
@@ -287,6 +346,12 @@ impl Server {
                 if write_frame(&mut stream, &encode_response(&response)).is_err() {
                     break 'conn;
                 }
+                // On a draining server a `Finish` is goodbye: close
+                // so the drain can complete without waiting for the
+                // client to hang up.
+                if finishing && self.is_draining() {
+                    break 'conn;
+                }
             }
         }
         // A connection that vanished without `Finish` still releases
@@ -294,6 +359,7 @@ impl Server {
         if let Some(id) = conn {
             core.disconnect(id);
         }
+        self.active_conns.fetch_sub(1, Ordering::SeqCst);
     }
 
     fn admin_loop(&self, core: &ServiceCore<'_>) {

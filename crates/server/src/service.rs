@@ -19,8 +19,10 @@ use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use coserve_core::engine::EngineSession;
+use coserve_metrics::faults::FaultLedger;
 use coserve_metrics::report::{RunReport, RunSnapshot};
-use coserve_trace::{chrome_trace_json, TraceEvent};
+use coserve_sim::time::SimSpan;
+use coserve_trace::{chrome_trace_json, TraceEvent, TraceKind};
 
 use crate::protocol::{ErrorCode, Request, Response, WireCompletion};
 
@@ -45,6 +47,21 @@ struct CoreInner<'a> {
     opened: u64,
     /// Total completions delivered through `Poll` (admin counter).
     delivered: u64,
+    /// Jobs whose completion the engine has drained (any status).
+    finished: u64,
+    /// Admission limit; `None` (the default) never sheds.
+    busy: Option<BusyLimit>,
+    /// Service-level fault accounting (`busy_shed`); merged with the
+    /// engine's own ledger by [`ServiceCore::fault_ledger`].
+    shed: FaultLedger,
+}
+
+/// Graceful-degradation admission limit (see
+/// [`ServiceCore::set_busy_limit`]).
+#[derive(Debug, Clone, Copy)]
+struct BusyLimit {
+    max_in_flight: u64,
+    retry_after: SimSpan,
 }
 
 impl<'a> ServiceCore<'a> {
@@ -69,8 +86,24 @@ impl<'a> ServiceCore<'a> {
                 owner: Vec::new(),
                 opened: 0,
                 delivered: 0,
+                finished: 0,
+                busy: None,
+                shed: FaultLedger::default(),
             }),
         }
+    }
+
+    /// Arms graceful degradation: a `Submit` arriving while
+    /// `max_in_flight` jobs are already submitted-but-unfinished is
+    /// shed with a typed [`Response::Busy`] carrying `retry_after`,
+    /// instead of growing the engine backlog without bound. Shed
+    /// submits enqueue nothing — with no limit set (the default) the
+    /// admission path is byte-identical to the pre-fault server.
+    pub fn set_busy_limit(&self, max_in_flight: usize, retry_after: SimSpan) {
+        self.locked().busy = Some(BusyLimit {
+            max_in_flight: max_in_flight as u64,
+            retry_after,
+        });
     }
 
     /// Handles one decoded request on behalf of a connection.
@@ -98,6 +131,18 @@ impl<'a> ServiceCore<'a> {
                 let Some(id) = *conn else {
                     return bad_request("submit before hello");
                 };
+                if let Some(limit) = inner.busy {
+                    let in_flight = inner.owner.len() as u64 - inner.finished;
+                    if in_flight >= limit.max_in_flight {
+                        let at = inner.session.now();
+                        inner.shed.busy_shed += 1;
+                        inner.shed.note_fault(at);
+                        inner.emit_busy_shed(id);
+                        return Response::Busy {
+                            retry_after: limit.retry_after,
+                        };
+                    }
+                }
                 // Arrivals never travel backwards: the engine requires
                 // monotone submission, so a wire arrival that is
                 // already in the past is floored to "now".
@@ -106,6 +151,12 @@ impl<'a> ServiceCore<'a> {
                     Ok(job) => {
                         debug_assert_eq!(inner.owner.len(), job as usize);
                         inner.owner.push(id);
+                        // An admission after shedding began marks the
+                        // degradation window: first shed → last
+                        // successful (re)submission.
+                        if inner.shed.busy_shed > 0 {
+                            inner.shed.note_recovery(arrival);
+                        }
                         Response::Submit { job }
                     }
                     Err(e) => Response::Error {
@@ -176,6 +227,31 @@ impl<'a> ServiceCore<'a> {
         (inner.opened, inner.conns.len() as u64, inner.delivered)
     }
 
+    /// Fault accounting for this server run: the engine session's own
+    /// ledger (load faults, retries, …) merged with the service-level
+    /// shed count. Empty unless faults were armed or a busy limit
+    /// shed work.
+    #[must_use]
+    pub fn fault_ledger(&self) -> FaultLedger {
+        let inner = self.locked();
+        let mut ledger = *inner.session.fault_ledger();
+        ledger.merge(&inner.shed);
+        ledger
+    }
+
+    /// Submits shed with a `Busy` answer so far (admin counter).
+    #[must_use]
+    pub fn busy_shed(&self) -> u64 {
+        self.locked().shed.busy_shed
+    }
+
+    /// Jobs submitted but not yet finished by the engine.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        let inner = self.locked();
+        inner.owner.len() as u64 - inner.finished
+    }
+
     /// Undelivered completions buffered per open connection, as
     /// `(connection id, buffered completions)` in id order.
     #[must_use]
@@ -243,6 +319,7 @@ impl CoreInner<'_> {
     /// already finished are dropped on the floor.
     fn route_completions(&mut self) {
         for completion in self.session.drain_completions() {
+            self.finished += 1;
             // Every completed job was submitted through `handle`, so
             // its owner entry exists; a completion the table somehow
             // doesn't know is dropped like one whose owner finished.
@@ -252,6 +329,20 @@ impl CoreInner<'_> {
             if let Some(buf) = self.conns.get_mut(&owner) {
                 buf.push(WireCompletion::from(completion));
             }
+        }
+    }
+
+    /// Records a `busy-shed` trace event (no-op under the default
+    /// no-op tracer, like every engine emission).
+    fn emit_busy_shed(&mut self, conn: u32) {
+        let at = self.session.now();
+        let tracer = self.session.tracer_mut();
+        if tracer.enabled() {
+            tracer.record(TraceEvent {
+                at,
+                node: 0,
+                kind: TraceKind::BusyShed { conn },
+            });
         }
     }
 }
@@ -418,6 +509,59 @@ mod tests {
         };
         assert_eq!(polled(core.handle(&mut a, Request::Poll)), expect_a);
         assert_eq!(polled(core.handle(&mut b, Request::Poll)), expect_b);
+    }
+
+    #[test]
+    fn busy_limit_sheds_submits_with_retry_after() {
+        let system = tiny_system();
+        let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+        core.set_busy_limit(2, SimSpan::from_millis(1));
+        let stream = TaskSpec::a1().scaled(0.01).stream(system.model());
+
+        let mut conn = None;
+        core.handle(&mut conn, Request::Hello);
+        let (mut admitted, mut shed) = (0u64, 0u64);
+        for job in stream.jobs().iter().take(6) {
+            let resp = core.handle(
+                &mut conn,
+                Request::Submit {
+                    arrival: job.arrival,
+                    stages: job.stages.clone(),
+                },
+            );
+            match resp {
+                Response::Submit { .. } => admitted += 1,
+                Response::Busy { retry_after } => {
+                    assert_eq!(retry_after, SimSpan::from_millis(1));
+                    shed += 1;
+                }
+                other => panic!("expected submit or busy, got {other:?}"),
+            }
+        }
+        // The first two fill the window; the rest are shed, enqueue
+        // nothing, and are accounted in the ledger.
+        assert_eq!((admitted, shed), (2, 4));
+        assert_eq!(core.busy_shed(), 4);
+        assert_eq!(core.in_flight(), 2);
+        let ledger = core.fault_ledger();
+        assert_eq!(ledger.busy_shed, 4);
+        assert!(!ledger.is_empty());
+
+        // Draining the backlog reopens admission.
+        core.handle(&mut conn, Request::Pump { limit: None });
+        assert_eq!(core.in_flight(), 0);
+        let job = &stream.jobs()[0];
+        let resp = core.handle(
+            &mut conn,
+            Request::Submit {
+                arrival: SimTime::ZERO,
+                stages: job.stages.clone(),
+            },
+        );
+        assert!(matches!(resp, Response::Submit { .. }), "{resp:?}");
+
+        let report = core.into_report();
+        assert_eq!(report.submitted, 3);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Byte-level chaos tests: the framing and decode layers against the
+//! fault plan's seeded stream mutilator ([`ByteChaos`]). Whatever a
+//! hostile network does to the wire image — re-chunked reads, stalls,
+//! mid-frame disconnects, truncation, corruption — the receive path
+//! must neither panic nor desync: every fully delivered frame decodes
+//! to exactly the request that was sent, and damage is confined to an
+//! error result.
+
+use coserve_faults::{ByteChaos, ChaosStep, FaultPlan};
+use coserve_server::protocol::{decode_request, encode_request, FrameBuffer, Request};
+use coserve_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// A deterministic mixed bag of requests derived from `seed`.
+fn request_mix(seed: u64, n: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| match (seed.wrapping_add(i as u64)) % 5 {
+            0 => Request::Hello,
+            1 => Request::Submit {
+                arrival: SimTime::from_nanos(seed ^ (i as u64) << 7),
+                stages: (0..=(i % 7) as u32)
+                    .map(coserve_model::expert::ExpertId)
+                    .collect(),
+            },
+            2 => Request::Poll,
+            3 => Request::Pump {
+                limit: (i % 2 == 0).then(|| SimTime::from_nanos(seed >> 3)),
+            },
+            _ => Request::Finish,
+        })
+        .collect()
+}
+
+/// The full wire image of `requests`: length-prefixed frames, back to
+/// back, exactly as a client writes them.
+fn wire_image(requests: &[Request]) -> Vec<u8> {
+    let mut image = Vec::new();
+    for request in requests {
+        let payload = encode_request(request);
+        image.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        image.extend_from_slice(&payload);
+    }
+    image
+}
+
+fn chaos(seed: u64) -> ByteChaos {
+    FaultPlan::seeded(seed).connection_chaos(seed)
+}
+
+/// Feeds `image` to a `FrameBuffer` along `schedule`, collecting every
+/// complete frame. Returns the decoded frames; a framing error ends
+/// delivery (the server would drop the connection there).
+fn deliver(image: &[u8], schedule: &[ChaosStep]) -> Vec<Vec<u8>> {
+    let mut frames = FrameBuffer::new();
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    for step in schedule {
+        match step {
+            ChaosStep::Stall => {}
+            ChaosStep::Disconnect => break,
+            ChaosStep::Deliver { len } => {
+                let end = (offset + len).min(image.len());
+                frames.extend(&image[offset..end]);
+                offset = end;
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(payload)) => out.push(payload),
+                        Ok(None) => break,
+                        Err(_) => return out,
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary re-chunking with stalls delivers every byte: the
+    /// frame sequence comes out whole, in order, and each payload
+    /// decodes to the request that was sent.
+    #[test]
+    fn rechunked_streams_never_desync(seed in any::<u64>(), n in 1usize..12) {
+        let requests = request_mix(seed, n);
+        let image = wire_image(&requests);
+        let schedule = chaos(seed).schedule(image.len(), false);
+        let delivered = deliver(&image, &schedule);
+        prop_assert_eq!(delivered.len(), requests.len());
+        for (payload, request) in delivered.iter().zip(&requests) {
+            let decoded = decode_request(payload);
+            prop_assert_eq!(decoded.as_ref().ok(), Some(request));
+        }
+    }
+
+    /// A lossy schedule may cut the stream mid-frame: everything fully
+    /// delivered before the disconnect still decodes, in order — a
+    /// prefix of the sent sequence, never garbage.
+    #[test]
+    fn mid_frame_disconnects_leave_a_clean_prefix(seed in any::<u64>(), n in 1usize..12) {
+        let requests = request_mix(seed, n);
+        let image = wire_image(&requests);
+        let schedule = chaos(seed).schedule(image.len(), true);
+        let delivered = deliver(&image, &schedule);
+        prop_assert!(delivered.len() <= requests.len());
+        for (payload, request) in delivered.iter().zip(&requests) {
+            let decoded = decode_request(payload);
+            prop_assert_eq!(decoded.as_ref().ok(), Some(request));
+        }
+    }
+
+    /// Truncating the wire image at a seeded point (usually mid-frame)
+    /// yields a clean prefix and a quietly incomplete tail — no panic,
+    /// no phantom frame.
+    #[test]
+    fn truncated_streams_yield_a_clean_prefix(seed in any::<u64>(), n in 1usize..12) {
+        let requests = request_mix(seed, n);
+        let mut image = wire_image(&requests);
+        let _survives = chaos(seed).truncate(&mut image);
+
+        let mut frames = FrameBuffer::new();
+        frames.extend(&image);
+        let mut complete = 0usize;
+        while let Ok(Some(payload)) = frames.next_frame() {
+            let decoded = decode_request(&payload);
+            prop_assert_eq!(decoded.as_ref().ok(), Some(&requests[complete]));
+            complete += 1;
+        }
+        prop_assert!(complete <= requests.len());
+    }
+
+    /// Corrupted bytes never panic the receive path: each frame either
+    /// fails the length check (connection drop), decodes to an error,
+    /// or — when the damage missed the payload — decodes to a request.
+    /// The loop always terminates.
+    #[test]
+    fn corrupted_streams_never_panic(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        rate in 0.001f64..0.25,
+    ) {
+        let requests = request_mix(seed, n);
+        let mut image = wire_image(&requests);
+        let _hits = chaos(seed).corrupt(&mut image, rate);
+
+        let mut frames = FrameBuffer::new();
+        frames.extend(&image);
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            prop_assert!(steps <= image.len() + 1, "framing loop did not terminate");
+            match frames.next_frame() {
+                Ok(Some(payload)) => {
+                    // Decode must return, not panic; both outcomes are
+                    // legal under corruption.
+                    let _ = decode_request(&payload);
+                }
+                Ok(None) => break,    // waiting for bytes that never come
+                Err(_) => break,      // hostile length prefix: drop the conn
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@ use coserve_core::prelude::*;
 use coserve_model::devices;
 use coserve_server::prelude::*;
 use coserve_server::server::{Client, Server, ServerConfig};
-use coserve_sim::time::SimSpan;
+use coserve_sim::time::{SimSpan, SimTime};
 use coserve_workload::task::TaskSpec;
 
 fn tiny_setup() -> (ServingSystem, coserve_workload::stream::RequestStream) {
@@ -228,6 +228,137 @@ fn admin_port_serves_live_stats_and_shutdown() {
     let report = core.into_report();
     assert_eq!(report.submitted, stream.len() / 2);
     assert_eq!(report.completed, stream.len() / 2);
+}
+
+/// A graceful drain (`/drain`) serves out the open connection — Pump,
+/// Poll and Finish keep flushing pending completions — while new
+/// submits get a typed Shutdown error, and the server stops on its own
+/// once the last connection finishes (no `/shutdown` needed).
+#[test]
+fn graceful_drain_flushes_in_flight_connections() {
+    let (system, stream) = tiny_setup();
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    let server = Server::bind(&ServerConfig::default()).unwrap();
+    let data = server.data_addr().unwrap();
+    let admin = server.admin_addr().unwrap();
+    let submitted = stream.len() / 2;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&core));
+
+        let mut client = Client::connect(data).unwrap();
+        client.call(&Request::Hello).unwrap();
+        for job in stream.jobs().iter().take(submitted) {
+            let resp = client
+                .call(&Request::Submit {
+                    arrival: job.arrival,
+                    stages: job.stages.clone(),
+                })
+                .unwrap();
+            assert!(matches!(resp, Response::Submit { .. }), "{resp:?}");
+        }
+        // Pump so the completions are buffered but not yet polled,
+        // then ask for a graceful drain.
+        client.call(&Request::Pump { limit: None }).unwrap();
+        let ack = admin_get(admin, "/drain");
+        assert!(ack.starts_with("HTTP/1.0 200"), "{ack}");
+
+        let stats = admin_get(admin, "/stats");
+        let body = stats.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("\"draining\":true"), "{body}");
+
+        // New work is refused with the typed shutdown error...
+        let refused = client
+            .call(&Request::Submit {
+                arrival: SimTime::ZERO,
+                stages: stream.jobs()[0].stages.clone(),
+            })
+            .unwrap();
+        assert!(
+            matches!(
+                refused,
+                Response::Error {
+                    code: ErrorCode::Shutdown,
+                    ..
+                }
+            ),
+            "{refused:?}"
+        );
+
+        // ...but the in-flight completions still flush.
+        let resp = client.call(&Request::Poll).unwrap();
+        let Response::Poll { completions } = resp else {
+            panic!("expected poll ok, got {resp:?}");
+        };
+        assert_eq!(completions.len(), submitted);
+        client.call(&Request::Finish).unwrap();
+
+        // The drain completes by itself once the connection is gone.
+        handle.join().unwrap().unwrap();
+    });
+    let report = core.into_report();
+    assert_eq!(report.submitted, submitted);
+    assert_eq!(report.completed, submitted);
+}
+
+/// A server armed with a busy limit sheds excess submits with a typed
+/// `Busy`/retry-after answer; a client that backs off (pump, retry)
+/// still lands every job, and the shed count is on the admin port.
+#[test]
+fn busy_server_sheds_with_retry_after_and_recovers() {
+    let (system, stream) = tiny_setup();
+    let core = ServiceCore::new(system.session("CoServe"), system.model().num_experts());
+    core.set_busy_limit(4, SimSpan::from_millis(2));
+
+    let mut shed_total = 0u64;
+    with_server(&core, 2, |data, admin| {
+        let mut client = Client::connect(data).unwrap();
+        client.call(&Request::Hello).unwrap();
+        let mut admitted = 0usize;
+        for job in stream.jobs() {
+            let resp = client
+                .call(&Request::Submit {
+                    arrival: job.arrival,
+                    stages: job.stages.clone(),
+                })
+                .unwrap();
+            match resp {
+                Response::Submit { .. } => admitted += 1,
+                Response::Busy { retry_after } => {
+                    assert_eq!(retry_after, SimSpan::from_millis(2));
+                    shed_total += 1;
+                    // Busy means nothing was enqueued: back off by
+                    // draining the backlog, then resubmit.
+                    client.call(&Request::Pump { limit: None }).unwrap();
+                    let retry = client
+                        .call(&Request::Submit {
+                            arrival: job.arrival,
+                            stages: job.stages.clone(),
+                        })
+                        .unwrap();
+                    assert!(matches!(retry, Response::Submit { .. }), "{retry:?}");
+                    admitted += 1;
+                }
+                other => panic!("expected submit or busy, got {other:?}"),
+            }
+        }
+        assert!(shed_total > 0, "the busy limit never tripped");
+        assert_eq!(admitted, stream.len());
+
+        let stats = admin_get(admin, "/stats");
+        let body = stats.split("\r\n\r\n").nth(1).unwrap();
+        let needle = format!("\"busy_shed\":{shed_total}");
+        assert!(body.contains(&needle), "{body}");
+
+        client.call(&Request::Pump { limit: None }).unwrap();
+        client.call(&Request::Poll).unwrap();
+        client.call(&Request::Finish).unwrap();
+    });
+
+    let ledger = core.fault_ledger();
+    assert_eq!(ledger.busy_shed, shed_total);
+    let report = core.into_report();
+    assert_eq!(report.submitted, stream.len());
+    assert_eq!(report.completed, stream.len());
 }
 
 /// Malformed bytes on the data port get an error frame or a dropped

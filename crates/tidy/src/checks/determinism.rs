@@ -21,6 +21,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "metrics",
     "baselines",
     "trace",
+    "faults",
 ];
 
 /// `(pattern, what to do instead)` pairs; patterns are token-matched

@@ -200,6 +200,65 @@ pub enum TraceKind {
         /// `true` for a pacing shed, `false` for an unhosted chain.
         paced: bool,
     },
+
+    // ── faults & recovery ────────────────────────────────────────────
+    /// An injected expert-load fault: the pool miss's tier read failed
+    /// `failures` consecutive times.
+    LoadFault {
+        /// The executor whose switch hit the fault.
+        exec: u32,
+        /// The expert being loaded.
+        expert: ExpertId,
+        /// Consecutive failed read attempts.
+        failures: u32,
+        /// Whether the retry policy recovered the load (`false` = the
+        /// budget ran out and the batch failed).
+        recovered: bool,
+    },
+    /// An injected slow expert load: the read succeeded but ran
+    /// dilated.
+    SlowLoad {
+        /// The executor whose switch was dilated.
+        exec: u32,
+        /// The expert being loaded.
+        expert: ExpertId,
+        /// Time added over the healthy transfer.
+        extra: SimSpan,
+    },
+    /// A fabric transfer hit a faulted link.
+    LinkFault {
+        /// Transfer source node.
+        from: u32,
+        /// Transfer destination node.
+        to: u32,
+        /// `true` when the pair was partitioned (the transfer was
+        /// degraded or abandoned), `false` for a dilated link.
+        partitioned: bool,
+        /// Time added over the healthy transfer (zero for partitions).
+        extra: SimSpan,
+    },
+    /// One control tick of this event's node served under slow-node
+    /// dilation.
+    SlowNode {
+        /// Drain time added by the dilation this tick.
+        extra: SimSpan,
+    },
+    /// A job was re-routed to a replica because its first-choice node
+    /// could not reach some chain stage's holders.
+    HedgedReroute {
+        /// Workload job id (front-end numbering).
+        job: u32,
+        /// The unreachable first choice.
+        from: u32,
+        /// The replica actually routed to.
+        to: u32,
+    },
+    /// The server shed a request with a typed busy/retry-after
+    /// response instead of queueing it (graceful degradation).
+    BusyShed {
+        /// The connection whose submit was shed.
+        conn: u32,
+    },
 }
 
 impl TraceKind {
@@ -228,6 +287,12 @@ impl TraceKind {
             TraceKind::MigrationLanded { .. } => "migration-land",
             TraceKind::Replanned { .. } => "replanned",
             TraceKind::Shed { .. } => "shed",
+            TraceKind::LoadFault { .. } => "load-fault",
+            TraceKind::SlowLoad { .. } => "slow-load",
+            TraceKind::LinkFault { .. } => "link-fault",
+            TraceKind::SlowNode { .. } => "slow-node",
+            TraceKind::HedgedReroute { .. } => "hedge-reroute",
+            TraceKind::BusyShed { .. } => "busy-shed",
         }
     }
 }
@@ -324,6 +389,32 @@ mod tests {
                 job: 0,
                 paced: true,
             },
+            TraceKind::LoadFault {
+                exec: 0,
+                expert: ExpertId(0),
+                failures: 1,
+                recovered: true,
+            },
+            TraceKind::SlowLoad {
+                exec: 0,
+                expert: ExpertId(0),
+                extra: SimSpan::ZERO,
+            },
+            TraceKind::LinkFault {
+                from: 0,
+                to: 1,
+                partitioned: false,
+                extra: SimSpan::ZERO,
+            },
+            TraceKind::SlowNode {
+                extra: SimSpan::ZERO,
+            },
+            TraceKind::HedgedReroute {
+                job: 0,
+                from: 0,
+                to: 1,
+            },
+            TraceKind::BusyShed { conn: 0 },
         ];
         let names: std::collections::BTreeSet<&str> = kinds.iter().map(TraceKind::name).collect();
         assert_eq!(names.len(), kinds.len(), "duplicate kind name");

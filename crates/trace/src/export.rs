@@ -104,19 +104,25 @@ fn tid_for(kind: &TraceKind) -> u32 {
         | TraceKind::StageDone { .. }
         | TraceKind::Completed { .. }
         | TraceKind::Failed { .. }
-        | TraceKind::Shed { .. } => TID_REQUESTS,
+        | TraceKind::Shed { .. }
+        | TraceKind::HedgedReroute { .. }
+        | TraceKind::BusyShed { .. } => TID_REQUESTS,
         TraceKind::Scheduled { .. } => TID_SCHEDULER,
         TraceKind::CacheInserted { .. } | TraceKind::CacheEvicted { .. } => TID_CACHE,
         TraceKind::NodeKilled { .. }
         | TraceKind::NodeRevived
         | TraceKind::MigrationStarted { .. }
         | TraceKind::MigrationLanded { .. }
-        | TraceKind::Replanned { .. } => TID_RUNTIME,
+        | TraceKind::Replanned { .. }
+        | TraceKind::LinkFault { .. }
+        | TraceKind::SlowNode { .. } => TID_RUNTIME,
         TraceKind::Switch { exec, .. }
         | TraceKind::Exec { exec, .. }
         | TraceKind::Preloaded { exec, .. }
         | TraceKind::Loaded { exec, .. }
-        | TraceKind::Evicted { exec, .. } => TID_EXEC_BASE + exec,
+        | TraceKind::Evicted { exec, .. }
+        | TraceKind::LoadFault { exec, .. }
+        | TraceKind::SlowLoad { exec, .. } => TID_EXEC_BASE + exec,
     }
 }
 
@@ -275,6 +281,49 @@ fn render_event(ev: &TraceEvent) -> String {
         }
         TraceKind::Shed { job, paced } => {
             let _ = write!(rec, "\"job\": {job}, \"paced\": {paced}");
+        }
+        TraceKind::LoadFault {
+            exec,
+            expert,
+            failures,
+            recovered,
+        } => {
+            let _ = write!(
+                rec,
+                "\"exec\": {exec}, \"expert\": {}, \"failures\": {failures}, \
+                 \"recovered\": {recovered}",
+                expert.index()
+            );
+        }
+        TraceKind::SlowLoad { expert, extra, .. } => {
+            let _ = write!(
+                rec,
+                "\"expert\": {}, \"extra_us\": {}",
+                expert.index(),
+                micros(extra.nanos())
+            );
+        }
+        TraceKind::LinkFault {
+            from,
+            to,
+            partitioned,
+            extra,
+        } => {
+            let _ = write!(
+                rec,
+                "\"from\": {from}, \"to\": {to}, \"partitioned\": {partitioned}, \
+                 \"extra_us\": {}",
+                micros(extra.nanos())
+            );
+        }
+        TraceKind::SlowNode { extra } => {
+            let _ = write!(rec, "\"extra_us\": {}", micros(extra.nanos()));
+        }
+        TraceKind::HedgedReroute { job, from, to } => {
+            let _ = write!(rec, "\"job\": {job}, \"from\": {from}, \"to\": {to}");
+        }
+        TraceKind::BusyShed { conn } => {
+            let _ = write!(rec, "\"conn\": {conn}");
         }
     }
     rec.push_str("}}");

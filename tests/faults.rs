@@ -1,0 +1,163 @@
+//! Fault-injection invariants through the facade crate: a disabled (or
+//! armed-but-empty) `FaultPlan` must leave every report bit-identical
+//! to a run that never heard of faults, and when faults do fire the
+//! `FaultLedger` must partition injected work exactly into recovered
+//! and lost.
+
+use coserve::prelude::*;
+use coserve_faults::{FaultPlan, FaultWindow, RetryPolicy};
+
+/// Builds the A1 engine cell and hands a fresh session plus its stream
+/// to `f`. `Engine` borrows its inputs, so the scaffolding lives here.
+fn with_session<T>(f: impl FnOnce(EngineSession, &RequestStream) -> T) -> T {
+    let task = TaskSpec::a1().scaled(0.08);
+    let model = task.build_model().unwrap();
+    let device = devices::numa_rtx3080ti();
+    let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+    let stream = task.stream(&model);
+    let config = presets::coserve(&device);
+    let engine = Engine::new(&device, &model, &perf, &config).unwrap();
+    f(engine.session(stream.name()), &stream)
+}
+
+fn run_with(plan: Option<(FaultPlan, RetryPolicy)>) -> RunReport {
+    with_session(|mut session, stream| {
+        if let Some((plan, retry)) = plan {
+            session.set_faults(plan, retry);
+        }
+        for job in stream.jobs() {
+            session.submit(job.arrival, &job.stages).unwrap();
+        }
+        session.pump();
+        session.into_report()
+    })
+}
+
+/// Arming `FaultPlan::disabled()` must be indistinguishable from never
+/// calling `set_faults` at all.
+#[test]
+fn disabled_plan_leaves_engine_reports_bit_identical() {
+    let baseline = run_with(None);
+    let armed = run_with(Some((FaultPlan::disabled(), RetryPolicy::none())));
+    assert_eq!(baseline, armed);
+}
+
+/// A seeded plan with no fault kinds configured sits on the hot path
+/// (every load consults it) but must never perturb the run — and its
+/// ledger must stay empty.
+#[test]
+fn empty_seeded_plan_is_inert_and_its_ledger_stays_empty() {
+    let baseline = run_with(None);
+    let armed = with_session(|mut session, stream| {
+        session.set_faults(
+            FaultPlan::seeded(9),
+            RetryPolicy::retries(4, SimSpan::from_micros(50)),
+        );
+        for job in stream.jobs() {
+            session.submit(job.arrival, &job.stages).unwrap();
+        }
+        session.pump();
+        assert!(session.fault_ledger().is_empty());
+        assert_eq!(session.fault_ledger().injected(), 0);
+        session.into_report()
+    });
+    assert_eq!(baseline, armed);
+}
+
+/// The exported Perfetto document must also be byte-identical: a
+/// disabled plan may not add, drop, or reorder a single trace event.
+#[test]
+fn disabled_plan_leaves_exported_traces_bit_identical() {
+    let traced = |armed: bool| {
+        with_session(|mut session, stream| {
+            if armed {
+                session.set_faults(FaultPlan::disabled(), RetryPolicy::none());
+            }
+            session.set_tracer(Box::new(coserve::trace::RingTracer::new()));
+            for job in stream.jobs() {
+                session.submit(job.arrival, &job.stages).unwrap();
+            }
+            session.pump();
+            coserve::trace::chrome_trace_json(&session.tracer_mut().drain())
+        })
+    };
+    let (baseline, armed) = (traced(false), traced(true));
+    assert!(!baseline.is_empty() && baseline.contains("\"stage-done\""));
+    assert_eq!(baseline, armed);
+}
+
+/// Cluster runtime: an armed-but-empty plan must reproduce the
+/// default-options report bit for bit, JSON and all.
+#[test]
+fn empty_plan_leaves_cluster_reports_bit_identical() {
+    use coserve::cluster::runtime::RuntimeOptions;
+    let task = TaskSpec::a1();
+    let model = task.build_model().unwrap();
+    let device = devices::numa_rtx3080ti();
+    let cluster = ClusterSystem::homogeneous(
+        4,
+        &device,
+        &presets::coserve(&device),
+        &model,
+        LinkProfile::ethernet_10g(),
+        ClusterOptions::default(),
+    )
+    .unwrap();
+    let stream = RequestStream::generate_open_loop(
+        "faults-off",
+        task.board(),
+        &model,
+        96,
+        ArrivalProcess::poisson(200.0),
+        StreamOrder::Iid,
+        7,
+    );
+    let baseline = cluster.serve_runtime(&stream, &RuntimeOptions::default());
+    let armed = cluster.serve_runtime(
+        &stream,
+        &RuntimeOptions::default().faults(FaultPlan::seeded(3)),
+    );
+    assert_eq!(baseline, armed);
+    assert_eq!(baseline.to_json(), armed.to_json());
+    assert!(armed.dynamics.faults.is_empty());
+}
+
+/// When loads do fail, the ledger partitions them exactly: every
+/// injected failure is either recovered by a retry or exhausted (and
+/// exhausted jobs are exactly the report's failed jobs).
+#[test]
+fn ledger_partitions_injected_load_faults_exactly() {
+    let (ledger, report) = with_session(|mut session, stream| {
+        session.set_faults(
+            FaultPlan::seeded(24).with_expert_load(0.3, 0.1, 3.0, FaultWindow::ALWAYS),
+            RetryPolicy::retries(8, SimSpan::from_micros(50)),
+        );
+        for job in stream.jobs() {
+            session.submit(job.arrival, &job.stages).unwrap();
+        }
+        session.pump();
+        let ledger = *session.fault_ledger();
+        (ledger, session.into_report())
+    });
+    assert!(ledger.injected() > 0, "the plan must actually fire");
+    assert_eq!(
+        ledger.load_faults,
+        ledger.load_recovered + ledger.load_exhausted,
+        "every load fault is recovered or exhausted, never both or neither"
+    );
+    assert_eq!(ledger.load_exhausted, report.failed as u64);
+    assert!(ledger.retries >= ledger.load_recovered);
+    assert_eq!(
+        ledger.injected(),
+        ledger.load_faults + ledger.slow_loads,
+        "an engine-only run injects nothing but load faults"
+    );
+    if ledger.recovered() > 0 {
+        let (first, last) = (
+            ledger.first_fault.expect("faults fired"),
+            ledger.last_recovery.expect("recoveries happened"),
+        );
+        assert!(first <= last);
+        assert_eq!(ledger.recovery_span(), Some(last.saturating_since(first)));
+    }
+}

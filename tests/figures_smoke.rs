@@ -241,6 +241,81 @@ fn fig22_failure_recovery_bounds_recovery_and_rewards_feedback() {
 }
 
 #[test]
+fn fig24_fault_matrix_recovers_finitely_and_beats_giving_up() {
+    scale_down();
+    let (t, artifacts) = figures::fig24_fault_matrix();
+    // 4 load cells + 3 link cells + 2 node cells + 4 conn cells.
+    assert_eq!(t.len(), 13);
+    let csv = t.to_csv();
+    let mut goodput: Vec<(String, String, String, f64)> = Vec::new();
+    let mut injected_total = 0u64;
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let (fault, intensity, recovery) = (cells[0], cells[1], cells[2]);
+        let injected: u64 = cells[4].parse().unwrap();
+        let lost: u64 = cells[7].parse().unwrap();
+        injected_total += injected;
+        // Claim 1: wherever a recovery policy is armed and faults
+        // actually fired, recovery completes in finite simulated time
+        // and no work is lost.
+        if recovery != "none" && injected > 0 {
+            let recovery_ms: f64 = cells[9]
+                .parse()
+                .unwrap_or_else(|_| panic!("recovery must be finite: {line}"));
+            assert!(recovery_ms > 0.0, "recovery must take real time: {line}");
+            assert_eq!(lost, 0, "recovery must not lose jobs: {line}");
+        }
+        // Claim 2: giving up loses jobs and never recovers.
+        if recovery == "none" {
+            assert!(lost > 0, "no-recovery cells must lose jobs: {line}");
+            assert_eq!(cells[9], "inf", "no-recovery never recovers: {line}");
+        }
+        goodput.push((
+            fault.to_string(),
+            intensity.to_string(),
+            recovery.to_string(),
+            cells[3].parse().unwrap(),
+        ));
+    }
+    assert!(injected_total > 0, "the matrix must inject faults:\n{csv}");
+    // Claim 3: at every (fault, intensity) that has a no-recovery row,
+    // every recovery policy's goodput beats giving up.
+    let mut compared = 0;
+    for (fault, intensity, recovery, none_g) in &goodput {
+        if recovery != "none" {
+            continue;
+        }
+        for (f2, i2, r2, rec_g) in &goodput {
+            if f2 == fault && i2 == intensity && r2 != "none" {
+                assert!(
+                    rec_g > none_g,
+                    "{fault}/{intensity}: {r2} goodput {rec_g} <= none {none_g}:\n{csv}"
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert_eq!(compared, 4, "expected load+conn recovery-vs-none pairs");
+    // Artifacts: load retry ledger, partition hedge report, conn retry
+    // ledger — all well-formed JSON.
+    let stems: Vec<&str> = artifacts.iter().map(|(s, _)| s.as_str()).collect();
+    assert_eq!(
+        stems,
+        [
+            "fig24_fault_matrix_load_retry_ledger",
+            "fig24_fault_matrix_partition_hedge_report",
+            "fig24_fault_matrix_conn_retry_ledger",
+        ]
+    );
+    for (stem, json) in &artifacts {
+        assert!(json.starts_with('{') && json.ends_with('}'), "{stem}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+    assert!(artifacts[1].1.contains("\"hedged_reroutes\":"));
+    assert!(artifacts[2].1.contains("\"busy_shed\":"));
+}
+
+#[test]
 fn fig20_latency_vs_load_has_finite_tails_and_overload_drops() {
     scale_down();
     let t = figures::fig20_latency_vs_load();
