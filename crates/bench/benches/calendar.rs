@@ -1,0 +1,115 @@
+//! Microbenchmarks for the event calendar: steady-state pop/push churn
+//! against the per-step minimum scan it replaced, at three queue
+//! populations (1 k, 100 k, 10 M pending events).
+//!
+//! The scan's per-pop cost is linear in the population while the
+//! calendar's is logarithmic at worst (and amortized constant on the
+//! monotone lane path), so the widening gap across the populations is
+//! the engine-core speedup mechanism made directly visible. The 10 M
+//! population is the regime of the `fig23_engine_scale` figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coserve_sim::events::Calendar;
+use coserve_sim::rng::SimRng;
+use coserve_sim::time::{SimSpan, SimTime};
+
+/// Lanes mirroring the engine's event classes.
+const LANES: usize = 4;
+
+/// Pop/push operations per measured iteration.
+fn churn_ops(population: usize) -> usize {
+    // The scan baseline is O(population) per pop; keep a 10 M-event
+    // sample under a second so the full suite stays runnable.
+    if population >= 1_000_000 {
+        10
+    } else {
+        1_000
+    }
+}
+
+/// Fills a calendar with `n` events whose times sit in a sliding
+/// window, so lane pushes are mostly monotone (the append fast path)
+/// with occasional out-of-order fallbacks to the heap — the mix a real
+/// engine session produces.
+fn filled_calendar(n: usize, rng: &mut SimRng) -> Calendar<u64> {
+    let mut cal = Calendar::new(LANES);
+    let mut base = 0u64;
+    for i in 0..n {
+        base += rng.next_below(1_000);
+        let at = SimTime::ZERO + SimSpan::from_nanos(base + rng.next_below(100_000));
+        cal.push_lane(i % LANES, at, i as u64);
+    }
+    cal
+}
+
+fn filled_vec(n: usize, rng: &mut SimRng) -> Vec<(SimTime, u64)> {
+    let mut queue = Vec::with_capacity(n + 1);
+    let mut base = 0u64;
+    for i in 0..n {
+        base += rng.next_below(1_000);
+        let at = SimTime::ZERO + SimSpan::from_nanos(base + rng.next_below(100_000));
+        queue.push((at, i as u64));
+    }
+    queue
+}
+
+/// Steady-state churn on the calendar: pop the next event, reschedule
+/// it a little later. The population stays constant.
+fn churn_calendar(cal: &mut Calendar<u64>, rng: &mut SimRng, ops: usize) -> u64 {
+    let mut acc = 0;
+    for _ in 0..ops {
+        let ev = cal.pop().expect("population is constant");
+        acc ^= ev.payload;
+        let at = ev.at + SimSpan::from_nanos(1 + rng.next_below(1_000_000));
+        cal.push_lane((ev.payload % LANES as u64) as usize, at, ev.payload);
+    }
+    acc
+}
+
+/// The same churn against the pre-calendar idiom: a flat vector whose
+/// every pop scans for the minimum timestamp.
+fn churn_scan(queue: &mut Vec<(SimTime, u64)>, rng: &mut SimRng, ops: usize) -> u64 {
+    let mut acc = 0;
+    for _ in 0..ops {
+        let mut min = 0;
+        for (i, e) in queue.iter().enumerate() {
+            if e.0 < queue[min].0 {
+                min = i;
+            }
+        }
+        let (at, payload) = queue.swap_remove(min);
+        acc ^= payload;
+        queue.push((
+            at + SimSpan::from_nanos(1 + rng.next_below(1_000_000)),
+            payload,
+        ));
+    }
+    acc
+}
+
+fn bench_calendar_vs_scan(c: &mut Criterion) {
+    for population in [1_000usize, 100_000, 10_000_000] {
+        let ops = churn_ops(population);
+        let mut group = c.benchmark_group(format!("calendar_churn_{population}_events"));
+        group.sample_size(10);
+
+        let mut rng = SimRng::seed_from(0xca1e);
+        let mut cal = filled_calendar(population, &mut rng);
+        group.bench_function(format!("calendar_pop_push_{ops}x"), |b| {
+            b.iter(|| black_box(churn_calendar(&mut cal, &mut rng, ops)));
+        });
+        drop(cal);
+
+        let mut rng = SimRng::seed_from(0xca1e);
+        let mut queue = filled_vec(population, &mut rng);
+        group.bench_function(format!("scan_pop_push_{ops}x"), |b| {
+            b.iter(|| black_box(churn_scan(&mut queue, &mut rng, ops)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_calendar_vs_scan);
+criterion_main!(benches);

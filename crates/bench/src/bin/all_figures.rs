@@ -88,6 +88,11 @@ fn main() {
     for (stem, json) in &artifacts {
         emit_json(json, stem);
     }
+    let (engine_scale, artifacts) = figures::fig23_engine_scale();
+    emit(&engine_scale, "fig23_engine_scale");
+    for (stem, json) in &artifacts {
+        emit_json(json, stem);
+    }
     let (faults, artifacts) = figures::fig24_fault_matrix();
     emit(&faults, "fig24_fault_matrix");
     for (stem, json) in &artifacts {

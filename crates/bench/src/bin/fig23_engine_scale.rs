@@ -1,0 +1,9 @@
+//! Event-calendar engine scaling: weak-scaling fleets serving tens of
+//! millions of requests in wall-clock seconds.
+fn main() {
+    let (table, artifacts) = coserve_bench::figures::fig23_engine_scale();
+    coserve_bench::emit(&table, "fig23_engine_scale");
+    for (stem, json) in &artifacts {
+        coserve_bench::emit_json(json, stem);
+    }
+}

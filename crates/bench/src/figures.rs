@@ -12,6 +12,8 @@
 //! to a serial run at any `COSERVE_JOBS` width (pinned by
 //! `tests/parallel_figures.rs`).
 
+use std::time::Instant;
+
 use coserve_cluster::dispatch::{FeedbackMode, RoutePolicy};
 use coserve_cluster::placement::PlacementStrategy;
 use coserve_cluster::runtime::{FailureSchedule, ReplacementPolicy, RuntimeOptions};
@@ -25,6 +27,7 @@ use coserve_core::system::ServingSystem;
 use coserve_faults::{FaultPlan, FaultWindow, RetryPolicy};
 use coserve_metrics::cluster::ClusterReport;
 use coserve_metrics::faults::FaultLedger;
+use coserve_metrics::report::json_f64;
 use coserve_metrics::table::{fmt_f64, Table};
 use coserve_model::arch::{ArchSpec, RESNET101};
 use coserve_sim::device::ProcessorKind;
@@ -837,6 +840,128 @@ pub fn fig22_failure_recovery() -> (Table, Vec<(String, String)>) {
         ]);
     }
     (t, artifacts)
+}
+
+/// Figure 23 (extension): event-calendar engine scaling. Weak-scaling
+/// fleets of independent engine sessions (1, 8 and 64 nodes, a fixed
+/// per-node request count) are served end to end, so the 64-node row
+/// simulates the service of over ten million requests at full scale —
+/// in wall-clock seconds, because the calendar core pays per *event*,
+/// never per tick.
+///
+/// Each node streams its open-loop arrival trace through
+/// [`coserve_core::engine::EngineSession::pump_until`] in chunks, the
+/// live-service idiom, rather than submitting everything up front; the
+/// chunked interleaving is contractually identical to a one-shot run.
+///
+/// The CSV holds only simulation-deterministic columns, so it is
+/// byte-identical at any sweep width (pinned by
+/// `tests/parallel_figures.rs`). The wall-clock measurements — the
+/// point of the figure, but machine-dependent by nature, like
+/// `BENCH_core.json` — go into the JSON artifact.
+#[must_use]
+pub fn fig23_engine_scale() -> (Table, Vec<(String, String)>) {
+    let mut t = Table::new(
+        "Figure 23 (extension): Event-calendar engine scaling — weak-scaling fleets (A1, NUMA)",
+        &[
+            "nodes",
+            "requests",
+            "completed",
+            "stages",
+            "events",
+            "makespan_s",
+            "sim_rps",
+        ],
+    );
+    let device = paper_devices().remove(0);
+    let task = paper_tasks().remove(0);
+    let model = task.build_model().expect("built-in boards validate");
+    let config = presets::coserve(&device);
+    let system = ServingSystem::new(device, model, config).expect("harness systems are valid");
+    // 64 nodes × 160 k requests = 10.24 M simulated requests at full
+    // scale. Open-loop Poisson arrivals safely below single-node
+    // capacity keep queues bounded, so wall-clock cost scales with the
+    // request count, not with backlog length.
+    let per_node = ((160_000.0 * scale()).round() as usize).max(500);
+    let rate = 200.0;
+    const CHUNK: usize = 4096;
+
+    let mut fleet_rows = Vec::new();
+    for nodes in [1usize, 8, 64] {
+        let started = Instant::now();
+        let node_stats = crate::sweep::run_ordered((0..nodes).collect::<Vec<_>>(), |node| {
+            let stream = RequestStream::generate_open_loop(
+                format!("{} node {node}", task.name()),
+                task.board(),
+                system.model(),
+                per_node,
+                ArrivalProcess::poisson(rate),
+                StreamOrder::Iid,
+                0x23_0000 + node as u64,
+            );
+            let mut session = system.session(stream.name());
+            let jobs = stream.jobs();
+            let mut events = 0usize;
+            let mut start = 0;
+            while start < jobs.len() {
+                let end = (start + CHUNK).min(jobs.len());
+                for job in &jobs[start..end] {
+                    session
+                        .submit(job.arrival, &job.stages)
+                        .expect("stream jobs reference experts of the engine's model");
+                }
+                if end < jobs.len() {
+                    events += session.pump_until(jobs[end].arrival);
+                    let _ = session.drain_completions();
+                }
+                start = end;
+            }
+            events += session.pump();
+            let _ = session.drain_completions();
+            (session.snapshot(), events)
+        });
+        let wall = started.elapsed().as_secs_f64();
+
+        let requests: usize = node_stats.iter().map(|(s, _)| s.submitted).sum();
+        let completed: usize = node_stats.iter().map(|(s, _)| s.completed).sum();
+        let stages: usize = node_stats.iter().map(|(s, _)| s.stages_executed).sum();
+        let events: usize = node_stats.iter().map(|(_, e)| e).sum();
+        // The fleet is done when its slowest node is done.
+        let makespan = node_stats
+            .iter()
+            .map(|(s, _)| s.makespan)
+            .max()
+            .unwrap_or(SimSpan::ZERO);
+        let sim_rps = if makespan.as_secs_f64() > 0.0 {
+            completed as f64 / makespan.as_secs_f64()
+        } else {
+            0.0
+        };
+        t.row(vec![
+            nodes.to_string(),
+            requests.to_string(),
+            completed.to_string(),
+            stages.to_string(),
+            events.to_string(),
+            fmt_f64(makespan.as_secs_f64(), 2),
+            fmt_f64(sim_rps, 1),
+        ]);
+        fleet_rows.push(format!(
+            "{{\"nodes\":{nodes},\"requests\":{requests},\"wall_ms\":{},\"wall_rps\":{}}}",
+            json_f64(wall * 1e3),
+            json_f64(if wall > 0.0 {
+                requests as f64 / wall
+            } else {
+                0.0
+            }),
+        ));
+    }
+    let artifact = format!(
+        "{{\"schema_version\":1,\"scale\":{},\"per_node_requests\":{per_node},\"fleets\":[{}]}}",
+        json_f64(scale()),
+        fleet_rows.join(","),
+    );
+    (t, vec![("fig23_engine_scale_wall".to_string(), artifact)])
 }
 
 /// Figure 24 (extension): the deterministic fault matrix — fault class

@@ -243,6 +243,18 @@ pub fn collect(emit_artifacts: bool) -> PerfReport {
         }
     }
     let s = Instant::now();
+    let (engine_scale, artifacts) = figures::fig23_engine_scale();
+    record(
+        "fig23_engine_scale",
+        s,
+        one("fig23_engine_scale", engine_scale),
+    );
+    if emit_artifacts {
+        for (stem, json) in &artifacts {
+            emit_json(json, stem);
+        }
+    }
+    let s = Instant::now();
     let (faults, artifacts) = figures::fig24_fault_matrix();
     record("fig24_fault_matrix", s, one("fig24_fault_matrix", faults));
     if emit_artifacts {

@@ -45,6 +45,7 @@ use coserve_metrics::faults::FaultLedger;
 use coserve_metrics::report::RunReport;
 use coserve_metrics::stats::Summary;
 use coserve_model::expert::ExpertId;
+use coserve_sim::events::Calendar;
 use coserve_sim::network::NodeId;
 use coserve_sim::time::{SimSpan, SimTime};
 use coserve_sim::transfer::TransferRoute;
@@ -354,6 +355,28 @@ impl ClusterSystem {
     }
 }
 
+/// Control-calendar lane for scheduled failure events. Failures are
+/// pushed before arrivals, so at an exact shared instant the failure
+/// fires first — the calendar's FIFO tie-break reproduces the historic
+/// "events at or before the next arrival apply first" rule bit for bit.
+const LANE_FAILURES: usize = 0;
+/// Control-calendar lane for job arrivals (non-decreasing by the
+/// [`RequestStream`] invariant, so every push is a lane append).
+const LANE_ARRIVALS: usize = 1;
+/// Number of control-calendar lanes.
+const CTRL_LANES: usize = 2;
+
+/// One entry in the runtime's control calendar: the tick loop is driven
+/// off the same event-calendar primitive as the per-node engines, so
+/// control ticks are calendar pops rather than a second clock.
+#[derive(Debug, Clone, Copy)]
+enum CtrlEv {
+    /// Stream job at this index reaches the front-end.
+    Arrive(usize),
+    /// A scheduled kill or revive fires.
+    Failure(FailureEvent),
+}
+
 /// The mutable state of one runtime run.
 struct Runtime<'a> {
     sys: &'a ClusterSystem,
@@ -455,6 +478,91 @@ impl<'a> Runtime<'a> {
     }
 
     fn run(&mut self, stream: &RequestStream) -> ClusterReport {
+        let jobs = stream.jobs();
+        // Failures first: at a shared instant their smaller sequence
+        // numbers pop ahead of the arrival, as the historic merge did.
+        let mut calendar: Calendar<CtrlEv> = Calendar::new(CTRL_LANES);
+        for &event in self.options.failures.events() {
+            calendar.push_lane(LANE_FAILURES, event.at, CtrlEv::Failure(event));
+        }
+        for (index, job) in jobs.iter().enumerate() {
+            calendar.push_lane(LANE_ARRIVALS, job.arrival, CtrlEv::Arrive(index));
+        }
+        let mut arrivals_left = jobs.len();
+        let mut tick_start = SimTime::ZERO;
+        let mut tick_index = 0u32;
+
+        loop {
+            // Exact skip-ahead over empty control ticks: nothing fires
+            // before the next tick boundary, an empty flush publishes
+            // no tick stat, and no drift re-plan is pending, so jump
+            // the clock arithmetically to the tick holding the next
+            // calendar entry instead of spinning through the gap one
+            // empty tick at a time.
+            if let Some(t) = self.options.tick {
+                if arrivals_left > 0 && !self.drift_replan_pending() {
+                    if let Some(next) = calendar.peek_time() {
+                        let gap = next.saturating_since(tick_start);
+                        if gap >= t {
+                            let whole = gap.nanos() / t.nanos();
+                            tick_start += SimSpan::from_nanos(whole * t.nanos());
+                            tick_index += whole as u32;
+                        }
+                    }
+                }
+            }
+            let tick_end = self.options.tick.map(|t| tick_start + t);
+            self.dispatcher.begin_tick();
+
+            loop {
+                let popped = match tick_end {
+                    Some(end) => calendar.pop_before(end),
+                    None => calendar.pop(),
+                };
+                let Some(scheduled) = popped else { break };
+                match scheduled.payload {
+                    CtrlEv::Arrive(index) => {
+                        arrivals_left -= 1;
+                        let job = &jobs[index];
+                        self.tick_routed += 1;
+                        for &e in &job.stages {
+                            self.observed[e.index()] += 1;
+                        }
+                        self.observed_total += job.stages.len() as u64;
+                        self.route(job.clone(), None);
+                    }
+                    CtrlEv::Failure(event) => self.apply_event(event),
+                }
+            }
+
+            let flush_end = tick_end.unwrap_or_else(|| stream.last_arrival());
+            self.flush_tick(tick_index, tick_start, flush_end, stream.name());
+            self.maybe_drift_replan(flush_end);
+            tick_index += 1;
+
+            if arrivals_left == 0 {
+                // Buffers are flushed; remaining events only mutate the
+                // plan/alive state and the failure ledger.
+                while let Some(scheduled) = calendar.pop() {
+                    match scheduled.payload {
+                        CtrlEv::Failure(event) => self.apply_event(event),
+                        CtrlEv::Arrive(_) => unreachable!("no arrivals left to pop"),
+                    }
+                }
+                break;
+            }
+            tick_start = tick_end.expect("arrivals remain only under finite ticks");
+        }
+
+        self.assemble(stream)
+    }
+
+    /// The pre-calendar control loop, kept verbatim as the equivalence
+    /// oracle: index-scanning merge of the job stream and the failure
+    /// schedule, advancing tick by tick with no skip-ahead. The
+    /// calendar-driven [`Runtime::run`] must match it bit for bit.
+    #[cfg(test)]
+    fn run_reference(&mut self, stream: &RequestStream) -> ClusterReport {
         let events = self.options.failures.events().to_vec();
         let jobs = stream.jobs();
         let (mut ji, mut ev) = (0usize, 0usize);
@@ -492,8 +600,6 @@ impl<'a> Runtime<'a> {
             tick_index += 1;
 
             if ji >= jobs.len() {
-                // Buffers are flushed; remaining events only mutate the
-                // plan/alive state and the failure ledger.
                 while ev < events.len() {
                     self.apply_event(events[ev]);
                     ev += 1;
@@ -786,17 +892,22 @@ impl<'a> Runtime<'a> {
         done_latest
     }
 
-    fn maybe_drift_replan(&mut self, now: SimTime) {
+    /// Whether the drift trigger currently holds: a pure predicate over
+    /// the observed mix and the plan's usage basis, independent of the
+    /// clock. Shared by [`Runtime::maybe_drift_replan`] and the empty-
+    /// tick skip-ahead guard (a pending re-plan must fire at its own
+    /// tick boundary, so the loop may not jump past one).
+    fn drift_replan_pending(&self) -> bool {
         let ReplacementPolicy::Drift { threshold } = self.options.replacement else {
-            return;
+            return false;
         };
         if self.observed_total < DRIFT_MIN_SAMPLES {
-            return;
+            return false;
         }
         let basis = self.plan.usage_basis();
         let basis_total: f64 = basis.iter().sum();
         if basis_total <= 0.0 {
-            return;
+            return false;
         }
         let total = self.observed_total as f64;
         let distance: f64 = 0.5
@@ -806,9 +917,14 @@ impl<'a> Runtime<'a> {
                 .zip(basis)
                 .map(|(&c, &b)| (c as f64 / total - b / basis_total).abs())
                 .sum::<f64>();
-        if distance <= threshold {
+        distance > threshold
+    }
+
+    fn maybe_drift_replan(&mut self, now: SimTime) {
+        if !self.drift_replan_pending() {
             return;
         }
+        let total = self.observed_total as f64;
         let observed: Vec<f64> = self.observed.iter().map(|&c| c as f64 / total).collect();
         let next = self
             .plan
@@ -1009,6 +1125,90 @@ mod tests {
                     .as_millis_f64()
                     / 2.0,
             )
+    }
+
+    /// Drives `options` through both the calendar-driven control loop
+    /// and the historic index-scanning reference loop, asserting the
+    /// reports and the recorded fleet traces are bit-identical.
+    fn assert_loops_match(
+        cluster: &ClusterSystem,
+        stream: &RequestStream,
+        options: &RuntimeOptions,
+    ) -> ClusterReport {
+        use coserve_trace::RingTracer;
+        let mut calendar_tracer = RingTracer::new();
+        let mut runtime = Runtime::new(cluster, options, &mut calendar_tracer);
+        let calendar = runtime.run(stream);
+        let mut reference_tracer = RingTracer::new();
+        let mut runtime = Runtime::new(cluster, options, &mut reference_tracer);
+        let reference = runtime.run_reference(stream);
+        assert_eq!(
+            calendar, reference,
+            "calendar loop must match the reference loop"
+        );
+        assert_eq!(calendar_tracer.drain(), reference_tracer.drain());
+        calendar
+    }
+
+    #[test]
+    fn calendar_loop_matches_reference_across_modes() {
+        let (cluster, stream) = fleet(4);
+        let at = mid(&stream);
+        let back = at + SimSpan::from_millis(40);
+        let cases = [
+            RuntimeOptions::default(),
+            RuntimeOptions::default().tick(SimSpan::from_millis(60)),
+            RuntimeOptions::default()
+                .tick(SimSpan::from_millis(35))
+                .failures(FailureSchedule::new().kill(1, at).revive(1, back))
+                .feedback(FeedbackMode::Corrected),
+            RuntimeOptions::default()
+                .tick(SimSpan::from_millis(50))
+                .failures(FailureSchedule::new().kill(0, at))
+                .replacement(ReplacementPolicy::Static),
+            RuntimeOptions::default()
+                .tick(SimSpan::from_millis(45))
+                .replacement(ReplacementPolicy::Drift { threshold: 0.05 }),
+        ];
+        for options in &cases {
+            assert_loops_match(&cluster, &stream, options);
+        }
+    }
+
+    #[test]
+    fn failure_at_exact_arrival_instant_fires_first() {
+        // The historic merge applied events `at <= arrival` before the
+        // arrival; the calendar reproduces that via the failure lane's
+        // smaller sequence numbers. Pin the tie explicitly.
+        let (cluster, stream) = fleet(4);
+        let tie = stream.jobs()[stream.jobs().len() / 2].arrival;
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(40))
+            .failures(FailureSchedule::new().kill(2, tie));
+        let report = assert_loops_match(&cluster, &stream, &options);
+        assert_eq!(report.dynamics.failures[0].failed_at, tie);
+    }
+
+    #[test]
+    fn empty_tick_skip_ahead_is_exact() {
+        // A tiny tick over a stream with a far-future revive forces
+        // long empty-tick gaps; the arithmetic skip-ahead must land on
+        // identical tick indices and boundaries as the reference loop
+        // that grinds through every empty tick.
+        let (cluster, stream) = fleet(3);
+        let last = stream.last_arrival();
+        let options = RuntimeOptions::default()
+            .tick(SimSpan::from_millis(1))
+            .failures(
+                FailureSchedule::new()
+                    .kill(1, mid(&stream))
+                    .revive(1, last + SimSpan::from_millis(500)),
+            );
+        let report = assert_loops_match(&cluster, &stream, &options);
+        assert_eq!(
+            report.dynamics.failures[0].revived_at,
+            Some(last + SimSpan::from_millis(500))
+        );
     }
 
     #[test]
@@ -1381,6 +1581,61 @@ mod tests {
             p95(&report) > p95(&plain),
             "5x dilation must raise the worst tick p95"
         );
+    }
+
+    mod proptests {
+        use super::*;
+        use coserve_sim::rng::SimRng;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            /// Random tick spans, failure schedules, feedback modes and
+            /// re-placement policies: the calendar-driven control loop
+            /// and the index-scanning reference loop must produce
+            /// bit-identical cluster reports and fleet traces.
+            #[test]
+            fn calendar_loop_matches_reference_loop(
+                seed in 0u64..1_000,
+                tick_ms in 1u64..160,
+                failures in 0usize..4,
+            ) {
+                let nodes = 3 + (seed % 2) as usize;
+                let (cluster, stream) = fleet(nodes);
+                let horizon = stream
+                    .last_arrival()
+                    .saturating_since(SimTime::ZERO)
+                    .nanos();
+                let mut rng = SimRng::seed_from(seed ^ 0x0ca1_e4da);
+                let mut schedule = FailureSchedule::new();
+                for _ in 0..failures {
+                    let node = rng.next_below(nodes as u64) as usize;
+                    // Up to 1.5x the stream horizon, so some events
+                    // land beyond the last arrival (the drain path).
+                    let at = SimTime::ZERO
+                        + SimSpan::from_nanos(rng.next_below(horizon + horizon / 2));
+                    schedule = match rng.next_below(2) {
+                        0 => schedule.kill(node, at),
+                        _ => schedule.revive(node, at),
+                    };
+                }
+                let feedback = match rng.next_below(2) {
+                    0 => FeedbackMode::OpenLoop,
+                    _ => FeedbackMode::Corrected,
+                };
+                let replacement = match rng.next_below(3) {
+                    0 => ReplacementPolicy::Static,
+                    1 => ReplacementPolicy::OnFailure,
+                    _ => ReplacementPolicy::Drift { threshold: 0.1 },
+                };
+                let options = RuntimeOptions::default()
+                    .tick(SimSpan::from_millis(tick_ms))
+                    .failures(schedule)
+                    .feedback(feedback)
+                    .replacement(replacement);
+                assert_loops_match(&cluster, &stream, &options);
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use coserve_metrics::report::{ChannelReport, ExecutorReport, RunReport, RunSnaps
 use coserve_model::coe::CoeModel;
 use coserve_model::expert::ExpertId;
 use coserve_sim::device::{ArchId, DeviceProfile, ProcessorKind};
-use coserve_sim::events::EventQueue;
+use coserve_sim::events::Calendar;
 use coserve_sim::memory::{Bytes, MemoryTier};
 use coserve_sim::resource::{FifoResource, PooledResource};
 use coserve_sim::time::{SimSpan, SimTime};
@@ -333,6 +333,62 @@ enum Ev {
     Leg { exec: usize },
 }
 
+/// Calendar lanes, one per monotone event source (see
+/// [`coserve_sim::events::Calendar`]): events pushed "at now" trail the
+/// non-decreasing clock; submissions usually arrive in time order; the
+/// scheduler's fixed-cost reservations end in order; each FIFO channel's
+/// reservations end in order. Sources without the guarantee (the pooled
+/// host-work channel, out-of-order submits) fall back to the calendar's
+/// heap automatically — lanes are a fast path, never a correctness
+/// assumption.
+mod lane {
+    /// Events scheduled at the current simulation time.
+    pub const NOW: usize = 0;
+    /// Job submissions (arrivals).
+    pub const ARRIVE: usize = 1;
+    /// Scheduler-decision completions.
+    pub const SCHED: usize = 2;
+    /// SSD-read channel reservation ends.
+    pub const SSD: usize = 3;
+    /// DMA channel reservation ends.
+    pub const DMA: usize = 4;
+    /// Host-work pool reservation ends (often non-monotone).
+    pub const HOST: usize = 5;
+    /// GPU compute channel reservation ends.
+    pub const GPU: usize = 6;
+    /// CPU compute channel reservation ends.
+    pub const CPU: usize = 7;
+    /// Total lane count.
+    pub const COUNT: usize = 8;
+}
+
+/// Dense per-(executor, architecture) prediction constants, precomputed
+/// at session construction so the assignment hot path never walks the
+/// perf matrix's maps or re-rounds floats:
+///
+/// - `span_k`/`span_kb` are `SimSpan::from_millis_f64(k)` and
+///   `from_millis_f64(k + b)` — exactly the two values
+///   [`EngineSession::predict_delta`] historically computed per probe
+///   (same float expression, same rounding, bit-identical).
+/// - `batch_cap` folds the workspace-capped executable batch size,
+///   which is constant per session (workspace and batching flag are
+///   fixed at construction).
+#[derive(Debug, Clone, Copy)]
+struct PerfCacheEntry {
+    k_ms: f64,
+    b_ms: f64,
+    span_k: SimSpan,
+    span_kb: SimSpan,
+    batch_cap: u32,
+    load_from_ssd: SimSpan,
+    load_from_cpu: SimSpan,
+    /// The expert's checkpoint size (per arch, shared by its experts).
+    weights: Bytes,
+    /// Ground-truth kernel latency model for this (arch, processor)
+    /// pair — saves the device's kernel-map lookup per started batch.
+    kernel: coserve_sim::compute::LatencyModel,
+}
+
 /// Which serially-reusable resource a leg occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LegChannel {
@@ -404,11 +460,40 @@ struct ExecState {
     switch_dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct JobState {
-    failed: bool,
-    done: bool,
-    dropped: bool,
+/// Per-job terminal flags packed into one byte — the jobs table is a
+/// dense flat column (struct-of-arrays), not a vec of bool triples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct JobState(u8);
+
+impl JobState {
+    const FAILED: u8 = 1;
+    const DONE: u8 = 1 << 1;
+    const DROPPED: u8 = 1 << 2;
+
+    fn failed(self) -> bool {
+        self.0 & Self::FAILED != 0
+    }
+
+    fn done(self) -> bool {
+        self.0 & Self::DONE != 0
+    }
+
+    /// No terminal flag set: the job is still in flight.
+    fn is_open(self) -> bool {
+        self.0 == 0
+    }
+
+    fn set_failed(&mut self) {
+        self.0 |= Self::FAILED;
+    }
+
+    fn set_done(&mut self) {
+        self.0 |= Self::DONE;
+    }
+
+    fn set_dropped(&mut self) {
+        self.0 |= Self::DROPPED;
+    }
 }
 
 /// Error rejecting a [`EngineSession::submit`] call.
@@ -498,7 +583,14 @@ pub struct EngineSession<'a> {
     submitted_jobs: Vec<SubmittedJob>,
     stage_arena: Vec<ExpertId>,
     completions: Vec<Completion>,
-    events: EventQueue<Ev>,
+    events: Calendar<Ev>,
+    /// Dense arch slot per expert (`ExpertId::index` → position in the
+    /// model's sorted arch-id list).
+    arch_slot: Vec<u32>,
+    /// Per-(executor, arch-slot) prediction constants, row-major by
+    /// executor: `perf_cache[exec * num_arch_slots + slot]`.
+    perf_cache: Vec<PerfCacheEntry>,
+    num_arch_slots: usize,
     scheduler: PooledResource,
     gpu_compute: FifoResource,
     cpu_compute: FifoResource,
@@ -517,7 +609,10 @@ pub struct EngineSession<'a> {
     last_done: SimTime,
     switch_events: Vec<SwitchEvent>,
     job_latencies: Vec<SimSpan>,
-    stage_latencies: BTreeMap<u8, Vec<SimSpan>>,
+    /// Per-stage latency ledgers, indexed by stage number (dense; a
+    /// stage's vec is empty until its first completion). Converted to
+    /// the report's sparse map in [`EngineSession::into_report`].
+    stage_latencies: Vec<Vec<SimSpan>>,
     sched_latencies: Vec<SimSpan>,
     /// Assignment scratch: per-executor predicted totals, reused across
     /// requests.
@@ -526,15 +621,22 @@ pub struct EngineSession<'a> {
     /// come back here when the batch finishes, so steady state pops
     /// allocate nothing.
     batch_pool: Vec<Vec<PendingRequest>>,
+    /// Recycled leg deques (free-list twin of `batch_pool`): a batch's
+    /// drained leg buffer returns here when it completes.
+    legs_pool: Vec<std::collections::VecDeque<Leg>>,
     /// Reusable victim-selection buffers.
     evict_scratch: EvictionScratch,
     /// Reusable protected-expert set for eviction calls.
     protected_scratch: BTreeSet<ExpertId>,
     /// Structured-event sink; [`NoopTracer`] unless a collector was
     /// installed with [`EngineSession::set_tracer`]. Every emission
-    /// site is guarded by `enabled()`, so the disabled path never
-    /// constructs an event and stays bit-identical.
+    /// site is guarded by the cached `tracing` flag, so the disabled
+    /// path never constructs an event and stays bit-identical.
     tracer: Box<dyn Tracer>,
+    /// Cached [`Tracer::enabled`] of the installed tracer (the trait
+    /// requires it to be stable per instance), so hot-path emission
+    /// guards are a field read, not a virtual call.
+    tracing: bool,
     /// Node id stamped on emitted events (`0` outside cluster runs).
     trace_node: u32,
     /// Deterministic fault schedule for the expert-load path; `None`
@@ -590,13 +692,64 @@ impl<'a> EngineSession<'a> {
         } else {
             None
         };
+        // Dense prediction tables: arch ids are sparse, so map each to
+        // its position in the model's sorted arch list and precompute
+        // every per-(executor, arch) constant the hot path consults.
+        let arch_ids: Vec<ArchId> = engine.model.archs().map(|a| a.id()).collect();
+        let arch_slot: Vec<u32> = (0..engine.model.num_experts())
+            .map(|i| {
+                let arch = engine.model.expert(ExpertId(i as u32)).arch();
+                arch_ids
+                    .binary_search(&arch)
+                    .expect("validated models declare every expert's arch") as u32
+            })
+            .collect();
+        let perf_cache: Vec<PerfCacheEntry> = execs
+            .iter()
+            .flat_map(|exec| {
+                let perf = engine.perf;
+                let batching = engine.config.batching;
+                let processor = exec.processor;
+                let workspace = exec.workspace;
+                let device = engine.device;
+                let model = engine.model;
+                arch_ids.iter().map(move |&arch| {
+                    let entry = perf.expect_entry(arch, processor);
+                    PerfCacheEntry {
+                        k_ms: entry.k_ms,
+                        b_ms: entry.b_ms,
+                        span_k: SimSpan::from_millis_f64(entry.k_ms),
+                        span_kb: SimSpan::from_millis_f64(entry.k_ms + entry.b_ms),
+                        batch_cap: if batching {
+                            entry.executable_batch(workspace)
+                        } else {
+                            1
+                        },
+                        load_from_ssd: entry.load_from_ssd,
+                        load_from_cpu: entry.load_from_cpu,
+                        weights: model
+                            .archs()
+                            .find(|a| a.id() == arch)
+                            .expect("arch ids come from the model")
+                            .weights(),
+                        kernel: device
+                            .kernel(arch, processor)
+                            .expect("validated at engine construction")
+                            .latency,
+                    }
+                })
+            })
+            .collect();
         let mut run = EngineSession {
             engine: engine.clone(),
             label: label.into(),
             submitted_jobs: Vec::new(),
             stage_arena: Vec::new(),
             completions: Vec::new(),
-            events: EventQueue::new(),
+            events: Calendar::new(lane::COUNT),
+            arch_slot,
+            perf_cache,
+            num_arch_slots: arch_ids.len(),
             scheduler: PooledResource::new("scheduler", engine.config.scheduler_slots),
             gpu_compute: FifoResource::new("gpu-compute"),
             cpu_compute: FifoResource::new("cpu-compute"),
@@ -615,13 +768,15 @@ impl<'a> EngineSession<'a> {
             last_done: SimTime::ZERO,
             switch_events: Vec::new(),
             job_latencies: Vec::new(),
-            stage_latencies: BTreeMap::new(),
+            stage_latencies: Vec::new(),
             sched_latencies: Vec::new(),
             totals_scratch: Vec::new(),
             batch_pool: Vec::new(),
+            legs_pool: Vec::new(),
             evict_scratch: EvictionScratch::new(),
             protected_scratch: BTreeSet::new(),
             tracer: Box::new(NoopTracer),
+            tracing: false,
             trace_node: 0,
             faults: None,
             retry: RetryPolicy::none(),
@@ -715,8 +870,9 @@ impl<'a> EngineSession<'a> {
             num_stages: stages.len() as u8,
         });
         self.jobs.push(JobState::default());
-        self.events.push(arrival, Ev::Arrive { job, stage: 0 });
-        if self.tracer.enabled() {
+        self.events
+            .push_lane(lane::ARRIVE, arrival, Ev::Arrive { job, stage: 0 });
+        if self.tracing {
             self.emit(
                 arrival,
                 TraceKind::Arrived {
@@ -728,18 +884,21 @@ impl<'a> EngineSession<'a> {
         Ok(job)
     }
 
+    fn dispatch(&mut self, at: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrive { job, stage } => self.on_arrive(job, stage, at),
+            Ev::Sched { job, stage } => self.on_sched(job, stage, at),
+            Ev::Leg { exec } => self.on_leg(exec, at),
+        }
+    }
+
     /// Processes the next pending event. Returns `false` when the
     /// calendar is empty (the session is idle).
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.events.pop() else {
             return false;
         };
-        let now = ev.at;
-        match ev.payload {
-            Ev::Arrive { job, stage } => self.on_arrive(job, stage, now),
-            Ev::Sched { job, stage } => self.on_sched(job, stage, now),
-            Ev::Leg { exec } => self.on_leg(exec, now),
-        }
+        self.dispatch(ev.at, ev.payload);
         true
     }
 
@@ -751,8 +910,8 @@ impl<'a> EngineSession<'a> {
     /// up front.
     pub fn pump_until(&mut self, limit: SimTime) -> usize {
         let mut n = 0;
-        while self.events.peek_time().is_some_and(|t| t < limit) {
-            self.step();
+        while let Some(ev) = self.events.pop_before(limit) {
+            self.dispatch(ev.at, ev.payload);
             n += 1;
         }
         n
@@ -768,6 +927,20 @@ impl<'a> EngineSession<'a> {
         n
     }
 
+    /// Swaps the session's calendar for a reference (single-heap) one —
+    /// behaviourally a plain [`coserve_sim::events::EventQueue`]. The
+    /// equivalence tests run whole sessions both ways and require
+    /// bit-identical reports and traces. Must be called before the
+    /// first submission.
+    #[doc(hidden)]
+    pub fn use_reference_calendar(&mut self) {
+        assert!(
+            self.events.is_empty() && self.submitted_jobs.is_empty(),
+            "switch calendars only on a fresh session"
+        );
+        self.events = Calendar::reference(lane::COUNT);
+    }
+
     /// Takes every terminal job record produced since the last drain,
     /// in completion order.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
@@ -780,7 +953,8 @@ impl<'a> EngineSession<'a> {
     /// from a known state. Returns the previous tracer.
     pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) -> Box<dyn Tracer> {
         let old = std::mem::replace(&mut self.tracer, tracer);
-        if self.tracer.enabled() {
+        self.tracing = self.tracer.enabled();
+        if self.tracing {
             let now = self.events.now();
             let resident: Vec<(u32, ExpertId)> = self
                 .execs
@@ -822,7 +996,7 @@ impl<'a> EngineSession<'a> {
         &mut *self.tracer
     }
 
-    /// Records one event; call sites guard with `tracer.enabled()` so
+    /// Records one event; call sites guard with the cached `tracing` flag so
     /// the disabled path never constructs a [`TraceEvent`].
     fn emit(&mut self, at: SimTime, kind: TraceKind) {
         self.tracer.record(TraceEvent {
@@ -848,6 +1022,7 @@ impl<'a> EngineSession<'a> {
             stages_executed: self.stages_executed,
             makespan: self.last_done.saturating_since(SimTime::ZERO),
             pending_events: self.events.len(),
+            completions_pending: self.completions.len(),
             expert_switches: self.switch_events.len() as u64,
             switch_time_total: self.execs.iter().map(|e| e.switch_time).sum(),
             exec_time_total: self.execs.iter().map(|e| e.exec_time).sum(),
@@ -864,8 +1039,9 @@ impl<'a> EngineSession<'a> {
         // delays the enqueue (res.end) but is not part of this metric.
         self.sched_latencies
             .push(res.end.saturating_since(res.start));
-        self.events.push(res.end, Ev::Sched { job, stage });
-        if self.tracer.enabled() {
+        self.events
+            .push_lane(lane::SCHED, res.end, Ev::Sched { job, stage });
+        if self.tracing {
             self.emit(
                 res.start,
                 TraceKind::Scheduled {
@@ -887,8 +1063,8 @@ impl<'a> EngineSession<'a> {
         if let Some(admission) = self.engine.config.admission {
             if self.execs[exec_idx].queue.len() >= admission.queue_capacity {
                 let state = &mut self.jobs[job as usize];
-                if !state.dropped && !state.done && !state.failed {
-                    state.dropped = true;
+                if state.is_open() {
+                    state.set_dropped();
                     self.dropped += 1;
                     self.completions.push(Completion {
                         job,
@@ -896,7 +1072,7 @@ impl<'a> EngineSession<'a> {
                         finished_at: now,
                         latency: now.saturating_since(meta.arrival),
                     });
-                    if self.tracer.enabled() {
+                    if self.tracing {
                         self.emit(
                             now,
                             TraceKind::Dropped {
@@ -927,7 +1103,7 @@ impl<'a> EngineSession<'a> {
             (ArrangePolicy::Fcfs, _) => self.execs[exec_idx].queue.push_back(req),
         };
         self.apply_insert_delta(exec_idx, delta);
-        if self.tracer.enabled() {
+        if self.tracing {
             self.emit(
                 now,
                 TraceKind::Assigned {
@@ -970,7 +1146,7 @@ impl<'a> EngineSession<'a> {
                 source: sw.source,
                 duration: now.saturating_since(sw.started),
             });
-            if self.tracer.enabled() {
+            if self.tracing {
                 self.emit(
                     sw.started,
                     TraceKind::Switch {
@@ -990,15 +1166,19 @@ impl<'a> EngineSession<'a> {
             .iter()
             .map(|l| l.span)
             .sum();
-        let res = match leg.channel {
-            LegChannel::Ssd => self.ssd.reserve(now, leg.span),
-            LegChannel::Dma => self.dma.reserve(now, leg.span),
+        // Each shared channel hands out reservations whose ends are
+        // (mostly) non-decreasing, so every channel gets its own
+        // calendar lane; the pooled host-work channel trips the lane's
+        // monotonicity check and heaps when it must.
+        let (res, ch_lane) = match leg.channel {
+            LegChannel::Ssd => (self.ssd.reserve(now, leg.span), lane::SSD),
+            LegChannel::Dma => (self.dma.reserve(now, leg.span), lane::DMA),
             // Framework work runs on the host-CPU pool: per-executor,
             // but only `host_work_slots` run concurrently device-wide.
-            LegChannel::Local => self.host_work.reserve(now, leg.span),
+            LegChannel::Local => (self.host_work.reserve(now, leg.span), lane::HOST),
             LegChannel::Compute => match processor {
-                ProcessorKind::Gpu => self.gpu_compute.reserve(now, leg.span),
-                ProcessorKind::Cpu => self.cpu_compute.reserve(now, leg.span),
+                ProcessorKind::Gpu => (self.gpu_compute.reserve(now, leg.span), lane::GPU),
+                ProcessorKind::Cpu => (self.cpu_compute.reserve(now, leg.span), lane::CPU),
             },
         };
         if let Some((expert, items)) = compute_batch {
@@ -1007,7 +1187,7 @@ impl<'a> EngineSession<'a> {
                 // attribution charges that separately from execution.
                 inf.exec_start = res.start;
             }
-            if self.tracer.enabled() {
+            if self.tracing {
                 if let Some(expert) = expert {
                     self.emit(
                         res.start,
@@ -1022,7 +1202,8 @@ impl<'a> EngineSession<'a> {
             }
         }
         self.execs[exec_idx].busy_until = res.end + remaining;
-        self.events.push(res.end, Ev::Leg { exec: exec_idx });
+        self.events
+            .push_lane(ch_lane, res.end, Ev::Leg { exec: exec_idx });
     }
 
     fn finish_batch(&mut self, exec_idx: usize, now: SimTime) {
@@ -1031,16 +1212,18 @@ impl<'a> EngineSession<'a> {
             .take()
             .expect("finish without in-flight batch");
         let mut batch = inf.batch;
+        let mut legs = inf.legs;
         self.execs[exec_idx].finished_at = now;
         self.execs[exec_idx].busy_until = now;
         self.stages_executed += batch.len();
         self.last_done = self.last_done.max(now);
-        let tracing = self.tracer.enabled();
+        let tracing = self.tracing;
         for req in batch.drain(..) {
-            self.stage_latencies
-                .entry(req.stage)
-                .or_default()
-                .push(now.saturating_since(req.ready_at));
+            let stage_slot = usize::from(req.stage);
+            if self.stage_latencies.len() <= stage_slot {
+                self.stage_latencies.resize_with(stage_slot + 1, Vec::new);
+            }
+            self.stage_latencies[stage_slot].push(now.saturating_since(req.ready_at));
             if tracing {
                 // The four components partition the stage sojourn:
                 // queue wait until the batch was popped, then the
@@ -1062,7 +1245,8 @@ impl<'a> EngineSession<'a> {
             let meta = self.submitted_jobs[req.job.index()];
             let next_stage = req.stage + 1;
             if next_stage < meta.num_stages {
-                self.events.push(
+                self.events.push_lane(
+                    lane::NOW,
                     now,
                     Ev::Arrive {
                         job: req.job.0,
@@ -1071,8 +1255,8 @@ impl<'a> EngineSession<'a> {
                 );
             } else {
                 let state = &mut self.jobs[req.job.index()];
-                if !state.done {
-                    state.done = true;
+                if !state.done() {
+                    state.set_done();
                     self.completed += 1;
                     let latency = now.saturating_since(meta.arrival);
                     self.job_latencies.push(latency);
@@ -1095,6 +1279,8 @@ impl<'a> EngineSession<'a> {
             }
         }
         self.recycle_batch(batch);
+        legs.clear();
+        self.legs_pool.push(legs);
         self.try_start(exec_idx, now);
     }
 
@@ -1109,13 +1295,16 @@ impl<'a> EngineSession<'a> {
     /// the profiled maximum batch and what the executor's workspace
     /// memory accommodates.
     fn executable_batch(&self, exec_idx: usize, expert: ExpertId) -> u32 {
-        if !self.engine.config.batching {
-            return 1;
-        }
-        let arch = self.engine.model.expert(expert).arch();
-        let exec = &self.execs[exec_idx];
-        let entry = self.engine.perf.expect_entry(arch, exec.processor);
-        entry.executable_batch(exec.workspace)
+        self.perf_of(exec_idx, expert).batch_cap
+    }
+
+    /// Dense per-(executor, arch) performance constants for `expert` —
+    /// replaces the per-probe `expect_entry` map lookups on the hot
+    /// prediction path.
+    #[inline]
+    fn perf_of(&self, exec_idx: usize, expert: ExpertId) -> &PerfCacheEntry {
+        let slot = self.arch_slot[expert.index()] as usize;
+        &self.perf_cache[exec_idx * self.num_arch_slots + slot]
     }
 
     /// Predicted load latency for `expert` on executor `exec_idx` if it
@@ -1125,8 +1314,7 @@ impl<'a> EngineSession<'a> {
         if exec.pool.contains(expert) {
             return SimSpan::ZERO;
         }
-        let arch = self.engine.model.expert(expert).arch();
-        let entry = self.engine.perf.expect_entry(arch, exec.processor);
+        let entry = self.perf_of(exec_idx, expert);
         let cached = self.cache.as_ref().is_some_and(|c| c.contains(expert));
         match (exec.processor, cached) {
             (ProcessorKind::Gpu, true) => entry.load_from_cpu,
@@ -1145,13 +1333,8 @@ impl<'a> EngineSession<'a> {
         if count == 0 {
             return SimSpan::ZERO;
         }
-        let arch = self.engine.model.expert(expert).arch();
-        let entry = self
-            .engine
-            .perf
-            .expect_entry(arch, self.execs[exec_idx].processor);
-        let max_batch = self.executable_batch(exec_idx, expert).max(1);
-        let batches = count.div_ceil(max_batch);
+        let entry = self.perf_of(exec_idx, expert);
+        let batches = count.div_ceil(entry.batch_cap.max(1));
         SimSpan::from_millis_f64(entry.k_ms * f64::from(count) + entry.b_ms * f64::from(batches))
     }
 
@@ -1269,24 +1452,22 @@ impl<'a> EngineSession<'a> {
     /// with room, `K + B` when it opens a new batch, plus the switch
     /// latency when the expert is neither resident nor already queued.
     fn predict_delta(&self, exec_idx: usize, expert: ExpertId, _now: SimTime) -> SimSpan {
-        let arch = self.engine.model.expert(expert).arch();
-        let entry = self
-            .engine
-            .perf
-            .expect_entry(arch, self.execs[exec_idx].processor);
-        let max_batch = self.executable_batch(exec_idx, expert).max(1);
-        let queue = &self.execs[exec_idx].queue;
-        let last_run_len = queue.last_run_len(expert);
-        let joins_open_batch = last_run_len > 0 && last_run_len % max_batch != 0;
-        let mut ms = entry.k_ms;
-        if !joins_open_batch {
-            ms += entry.b_ms;
+        let entry = self.perf_of(exec_idx, expert);
+        // `span_k`/`span_kb` were precomputed with the same
+        // `from_millis_f64(k)` / `from_millis_f64(k + b)` float
+        // expressions the per-probe path used, so the pick is
+        // bit-identical to recomputing here. Membership and last-run
+        // length come from one queue-index probe.
+        match self.execs[exec_idx].queue.queued_last_run_len(expert) {
+            Some(last_run_len) => {
+                if last_run_len % entry.batch_cap.max(1) != 0 {
+                    entry.span_k
+                } else {
+                    entry.span_kb
+                }
+            }
+            None => entry.span_kb + self.predicted_switch(exec_idx, expert),
         }
-        let mut delta = SimSpan::from_millis_f64(ms);
-        if !queue.contains_expert(expert) {
-            delta += self.predicted_switch(exec_idx, expert);
-        }
-        delta
     }
 
     /// Chooses the executor for a request (§4.2's request assigning).
@@ -1377,11 +1558,11 @@ impl<'a> EngineSession<'a> {
         now: SimTime,
     ) -> bool {
         let model = self.engine.model;
-        let weights = model.weight_bytes(expert);
-        let arch = model.expert(expert).arch();
+        let entry = *self.perf_of(exec_idx, expert);
+        let weights = entry.weights;
         let processor = self.execs[exec_idx].processor;
 
-        let mut legs: std::collections::VecDeque<Leg> = std::collections::VecDeque::new();
+        let mut legs: std::collections::VecDeque<Leg> = self.legs_pool.pop().unwrap_or_default();
         let mut switch_busy = SimSpan::ZERO;
         let push_leg = |legs: &mut std::collections::VecDeque<Leg>,
                         busy: &mut SimSpan,
@@ -1441,7 +1622,7 @@ impl<'a> EngineSession<'a> {
                                 read_est.nanos().saturating_mul(u64::from(spent) + 1),
                             );
                             self.fault_ledger.backoff_time += retry.total_backoff(spent);
-                            if self.tracer.enabled() {
+                            if self.tracing {
                                 self.emit(
                                     now,
                                     TraceKind::LoadFault {
@@ -1491,7 +1672,7 @@ impl<'a> EngineSession<'a> {
                     .pool
                     .remove(victim)
                     .expect("victims are resident");
-                if self.tracer.enabled() {
+                if self.tracing {
                     self.emit(
                         now,
                         TraceKind::Evicted {
@@ -1548,7 +1729,7 @@ impl<'a> EngineSession<'a> {
             if fault_retries > 0 {
                 self.fault_ledger.retries += u64::from(fault_retries);
                 self.fault_ledger.load_recovered += 1;
-                if self.tracer.enabled() {
+                if self.tracing {
                     self.emit(
                         now,
                         TraceKind::LoadFault {
@@ -1575,7 +1756,7 @@ impl<'a> EngineSession<'a> {
                     self.fault_ledger.slow_loads += 1;
                     self.fault_ledger.note_fault(now);
                     self.fault_ledger.degraded_time += extra;
-                    if self.tracer.enabled() {
+                    if self.tracing {
                         self.emit(
                             now,
                             TraceKind::SlowLoad {
@@ -1622,7 +1803,7 @@ impl<'a> EngineSession<'a> {
                 source,
                 started: now,
             });
-            if self.tracer.enabled() {
+            if self.tracing {
                 self.emit(
                     now,
                     TraceKind::Loaded {
@@ -1636,12 +1817,7 @@ impl<'a> EngineSession<'a> {
 
         // Execute on the processor's compute channel (ground truth
         // latency, not the profiler's estimate).
-        let kernel = self
-            .engine
-            .device
-            .kernel(arch, processor)
-            .expect("validated at engine construction");
-        let exec_span = kernel.latency.latency(batch.len() as u32);
+        let exec_span = entry.kernel.latency(batch.len() as u32);
         let mut exec_busy = SimSpan::ZERO;
         push_leg(&mut legs, &mut exec_busy, LegChannel::Compute, exec_span);
         let total = switch_busy + exec_busy;
@@ -1660,15 +1836,16 @@ impl<'a> EngineSession<'a> {
             switch_done: now,
             exec_start: now,
         });
-        self.events.push(now, Ev::Leg { exec: exec_idx });
+        self.events
+            .push_lane(lane::NOW, now, Ev::Leg { exec: exec_idx });
         true
     }
 
     fn fail_batch(&mut self, batch: &[PendingRequest], now: SimTime) {
         for req in batch {
             let state = &mut self.jobs[req.job.index()];
-            if !state.failed && !state.done {
-                state.failed = true;
+            if !state.failed() && !state.done() {
+                state.set_failed();
                 self.failed += 1;
                 let arrival = self.submitted_jobs[req.job.index()].arrival;
                 self.completions.push(Completion {
@@ -1677,7 +1854,7 @@ impl<'a> EngineSession<'a> {
                     finished_at: now,
                     latency: now.saturating_since(arrival),
                 });
-                if self.tracer.enabled() {
+                if self.tracing {
                     self.emit(
                         now,
                         TraceKind::Failed {
@@ -1711,14 +1888,14 @@ impl<'a> EngineSession<'a> {
                 .map(|(e, _)| e)
                 .expect("cache is non-empty while it does not fit");
             cache.remove(lru);
-            if self.tracer.enabled() {
+            if self.tracing {
                 cache_evicted.push(lru);
             }
         }
         cache
             .insert(expert, bytes, now)
             .expect("fits after eviction");
-        if self.tracer.enabled() {
+        if self.tracing {
             for victim in cache_evicted {
                 self.emit(now, TraceKind::CacheEvicted { expert: victim });
             }
@@ -1770,6 +1947,17 @@ impl<'a> EngineSession<'a> {
         }
         let switch_time_total = self.execs.iter().map(|e| e.switch_time).sum();
         let exec_time_total = self.execs.iter().map(|e| e.exec_time).sum();
+        // The report keeps the sparse stage→latencies map shape; the
+        // session's dense per-stage table converts back losslessly
+        // (stages are only ever reached in order, so observed stages
+        // are exactly the non-empty slots).
+        let stage_latencies: BTreeMap<u8, Vec<SimSpan>> = self
+            .stage_latencies
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(stage, v)| (stage as u8, v))
+            .collect();
         RunReport {
             system: self.engine.config.name.clone(),
             device: self.engine.device.name().to_string(),
@@ -1785,7 +1973,7 @@ impl<'a> EngineSession<'a> {
             switch_time_total,
             exec_time_total,
             job_latencies: self.job_latencies,
-            stage_latencies: self.stage_latencies,
+            stage_latencies,
             sched_latencies: self.sched_latencies,
             executors,
             channels,
@@ -1869,6 +2057,73 @@ mod proptests {
             prop_assert_eq!(report, again);
         }
 
+        /// Calendar equivalence: the multi-lane calendar and the
+        /// single-heap reference calendar drive whole sessions to
+        /// bit-identical reports, completions and traces — across
+        /// random workloads, executor mixes, fault plans and arbitrary
+        /// `pump_until` chunkings.
+        #[test]
+        fn lane_calendar_matches_reference_calendar(
+            seed in 0u64..1_000,
+            gpus in 1usize..3,
+            grouped in any::<bool>(),
+            faulty in any::<bool>(),
+            chunks in proptest::collection::vec(1u64..300, 0..10),
+        ) {
+            let board = BoardSpec::synthetic("prop", 12, 2, 1.2, 20.0, 0.5);
+            let model = board.build_model().expect("valid board");
+            let device = coserve_model::devices::numa_rtx3080ti();
+            let perf = Profiler::with_defaults().profile(&device, &model, UsageSource::Declared);
+            let stream = RequestStream::generate(
+                "prop", &board, &model, 40,
+                SimSpan::from_millis(4), StreamOrder::Iid, seed,
+            );
+            let config = SystemConfig::builder("prop")
+                .gpu_executors(gpus)
+                .arrange(if grouped { ArrangePolicy::Grouped } else { ArrangePolicy::Fcfs })
+                .build();
+            let engine = Engine::new(&device, &model, &perf, &config).expect("valid");
+
+            let drive = |reference: bool| {
+                let mut session = engine.session(stream.name());
+                if reference {
+                    session.use_reference_calendar();
+                }
+                session.set_tracer(Box::new(coserve_trace::RingTracer::new()));
+                if faulty {
+                    let plan = coserve_faults::FaultPlan::seeded(seed ^ 0xfa17)
+                        .with_expert_load(
+                            0.1, 0.1, 2.0, coserve_faults::FaultWindow::ALWAYS,
+                        );
+                    session.set_faults(
+                        plan,
+                        coserve_faults::RetryPolicy::retries(2, SimSpan::from_millis(1)),
+                    );
+                }
+                for job in stream.jobs() {
+                    session.submit(job.arrival, &job.stages).expect("stream fits model");
+                }
+                let mut watermark = SimTime::ZERO;
+                for &delta_ms in &chunks {
+                    watermark += SimSpan::from_millis(delta_ms);
+                    session.pump_until(watermark);
+                }
+                session.pump();
+                let completions = session.drain_completions();
+                let events = session.tracer_mut().drain();
+                (session.into_report(), completions, events)
+            };
+            let (lane_report, lane_completions, lane_events) = drive(false);
+            let (ref_report, ref_completions, ref_events) = drive(true);
+            prop_assert_eq!(lane_report, ref_report);
+            prop_assert_eq!(lane_completions, ref_completions);
+            prop_assert_eq!(&lane_events, &ref_events);
+            prop_assert_eq!(
+                coserve_trace::chrome_trace_json(&lane_events),
+                coserve_trace::chrome_trace_json(&ref_events)
+            );
+        }
+
         /// Observability: live snapshots taken between arbitrary
         /// `pump_until` chunks are monotone (ledgers only grow), and
         /// the final snapshot is exactly the consumed report's.
@@ -1908,13 +2163,22 @@ mod proptests {
                 prop_assert!(cur.expert_switches >= prev.expert_switches);
                 prop_assert!(cur.switch_time_total >= prev.switch_time_total);
                 prop_assert!(cur.exec_time_total >= prev.exec_time_total);
+                // Nothing drains in this loop, so the backlog is the
+                // full terminal ledger and only grows.
+                prop_assert_eq!(
+                    cur.completions_pending,
+                    cur.completed + cur.failed + cur.dropped
+                );
+                prop_assert!(cur.completions_pending >= prev.completions_pending);
                 let lat_count = |s: &RunSnapshot| s.latency.map_or(0, |l| l.count);
                 prop_assert!(lat_count(&cur) >= lat_count(&prev));
                 prev = cur;
             }
             session.pump();
+            let _ = session.drain_completions();
             let last = session.snapshot();
             prop_assert_eq!(last.pending_events, 0);
+            prop_assert_eq!(last.completions_pending, 0);
             let report = session.into_report();
             prop_assert_eq!(last, report.snapshot());
         }
@@ -2135,16 +2399,26 @@ mod tests {
         assert!(snap.completed > 0, "no progress by mid-run");
         assert!(snap.completed < 120, "run finished too early");
         assert!(snap.pending_events > 0);
+        // Every terminal record so far is still awaiting collection.
+        assert_eq!(snap.completions_pending, snap.completed);
         let drained = session.drain_completions();
         assert_eq!(drained.len(), snap.completed);
+        assert_eq!(session.snapshot().completions_pending, 0);
         session.pump();
         let end = session.snapshot();
         assert_eq!(end.completed, 120);
         assert_eq!(end.pending_events, 0);
+        // The backlog is exactly the completions the mid-run drain
+        // did not take.
+        assert_eq!(end.completions_pending, 120 - drained.len());
         assert!(end.to_json().contains("\"completed\":120"));
+        assert!(end.to_json().contains("\"completions_pending\":"));
         // Later drains only carry the new completions.
         assert_eq!(session.drain_completions().len(), 120 - drained.len());
-        // The final snapshot agrees with the consumed report's own.
+        // The final snapshot (once fully drained) agrees with the
+        // consumed report's own.
+        let end = session.snapshot();
+        assert_eq!(end.completions_pending, 0);
         let report = session.into_report();
         assert_eq!(report.snapshot(), end);
     }

@@ -5,8 +5,13 @@
 //! does byte-accurate accounting and keeps the residency metadata the
 //! eviction policies need — insertion sequence (FIFO), last-use time
 //! (LRU), and the resident set itself (dependency-aware eviction).
+//!
+//! Residency is stored as a dense expert-indexed table (`Vec<Option>`),
+//! not a map: the engine probes [`ModelPool::contains`] on every
+//! assignment prediction, so membership must be an O(1) slot read.
+//! Expert ids are dense model indices, which keeps the table small and
+//! iteration in id order trivially deterministic.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use coserve_model::expert::ExpertId;
@@ -56,11 +61,27 @@ impl fmt::Display for PoolError {
 impl std::error::Error for PoolError {}
 
 /// A model pool: experts resident in one executor's memory share.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ModelPool {
     memory: MemoryPool,
-    residents: BTreeMap<ExpertId, Resident>,
+    /// Dense expert-indexed residency slots; grown on demand, `None`
+    /// for non-resident experts.
+    residents: Vec<Option<Resident>>,
+    /// Number of `Some` slots.
+    count: usize,
     next_seq: u64,
+}
+
+/// Pools are equal when capacity, accounting and the resident set
+/// (with metadata) match; the dense table's trailing `None` slots are
+/// storage, not identity.
+impl PartialEq for ModelPool {
+    fn eq(&self, other: &Self) -> bool {
+        self.memory == other.memory
+            && self.next_seq == other.next_seq
+            && self.count == other.count
+            && self.residents().eq(other.residents())
+    }
 }
 
 impl ModelPool {
@@ -69,9 +90,14 @@ impl ModelPool {
     pub fn new(capacity: Bytes) -> Self {
         ModelPool {
             memory: MemoryPool::new(capacity),
-            residents: BTreeMap::new(),
+            residents: Vec::new(),
+            count: 0,
             next_seq: 0,
         }
+    }
+
+    fn slot(&self, expert: ExpertId) -> Option<&Resident> {
+        self.residents.get(expert.index()).and_then(Option::as_ref)
     }
 
     /// Pool capacity in bytes.
@@ -101,19 +127,19 @@ impl ModelPool {
     /// Number of resident experts.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.residents.len()
+        self.count
     }
 
     /// Whether no experts are resident.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.residents.is_empty()
+        self.count == 0
     }
 
-    /// Whether `expert` is resident.
+    /// Whether `expert` is resident — an O(1) slot read.
     #[must_use]
     pub fn contains(&self, expert: ExpertId) -> bool {
-        self.residents.contains_key(&expert)
+        self.slot(expert).is_some()
     }
 
     /// Whether an expert of the given size would fit right now.
@@ -125,12 +151,15 @@ impl ModelPool {
     /// Residency metadata for `expert`, if resident.
     #[must_use]
     pub fn resident(&self, expert: ExpertId) -> Option<&Resident> {
-        self.residents.get(&expert)
+        self.slot(expert)
     }
 
     /// Iterates residents in expert-id order (deterministic).
     pub fn residents(&self) -> impl Iterator<Item = (ExpertId, &Resident)> {
-        self.residents.iter().map(|(&e, r)| (e, r))
+        self.residents
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (ExpertId(i as u32), r)))
     }
 
     /// Inserts `expert` with the given size.
@@ -157,22 +186,24 @@ impl ModelPool {
             })?;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.residents.insert(
-            expert,
-            Resident {
-                bytes,
-                loaded_at: now,
-                seq,
-                last_used: now,
-                uses: 0,
-            },
-        );
+        if self.residents.len() <= expert.index() {
+            self.residents.resize(expert.index() + 1, None);
+        }
+        self.residents[expert.index()] = Some(Resident {
+            bytes,
+            loaded_at: now,
+            seq,
+            last_used: now,
+            uses: 0,
+        });
+        self.count += 1;
         Ok(())
     }
 
     /// Removes `expert`, returning its metadata (or `None` if absent).
     pub fn remove(&mut self, expert: ExpertId) -> Option<Resident> {
-        let meta = self.residents.remove(&expert)?;
+        let meta = self.residents.get_mut(expert.index())?.take()?;
+        self.count -= 1;
         self.memory.free(meta.bytes);
         Some(meta)
     }
@@ -182,7 +213,11 @@ impl ModelPool {
     /// Touching an absent expert is an engine bug; flagged in debug
     /// builds and ignored in release builds.
     pub fn touch(&mut self, expert: ExpertId, now: SimTime) {
-        if let Some(meta) = self.residents.get_mut(&expert) {
+        if let Some(meta) = self
+            .residents
+            .get_mut(expert.index())
+            .and_then(Option::as_mut)
+        {
             meta.last_used = now;
             meta.uses += 1;
         } else {

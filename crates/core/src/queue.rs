@@ -15,19 +15,25 @@
 //! jumping past it — grouping becomes best-effort, latency stays
 //! bounded.
 //!
-//! ## Incremental run index
+//! ## Run-bucketed storage
 //!
-//! The scheduler's request-assigning step (§4.2) consults the queue's
-//! contiguous same-expert runs once per candidate executor per request.
-//! Rebuilding that structure by scanning the queue made assignment
-//! O(executors × queue) with an allocation per probe, so the queue now
-//! maintains it incrementally: a deque of `(expert, len)` runs, plus a
-//! per-expert index holding the total count, the *virtual* position of
-//! the expert's last occurrence (stable across pops — physical position
-//! is `tail - popped`), and the expert's last run. Grouped insertion,
-//! batch peeling, membership tests and last-run lookups are all served
-//! from the index without scanning the queue; [`ExecutorQueue::runs_iter`]
-//! walks the maintained runs with zero allocation.
+//! The queue stores requests *as* its contiguous same-expert runs: a
+//! deque of runs, each owning its requests, plus a per-expert index
+//! (total count, run count, the expert's last run as a *virtual* run
+//! index stable across front retirements). Grouped insertion is then a
+//! push onto the joined run's own buffer — never a mid-deque shift of
+//! everything behind it — and batch peeling pops from the front run.
+//! Membership tests and last-run lookups are O(1) index reads;
+//! [`ExecutorQueue::runs_iter`] walks the runs with zero allocation.
+//!
+//! Overtake counts for the starvation bound are tracked per *run*, not
+//! per request: a mid-queue insertion overtakes exactly the complete
+//! runs behind the insertion point (insertion always lands on a run
+//! boundary), so each run carries one `boost` counter and each request
+//! the boost it joined at (`debt`); a request's effective overtake
+//! count is `boost - debt`. Within a run the front request is the
+//! oldest and therefore carries the run's maximum effective count,
+//! which makes the bound check O(runs), not O(requests).
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -49,8 +55,9 @@ pub struct PendingRequest {
     pub ready_at: SimTime,
 }
 
-/// A queued request plus the number of times later arrivals have been
-/// inserted ahead of it — the bookkeeping behind the starvation bound.
+/// A queued request plus the owning run's `boost` value at insertion
+/// time — the bookkeeping behind the starvation bound. The request's
+/// effective overtake count is `run.boost - debt`.
 ///
 /// Overtake counts are only maintained by bounded insertions (finite
 /// `max_overtake`); unbounded grouping skips the bookkeeping because no
@@ -58,14 +65,17 @@ pub struct PendingRequest {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
     req: PendingRequest,
-    overtaken: u32,
+    debt: u32,
 }
 
-/// One contiguous same-expert run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One contiguous same-expert run, owning its requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Run {
     expert: ExpertId,
-    len: u32,
+    items: VecDeque<Slot>,
+    /// Overtake increments applied uniformly to every request in the
+    /// run (mid-queue insertions overtake whole trailing runs).
+    boost: u32,
 }
 
 /// Per-expert bookkeeping: where the expert's requests sit without
@@ -76,14 +86,11 @@ struct ExpertIndex {
     count: u32,
     /// How many runs currently hold the expert.
     runs: u32,
-    /// Virtual position of the expert's last occurrence: physical
-    /// position plus the number of requests ever popped from the front,
-    /// so pops never invalidate it.
-    tail: u64,
     /// Virtual index of the expert's last run (physical run index plus
     /// the number of runs ever retired at the front).
     last_run: u64,
-    /// Length of the expert's last run.
+    /// Cached length of the expert's last run, so the scheduler's
+    /// per-candidate delta prediction is a single index read.
     last_run_len: u32,
 }
 
@@ -106,26 +113,31 @@ pub struct RunDelta {
 /// An ordered queue of pending requests with grouped insertion.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutorQueue {
-    items: VecDeque<Slot>,
+    /// The queue content, bucketed into contiguous same-expert runs.
     runs: VecDeque<Run>,
-    index: BTreeMap<ExpertId, ExpertIndex>,
-    /// Requests ever popped from the front (virtual-position base).
-    popped: u64,
+    /// Dense expert-indexed bookkeeping slots: membership tests and
+    /// last-run lookups are O(1) slot reads on the assignment hot path.
+    /// Grown on demand; `None` for experts not currently queued.
+    index: Vec<Option<ExpertIndex>>,
+    /// The distinct queued experts, kept sorted by id — the
+    /// deterministic iteration order [`ExecutorQueue::queued_experts`]
+    /// promises, without walking the dense table.
+    present: Vec<ExpertId>,
+    /// Total queued requests across all runs.
+    total: usize,
     /// Runs ever retired at the front (virtual-run-index base).
     runs_retired: u64,
+    /// Recycled run item buffers, so steady-state run churn allocates
+    /// nothing.
+    spare: Vec<VecDeque<Slot>>,
 }
 
 /// Queues are equal when they hold the same requests in the same order;
-/// the derived run index, virtual-position bases and overtake counters
+/// the derived run index, virtual-index bases and overtake counters
 /// are maintained state, not identity.
 impl PartialEq for ExecutorQueue {
     fn eq(&self, other: &Self) -> bool {
-        self.items.len() == other.items.len()
-            && self
-                .items
-                .iter()
-                .map(|s| &s.req)
-                .eq(other.items.iter().map(|s| &s.req))
+        self.total == other.total && self.iter().eq(other.iter())
     }
 }
 
@@ -141,45 +153,62 @@ impl ExecutorQueue {
     /// Number of queued requests.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.total
     }
 
     /// Whether the queue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.total == 0
     }
 
     /// Appends a request at the very end, extending the tail run or
     /// opening a new one, and updates the index.
     fn append_tail(&mut self, req: PendingRequest) -> RunDelta {
         let expert = req.expert;
-        let tail = self.popped + self.items.len() as u64;
-        self.items.push_back(Slot { req, overtaken: 0 });
+        self.total += 1;
         let extends = self.runs.back().is_some_and(|r| r.expert == expert);
         let (len_before, len_after) = if extends {
             let run = self.runs.back_mut().expect("tail run exists");
-            run.len += 1;
-            (run.len - 1, run.len)
+            run.items.push_back(Slot {
+                req,
+                debt: run.boost,
+            });
+            (run.items.len() as u32 - 1, run.items.len() as u32)
         } else {
-            self.runs.push_back(Run { expert, len: 1 });
+            let mut items = self.spare.pop().unwrap_or_default();
+            debug_assert!(items.is_empty(), "spare buffers are recycled empty");
+            items.push_back(Slot { req, debt: 0 });
+            self.runs.push_back(Run {
+                expert,
+                items,
+                boost: 0,
+            });
             (0, 1)
         };
         let last_run = self.runs_retired + self.runs.len() as u64 - 1;
-        let entry = self.index.entry(expert).or_insert(ExpertIndex {
+        if self.index.len() <= expert.index() {
+            self.index.resize(expert.index() + 1, None);
+        }
+        let entry = self.index[expert.index()].get_or_insert(ExpertIndex {
             count: 0,
             runs: 0,
-            tail,
             last_run,
             last_run_len: 0,
         });
         let membership_changed = entry.count == 0;
         entry.count += 1;
-        entry.tail = tail;
         entry.last_run = last_run;
         entry.last_run_len = len_after;
         if !extends {
             entry.runs += 1;
+        }
+        if membership_changed {
+            let pos = self
+                .present
+                .binary_search(&expert)
+                .expect_err("membership change implies the expert was absent");
+            self.present.insert(pos, expert);
         }
         RunDelta {
             expert,
@@ -214,45 +243,44 @@ impl ExecutorQueue {
     /// `max_overtake` extra requests.
     pub fn insert_grouped_bounded(&mut self, req: PendingRequest, max_overtake: u32) -> RunDelta {
         let expert = req.expert;
-        let Some(entry) = self.index.get(&expert) else {
+        let Some(entry) = self.index.get(expert.index()).and_then(Option::as_ref) else {
             return self.append_tail(req);
         };
-        let pos = (entry.tail - self.popped) as usize + 1;
-        if pos == self.items.len() {
-            // The expert's last occurrence is the queue tail: a plain
-            // append that extends its run, overtaking nobody.
+        let run_idx = (entry.last_run - self.runs_retired) as usize;
+        if run_idx + 1 == self.runs.len() {
+            // The expert's last run is the queue tail: a plain append
+            // that extends its run, overtaking nobody.
             return self.append_tail(req);
         }
         if max_overtake != u32::MAX {
-            if self.items.range(pos..).any(|s| s.overtaken >= max_overtake) {
+            // The insertion point is a run boundary, so it overtakes
+            // exactly the complete runs behind it. Each run's maximum
+            // effective overtake count belongs to its oldest (front)
+            // request.
+            let blocked = self.runs.range(run_idx + 1..).any(|r| {
+                let front_debt = r.items.front().expect("runs are never empty").debt;
+                r.boost - front_debt >= max_overtake
+            });
+            if blocked {
                 // Bound hit: best-effort grouping falls back to the
                 // tail. The tail run cannot be this expert's (its last
-                // occurrence is mid-queue), so this opens a new run.
+                // run is mid-queue), so this opens a new run.
                 return self.append_tail(req);
             }
-            for s in self.items.range_mut(pos..) {
-                s.overtaken += 1;
+            for r in self.runs.range_mut(run_idx + 1..) {
+                r.boost += 1;
             }
         }
-        let joined = self.index.get(&expert).copied().expect("checked above");
-        self.items.insert(pos, Slot { req, overtaken: 0 });
-        let run_idx = (joined.last_run - self.runs_retired) as usize;
+        self.total += 1;
         let run = &mut self.runs[run_idx];
         debug_assert_eq!(run.expert, expert, "index points at a foreign run");
-        run.len += 1;
-        let len_after = run.len;
-        // Shift the tail positions of experts whose last occurrence sat
-        // at or after the insertion point — O(distinct experts), never
-        // O(queue).
-        let inserted_tail = joined.tail + 1;
-        for (&e, idx) in self.index.iter_mut() {
-            if e != expert && idx.tail >= inserted_tail {
-                idx.tail += 1;
-            }
-        }
-        let entry = self.index.get_mut(&expert).expect("present");
+        run.items.push_back(Slot {
+            req,
+            debt: run.boost,
+        });
+        let len_after = run.items.len() as u32;
+        let entry = self.index[expert.index()].as_mut().expect("present");
         entry.count += 1;
-        entry.tail = inserted_tail;
         entry.last_run_len = len_after;
         RunDelta {
             expert,
@@ -294,36 +322,42 @@ impl ExecutorQueue {
         if max_batch == 0 {
             return None;
         }
-        let front = *self.runs.front()?;
-        let take = front.len.min(max_batch);
+        let front_virtual = self.runs_retired;
+        let front = self.runs.front_mut()?;
+        let expert = front.expert;
+        let len_before = front.items.len() as u32;
+        let take = len_before.min(max_batch);
         out.reserve(take as usize);
         for _ in 0..take {
-            out.push(self.items.pop_front().expect("run accounts items").req);
+            out.push(front.items.pop_front().expect("run accounts items").req);
         }
-        self.popped += u64::from(take);
-        let len_after = front.len - take;
+        self.total -= take as usize;
+        let len_after = len_before - take;
         if len_after == 0 {
-            self.runs.pop_front();
+            let run = self.runs.pop_front().expect("front run exists");
             self.runs_retired += 1;
-        } else {
-            self.runs.front_mut().expect("still present").len = len_after;
+            self.spare.push(run.items);
         }
-        let entry = self.index.get_mut(&front.expert).expect("queued expert");
+        let entry = self.index[expert.index()].as_mut().expect("queued expert");
         entry.count -= take;
         let membership_changed = entry.count == 0;
         if membership_changed {
-            self.index.remove(&front.expert);
-        } else {
-            if len_after == 0 {
-                entry.runs -= 1;
-            } else if entry.runs == 1 {
-                // The front run is also the expert's last run.
-                entry.last_run_len = len_after;
-            }
+            self.index[expert.index()] = None;
+            let pos = self
+                .present
+                .binary_search(&expert)
+                .expect("drained expert was present");
+            self.present.remove(pos);
+        } else if len_after == 0 {
+            entry.runs -= 1;
+        } else if entry.last_run == front_virtual {
+            // The front run is also the expert's last run: its cached
+            // length shrank in place.
+            entry.last_run_len = len_after;
         }
         Some(RunDelta {
-            expert: front.expert,
-            len_before: front.len,
+            expert,
+            len_before,
             len_after,
             membership_changed,
         })
@@ -331,7 +365,10 @@ impl ExecutorQueue {
 
     /// Iterates queued requests front to back.
     pub fn iter(&self) -> impl Iterator<Item = &PendingRequest> {
-        self.items.iter().map(|s| &s.req)
+        self.runs
+            .iter()
+            .flat_map(|r| r.items.iter())
+            .map(|s| &s.req)
     }
 
     /// Iterates the queue as contiguous same-expert runs:
@@ -339,7 +376,7 @@ impl ExecutorQueue {
     /// from the incrementally maintained run index: zero allocation,
     /// zero queue scan.
     pub fn runs_iter(&self) -> impl Iterator<Item = (ExpertId, u32)> + '_ {
-        self.runs.iter().map(|r| (r.expert, r.len))
+        self.runs.iter().map(|r| (r.expert, r.items.len() as u32))
     }
 
     /// The maintained runs as a fresh vector (convenience for tests and
@@ -351,20 +388,20 @@ impl ExecutorQueue {
 
     /// Iterates the distinct experts currently queued, in id order.
     pub fn queued_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
-        self.index.keys().copied()
+        self.present.iter().copied()
     }
 
     /// Number of distinct experts currently queued.
     #[must_use]
     pub fn distinct_experts(&self) -> usize {
-        self.index.len()
+        self.present.len()
     }
 
-    /// Whether any queued request uses `expert` — O(log experts) via the
-    /// index, never a queue scan.
+    /// Whether any queued request uses `expert` — an O(1) slot read,
+    /// never a queue scan.
     #[must_use]
     pub fn contains_expert(&self, expert: ExpertId) -> bool {
-        self.index.contains_key(&expert)
+        self.index.get(expert.index()).is_some_and(Option::is_some)
     }
 
     /// Length of the *last* run of `expert` (0 when absent) — what the
@@ -372,7 +409,19 @@ impl ExecutorQueue {
     /// request joins an open batch.
     #[must_use]
     pub fn last_run_len(&self, expert: ExpertId) -> u32 {
-        self.index.get(&expert).map_or(0, |e| e.last_run_len)
+        self.queued_last_run_len(expert).unwrap_or(0)
+    }
+
+    /// Length of the *last* run of `expert`, or `None` when the expert
+    /// is not queued at all — membership test and run-length lookup in
+    /// a single O(1) index read, which is what the scheduler's
+    /// per-candidate delta prediction probes for every executor.
+    #[must_use]
+    pub fn queued_last_run_len(&self, expert: ExpertId) -> Option<u32> {
+        self.index
+            .get(expert.index())
+            .and_then(Option::as_ref)
+            .map(|e| e.last_run_len)
     }
 
     /// Recomputes the run structure from scratch by scanning the queue —
@@ -380,10 +429,10 @@ impl ExecutorQueue {
     #[must_use]
     pub fn recompute_runs(&self) -> Vec<(ExpertId, u32)> {
         let mut out: Vec<(ExpertId, u32)> = Vec::new();
-        for s in &self.items {
+        for req in self.iter() {
             match out.last_mut() {
-                Some((e, n)) if *e == s.req.expert => *n += 1,
-                _ => out.push((s.req.expert, 1)),
+                Some((e, n)) if *e == req.expert => *n += 1,
+                _ => out.push((req.expert, 1)),
             }
         }
         out
@@ -395,33 +444,55 @@ impl ExecutorQueue {
     pub fn assert_index_consistent(&self) {
         let fresh = self.recompute_runs();
         assert_eq!(self.runs(), fresh, "run deque diverged from queue");
-        let mut counts: BTreeMap<ExpertId, (u32, u32, u64, u32)> = BTreeMap::new();
-        let mut prev: Option<ExpertId> = None;
-        for (pos, s) in self.items.iter().enumerate() {
-            let e = s.req.expert;
-            let entry = counts.entry(e).or_insert((0, 0, 0, 0));
-            entry.0 += 1;
-            entry.2 = self.popped + pos as u64;
-            if prev != Some(e) {
-                entry.1 += 1;
-                entry.3 = 0;
-            }
-            entry.3 += 1;
-            prev = Some(e);
+        assert_eq!(
+            self.total,
+            fresh.iter().map(|&(_, n)| n as usize).sum::<usize>(),
+            "total diverged from run contents"
+        );
+        assert!(
+            self.runs.iter().all(|r| !r.items.is_empty()),
+            "empty runs must be retired"
+        );
+        assert!(
+            self.spare.iter().all(VecDeque::is_empty),
+            "spare buffers must be recycled empty"
+        );
+        let mut counts: BTreeMap<ExpertId, (u32, u32, u64)> = BTreeMap::new();
+        for (pos, &(e, n)) in fresh.iter().enumerate() {
+            let entry = counts.entry(e).or_insert((0, 0, 0));
+            entry.0 += n;
+            entry.1 += 1;
+            entry.2 = self.runs_retired + pos as u64;
         }
         assert_eq!(
-            self.index.len(),
+            self.present.len(),
             counts.len(),
-            "index covers the wrong expert set"
+            "present set covers the wrong expert count"
         );
-        for (e, (count, runs, tail, last_run_len)) in counts {
-            let idx = self.index.get(&e).expect("expert indexed");
+        assert!(
+            self.present.windows(2).all(|w| w[0] < w[1]),
+            "present set is not strictly sorted"
+        );
+        let indexed = self
+            .index
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .count();
+        assert_eq!(indexed, counts.len(), "index covers the wrong expert set");
+        for (e, (count, runs, last_run)) in counts {
+            assert!(self.present.binary_search(&e).is_ok(), "{e} in present set");
+            let idx = self.index[e.index()].as_ref().expect("expert indexed");
             assert_eq!(idx.count, count, "{e} count");
             assert_eq!(idx.runs, runs, "{e} runs");
-            assert_eq!(idx.tail, tail, "{e} tail");
-            assert_eq!(idx.last_run_len, last_run_len, "{e} last_run_len");
+            assert_eq!(idx.last_run, last_run, "{e} last_run");
             let run_idx = (idx.last_run - self.runs_retired) as usize;
             assert_eq!(self.runs[run_idx].expert, e, "{e} last_run points home");
+            assert_eq!(
+                idx.last_run_len,
+                self.runs[run_idx].items.len() as u32,
+                "{e} cached last-run length"
+            );
         }
     }
 }

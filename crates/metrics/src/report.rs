@@ -445,6 +445,12 @@ pub struct RunSnapshot {
     /// Events still pending in the session calendar (zero for a
     /// finished run).
     pub pending_events: usize,
+    /// Terminal job records produced but not yet taken via
+    /// `drain_completions` — the completion backlog a live consumer
+    /// (e.g. a server connection) still has to collect (zero for a
+    /// finished, fully drained run, and for a snapshot derived from a
+    /// [`RunReport`]: a report is a final artifact, not a live queue).
+    pub completions_pending: usize,
     /// Expert switches so far.
     pub expert_switches: u64,
     /// Total executor time spent switching.
@@ -475,8 +481,9 @@ impl RunSnapshot {
              \"submitted\":{},\"completed\":{},\"failed\":{},\
              \"admitted\":{},\"dropped\":{},\"stages_executed\":{},\
              \"makespan_ms\":{},\"throughput_ips\":{},\"pending_events\":{},\
-             \"expert_switches\":{},\"switch_time_total_ms\":{},\
-             \"exec_time_total_ms\":{},\"latency\":{}}}",
+             \"completions_pending\":{},\"expert_switches\":{},\
+             \"switch_time_total_ms\":{},\"exec_time_total_ms\":{},\
+             \"latency\":{}}}",
             json_str(&self.system),
             json_str(&self.device),
             json_str(&self.task),
@@ -489,6 +496,7 @@ impl RunSnapshot {
             json_f64(self.makespan.as_millis_f64()),
             json_f64(self.throughput_ips()),
             self.pending_events,
+            self.completions_pending,
             self.expert_switches,
             json_f64(self.switch_time_total.as_millis_f64()),
             json_f64(self.exec_time_total.as_millis_f64()),
@@ -514,6 +522,7 @@ impl RunReport {
             stages_executed: self.stages_executed,
             makespan: self.makespan,
             pending_events: 0,
+            completions_pending: 0,
             expert_switches: self.expert_switches(),
             switch_time_total: self.switch_time_total,
             exec_time_total: self.exec_time_total,

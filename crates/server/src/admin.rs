@@ -165,6 +165,10 @@ fn metrics_text(server: &Server, core: &ServiceCore<'_>) -> String {
     line("engine_failed", snap.failed as u64);
     line("engine_stages_executed", snap.stages_executed as u64);
     line("engine_pending_events", snap.pending_events as u64);
+    line(
+        "engine_completions_pending",
+        snap.completions_pending as u64,
+    );
     line("engine_expert_switches", snap.expert_switches);
     line("engine_makespan_us", snap.makespan.nanos() / 1_000);
     line(

@@ -1,0 +1,160 @@
+//! The calendar-hygiene check.
+//!
+//! The engine core is a discrete-event simulator: simulated time
+//! advances **only** by popping the next scheduled event off the
+//! calendar (`coserve_sim::events::Calendar`). A stray
+//! `now = now + step` loop anywhere else reintroduces tick scanning —
+//! the exact pathology the calendar refactor removed — and silently
+//! forks the clock. This check forbids direct `SimTime` arithmetic in
+//! the clock-driving crates outside the calendar allowlist: the time
+//! type's own operator impls, the calendar itself, and the two event
+//! loops built on `Calendar::pop`. Computing *timestamps* for events
+//! being scheduled is exactly what the allowlisted files do; everything
+//! else receives times from the calendar and must not advance them.
+
+use crate::check::{allowed, find_token, Check, Diagnostic};
+use crate::scan::{FileKind, ScannedFile};
+
+/// Crates that drive the simulated clock.
+pub const CLOCK_CRATES: &[&str] = &["sim", "core", "cluster"];
+
+/// Files allowed to do `SimTime`/`SimSpan` arithmetic: the time type's
+/// operator impls, the event calendar, and the engine/cluster event
+/// loops that schedule onto it.
+pub const CALENDAR_ALLOWLIST: &[&str] = &[
+    "crates/sim/src/time.rs",
+    "crates/sim/src/events.rs",
+    "crates/core/src/engine.rs",
+    "crates/cluster/src/runtime.rs",
+];
+
+/// Forbids clock-advancing `SimTime` arithmetic outside the calendar.
+#[derive(Debug)]
+pub struct CalendarHygiene;
+
+impl Check for CalendarHygiene {
+    fn name(&self) -> &'static str {
+        "calendar-hygiene"
+    }
+
+    fn run(&self, files: &[ScannedFile], out: &mut Vec<Diagnostic>) {
+        for file in files {
+            if file.kind != FileKind::Src
+                || !CLOCK_CRATES.contains(&file.crate_name.as_str())
+                || CALENDAR_ALLOWLIST.contains(&file.path.as_str())
+            {
+                continue;
+            }
+            for (lineno, line) in file.numbered() {
+                if line.in_test || allowed(line, self.name()) {
+                    continue;
+                }
+                // Two tripwires: a `SimTime` mention combined with an
+                // additive operator on the same line (`SimTime::ZERO +
+                // ...`, `now += ...` next to a SimTime binding), and a
+                // span being added to anything (`x + SimSpan::...`).
+                let time_arith = find_token(&line.code, "SimTime").is_some()
+                    && (line.code.contains(" + ") || line.code.contains("+="));
+                let span_add = find_token(&line.code, "+ SimSpan").is_some();
+                if time_arith || span_add {
+                    out.push(Diagnostic {
+                        check: self.name(),
+                        file: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "SimTime arithmetic in clock crate `{}`: simulated time \
+                             advances only through the event calendar (push a \
+                             Scheduled event instead, or move the logic into an \
+                             allowlisted event loop)",
+                            file.crate_name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(path: &str, crate_name: &str, content: &str) -> Vec<Diagnostic> {
+        let file = ScannedFile::parse(path, crate_name, FileKind::Src, content);
+        let mut out = Vec::new();
+        CalendarHygiene.run(&[file], &mut out);
+        out
+    }
+
+    #[test]
+    fn tick_scan_in_dispatch_is_flagged_with_location() {
+        let out = run_on(
+            "crates/cluster/src/dispatch.rs",
+            "cluster",
+            "let t: SimTime = start;\nlet next = SimTime::ZERO + step;\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+        assert!(out[0]
+            .to_string()
+            .starts_with("crates/cluster/src/dispatch.rs:2:"));
+    }
+
+    #[test]
+    fn span_addition_is_flagged_even_without_the_time_type() {
+        let out = run_on(
+            "crates/core/src/queue.rs",
+            "core",
+            "let deadline = now + SimSpan::from_millis(4);\n",
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn the_calendar_and_event_loops_are_allowlisted() {
+        for (path, name) in [
+            ("crates/sim/src/time.rs", "sim"),
+            ("crates/sim/src/events.rs", "sim"),
+            ("crates/core/src/engine.rs", "core"),
+            ("crates/cluster/src/runtime.rs", "cluster"),
+        ] {
+            let out = run_on(path, name, "let at = now + SimSpan::from_millis(1);\n");
+            assert!(out.is_empty(), "{path} should be allowlisted: {out:?}");
+        }
+    }
+
+    #[test]
+    fn non_clock_crates_are_exempt() {
+        for (path, name) in [
+            ("crates/workload/src/arrivals.rs", "workload"),
+            ("crates/bench/src/figures.rs", "bench"),
+        ] {
+            let out = run_on(path, name, "let at = SimTime::ZERO + interval;\n");
+            assert!(out.is_empty(), "{name} should be exempt: {out:?}");
+        }
+    }
+
+    #[test]
+    fn mentions_in_comments_and_tests_are_fine() {
+        let out = run_on(
+            "crates/core/src/pool.rs",
+            "core",
+            concat!(
+                "// computing SimTime::ZERO + span here would fork the clock\n",
+                "#[cfg(test)]\n",
+                "mod tests { fn at(ms: u64) -> SimTime { SimTime::ZERO + ms_span(ms) } }\n",
+            ),
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn suppression_silences_a_justified_site() {
+        let out = run_on(
+            "crates/core/src/autotune.rs",
+            "core",
+            "let end = start + SimSpan::from_secs(1); // tidy:allow(calendar-hygiene) offline search horizon\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

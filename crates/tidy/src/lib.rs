@@ -5,7 +5,7 @@
 //! reproduction's correctness story rests on, run as
 //! `cargo run -p coserve-tidy` locally and as a CI gate.
 //!
-//! Three families of checks:
+//! Four families of checks:
 //!
 //! * **Determinism** — the bit-identical-figure guarantee (the
 //!   mechanism PR 4's hot-path overhaul and PR 6's wire protocol were
@@ -13,6 +13,11 @@
 //!   observe hash-seed, wall-clock, environment, or thread identity.
 //!   [`checks::determinism`] forbids those constructs in the
 //!   deterministic crates.
+//! * **Calendar hygiene** — simulated time advances only by popping
+//!   the event calendar; [`checks::calendar`] forbids direct `SimTime`
+//!   arithmetic in the clock-driving crates outside the calendar and
+//!   the two event loops built on it, so tick scanning cannot creep
+//!   back in.
 //! * **Panic safety** — the server parses untrusted network bytes;
 //!   [`checks::panic`] hard-forbids panic-capable sites on the request
 //!   path and ratchets every other crate's count against the committed
@@ -37,6 +42,7 @@ pub mod baseline;
 pub mod check;
 pub mod checks {
     //! The check implementations.
+    pub mod calendar;
     pub mod determinism;
     pub mod hygiene;
     pub mod panic;

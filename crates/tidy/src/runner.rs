@@ -3,6 +3,7 @@
 
 use crate::baseline::Baseline;
 use crate::check::{Check, Diagnostic};
+use crate::checks::calendar::CalendarHygiene;
 use crate::checks::determinism::Determinism;
 use crate::checks::hygiene::{ForbidUnsafe, NoDebugMacros, OutDir, TraceHygiene};
 use crate::checks::panic::{ratchet_counts, PanicPath, CLASSES};
@@ -13,6 +14,7 @@ use crate::scan::ScannedFile;
 pub fn all_checks() -> Vec<Box<dyn Check>> {
     vec![
         Box::new(Determinism),
+        Box::new(CalendarHygiene),
         Box::new(PanicPath),
         Box::new(ForbidUnsafe),
         Box::new(NoDebugMacros),

@@ -241,6 +241,54 @@ fn fig22_failure_recovery_bounds_recovery_and_rewards_feedback() {
 }
 
 #[test]
+fn fig23_engine_scale_serves_every_request_at_every_fleet_size() {
+    scale_down();
+    let (t, artifacts) = figures::fig23_engine_scale();
+    // Weak-scaling fleets: 1, 8 and 64 nodes.
+    assert_eq!(t.len(), 3);
+    let csv = t.to_csv();
+    let mut prev_requests = 0usize;
+    let mut last_nodes = 0usize;
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let nodes: usize = cells[0].parse().unwrap();
+        let requests: usize = cells[1].parse().unwrap();
+        let completed: usize = cells[2].parse().unwrap();
+        let stages: usize = cells[3].parse().unwrap();
+        let events: usize = cells[4].parse().unwrap();
+        let makespan_s: f64 = cells[5].parse().unwrap();
+        // Claim 1: the engine serves the whole open-loop trace — no
+        // request is lost at any fleet size.
+        assert_eq!(completed, requests, "every request must complete: {line}");
+        assert!(
+            stages >= requests,
+            "each job has at least one stage: {line}"
+        );
+        assert!(
+            events >= requests,
+            "the calendar pops at least one event per job: {line}"
+        );
+        assert!(makespan_s > 0.0, "fleet must take simulated time: {line}");
+        // Claim 2: weak scaling — per-node load is fixed, so the
+        // request count grows with the fleet.
+        assert!(requests >= nodes * 500, "per-node floor violated: {line}");
+        assert!(requests > prev_requests, "fleet rows must grow: {line}");
+        prev_requests = requests;
+        last_nodes = nodes;
+    }
+    assert_eq!(last_nodes, 64, "the headline fleet is 64 nodes:\n{csv}");
+    // The wall-clock artifact is machine-dependent but well-formed.
+    assert_eq!(artifacts.len(), 1);
+    let (stem, json) = &artifacts[0];
+    assert_eq!(stem, "fig23_engine_scale_wall");
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(json.contains("\"fleets\":[{"));
+    assert!(json.contains("\"wall_rps\":"));
+    assert!(json.contains("\"nodes\":64"));
+}
+
+#[test]
 fn fig24_fault_matrix_recovers_finitely_and_beats_giving_up() {
     scale_down();
     let (t, artifacts) = figures::fig24_fault_matrix();

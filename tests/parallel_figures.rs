@@ -35,6 +35,12 @@ fn parallel_sweeps_are_byte_identical_to_serial() {
     let (t22, artifacts22) = figures::fig22_failure_recovery();
     let fig22_serial = t22.to_csv();
     let artifacts22_serial = artifacts22;
+    // fig23 fans each fleet's nodes over the sweep workers; its CSV is
+    // simulation-only and must be width-independent. (Its JSON artifact
+    // is deliberately wall-clock — machine-dependent by design — so it
+    // is not compared here.)
+    let (t23, _) = figures::fig23_engine_scale();
+    let fig23_serial = t23.to_csv();
 
     std::env::set_var("COSERVE_JOBS", "4");
     assert_eq!(sweep::jobs(), 4);
@@ -43,8 +49,15 @@ fn parallel_sweeps_are_byte_identical_to_serial() {
     let fig21_wide = t21w.to_csv();
     let (t22w, artifacts22_wide) = figures::fig22_failure_recovery();
     let fig22_wide = t22w.to_csv();
+    let (t23w, _) = figures::fig23_engine_scale();
+    let fig23_wide = t23w.to_csv();
 
     std::env::remove_var("COSERVE_JOBS");
+
+    assert_eq!(
+        fig23_serial, fig23_wide,
+        "fig23 CSV must not depend on sweep width"
+    );
 
     assert_eq!(
         fig22_serial, fig22_wide,
